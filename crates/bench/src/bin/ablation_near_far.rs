@@ -1,0 +1,37 @@
+//! Ablation: near (cache-locked) vs far (at-home) atomics — the Section VII
+//! design alternative — against eager, lazy, and RoW.
+//!
+//! Far atomics never lock a cacheline, so they sidestep contention entirely,
+//! but they pay a NoC round trip per operation and destroy atomic locality.
+
+use row_bench::{banner, parallel_map, scale};
+use row_sim::{run_eager, run_far, run_lazy, run_row_fwd, RowVariant};
+use row_workloads::Benchmark;
+
+fn main() {
+    banner("Ablation", "near vs far atomic placement");
+    let exp = scale();
+    let benches = [
+        Benchmark::Canneal,
+        Benchmark::Cq,
+        Benchmark::Tpcc,
+        Benchmark::Sps,
+        Benchmark::Pc,
+    ];
+    let rows = parallel_map(benches.to_vec(), |&b| {
+        let e = run_eager(b, &exp).expect("eager").cycles as f64;
+        let l = run_lazy(b, &exp).expect("lazy").cycles as f64 / e;
+        let row = run_row_fwd(b, RowVariant::RwDirUd, &exp).expect("row").cycles as f64 / e;
+        let far = run_far(b, &exp).expect("far").cycles as f64 / e;
+        (b, l, row, far)
+    });
+    println!(
+        "{:15} {:>8} {:>8} {:>8} {:>8}",
+        "benchmark", "eager", "lazy", "RoW+Fwd", "far"
+    );
+    for (b, l, row, far) in rows {
+        println!("{:15} {:>8.3} {:>8.3} {:>8.3} {:>8.3}", b.name(), 1.0, l, row, far);
+    }
+    println!("\nfar avoids lock-holding on hot lines but pays a round trip per");
+    println!("atomic and loses locality — the paper's reason to stay near + RoW.");
+}

@@ -1,0 +1,23 @@
+//! Fig. 1: normalized execution time of lazy vs eager atomics, sorted from
+//! best to worst eager-vs-lazy speedup.
+
+use row_bench::{banner, parallel_map, scale};
+use row_sim::{run_eager, run_lazy};
+use row_workloads::Benchmark;
+
+fn main() {
+    banner("Fig. 1", "lazy execution time normalized to eager");
+    let exp = scale();
+    let rows = parallel_map(Benchmark::all().to_vec(), |&b| {
+        let e = run_eager(b, &exp).expect("eager run");
+        let l = run_lazy(b, &exp).expect("lazy run");
+        (b, l.cycles as f64 / e.cycles as f64)
+    });
+    println!("{:15} {:>12}", "benchmark", "lazy/eager");
+    for (b, r) in &rows {
+        let tag = if *r > 1.02 { "eager wins" } else if *r < 0.98 { "lazy wins" } else { "tie" };
+        println!("{:15} {:>12.3}  {}", b.name(), r, tag);
+    }
+    let gm = row_common::stats::geomean(&rows.iter().map(|(_, r)| *r).collect::<Vec<_>>());
+    println!("\ngeomean lazy/eager: {gm:.3} (paper: green left, red right, blue flat)");
+}

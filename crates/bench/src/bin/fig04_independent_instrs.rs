@@ -1,0 +1,37 @@
+//! Fig. 4: independent instructions with respect to eager and lazy atomics —
+//! older not-yet-executed instructions at eager issue, and younger
+//! already-started instructions at lazy issue.
+
+use row_bench::{banner, parallel_map, scale};
+use row_sim::{run_eager, run_lazy};
+use row_workloads::Benchmark;
+
+fn main() {
+    banner("Fig. 4", "independent instructions around atomics");
+    let exp = scale();
+    let rows = parallel_map(Benchmark::atomic_intensive(), |&b| {
+        let e = run_eager(b, &exp).expect("eager run");
+        let l = run_lazy(b, &exp).expect("lazy run");
+        (
+            b,
+            e.total.older_unexecuted_at_issue.mean(),
+            l.total.younger_started_at_issue.mean(),
+        )
+    });
+    println!(
+        "{:15} {:>26} {:>26}",
+        "benchmark", "older unexecuted @ eager", "younger started @ lazy"
+    );
+    let (mut so, mut sy) = (0.0, 0.0);
+    for (b, older, younger) in &rows {
+        println!("{:15} {:>26.1} {:>26.1}", b.name(), older, younger);
+        so += older;
+        sy += younger;
+    }
+    println!(
+        "{:15} {:>26.1} {:>26.1}   (paper: ~48 older on average)",
+        "mean",
+        so / rows.len() as f64,
+        sy / rows.len() as f64
+    );
+}

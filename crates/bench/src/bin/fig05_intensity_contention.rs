@@ -1,0 +1,19 @@
+//! Fig. 5: atomics per 10 kilo-instructions and the percentage of atomics
+//! that face contention under eager execution.
+
+use row_bench::{banner, parallel_map, scale};
+use row_sim::run_eager;
+use row_workloads::Benchmark;
+
+fn main() {
+    banner("Fig. 5", "atomic intensity and contentiousness (eager)");
+    let exp = scale();
+    let rows = parallel_map(Benchmark::all().to_vec(), |&b| {
+        let e = run_eager(b, &exp).expect("eager run");
+        (b, e.total.atomics_per_10k(), 100.0 * e.total.contended_fraction())
+    });
+    println!("{:15} {:>15} {:>14}", "benchmark", "atomics/10k", "contended %");
+    for (b, apk, cont) in rows {
+        println!("{:15} {:>15.1} {:>13.0}%", b.name(), apk, cont);
+    }
+}

@@ -1,0 +1,35 @@
+//! Fig. 6: atomic latency breakdown (dispatch→issue, issue→lock,
+//! lock→unlock) for eager (first row) and lazy (second row) execution.
+
+use row_bench::{banner, parallel_map, scale};
+use row_sim::{run_eager, run_lazy};
+use row_workloads::Benchmark;
+
+fn main() {
+    banner("Fig. 6", "atomic latency breakdown, eager vs lazy");
+    let exp = scale();
+    let rows = parallel_map(Benchmark::atomic_intensive(), |&b| {
+        let e = run_eager(b, &exp).expect("eager run");
+        let l = run_lazy(b, &exp).expect("lazy run");
+        (b, e.total.breakdown, l.total.breakdown)
+    });
+    println!(
+        "{:15} {:6} {:>12} {:>12} {:>14} {:>8}",
+        "benchmark", "mode", "disp→issue", "issue→lock", "lock→unlock", "total"
+    );
+    for (b, e, l) in rows {
+        for (mode, bd) in [("eager", e), ("lazy", l)] {
+            println!(
+                "{:15} {:6} {:>12.1} {:>12.1} {:>14.1} {:>8.1}",
+                b.name(),
+                mode,
+                bd.dispatch_to_issue.mean(),
+                bd.issue_to_lock.mean(),
+                bd.lock_to_unlock.mean(),
+                bd.total_mean()
+            );
+        }
+    }
+    println!("\npaper shape: lazy grows disp→issue (blue) but shrinks issue→lock");
+    println!("(orange) and lock→unlock (yellow) on contended apps.");
+}

@@ -1,0 +1,40 @@
+//! Fig. 9: normalized execution time for eager, lazy, and the six RoW
+//! variants (EW/RW/RW+Dir × Up-Down/Sat), forwarding disabled.
+
+use row_bench::{banner, parallel_map, scale};
+use row_sim::{run_eager, run_lazy, run_row, RowVariant};
+use row_workloads::Benchmark;
+
+fn main() {
+    banner("Fig. 9", "RoW variants vs eager and lazy (no forwarding)");
+    let exp = scale();
+    let rows = parallel_map(Benchmark::atomic_intensive(), |&b| {
+        let e = run_eager(b, &exp).expect("eager").cycles as f64;
+        let l = run_lazy(b, &exp).expect("lazy").cycles as f64;
+        let vs: Vec<f64> = RowVariant::ALL
+            .iter()
+            .map(|&v| run_row(b, v, &exp).expect("row").cycles as f64 / e)
+            .collect();
+        (b, l / e, vs)
+    });
+    print!("{:15} {:>7}", "benchmark", "lazy");
+    for v in RowVariant::ALL {
+        print!(" {:>10}", v.name());
+    }
+    println!();
+    let mut sums = vec![0.0; 7];
+    for (b, lazy, vs) in &rows {
+        print!("{:15} {:>7.3}", b.name(), lazy);
+        sums[0] += lazy.ln();
+        for (i, v) in vs.iter().enumerate() {
+            print!(" {:>10.3}", v);
+            sums[i + 1] += v.ln();
+        }
+        println!();
+    }
+    print!("{:15}", "geomean");
+    for s in sums {
+        print!(" {:>9.3} ", (s / rows.len() as f64).exp());
+    }
+    println!("\n\npaper: RW+Dir_Sat best on average; EW fails on contended apps.");
+}

@@ -1,0 +1,40 @@
+//! The paper's headline: RoW (RW+Dir_U/D + forwarding) vs the eager
+//! baseline, average and maximum reduction, plus the hardware budget.
+
+use row_bench::{banner, parallel_map, scale};
+use row_common::config::RowConfig;
+use row_core::RowEngine;
+use row_sim::{run_eager, run_row_fwd, RowVariant};
+use row_workloads::Benchmark;
+
+fn main() {
+    banner("Headline", "RoW vs always-eager (Section VI summary)");
+    let exp = scale();
+    let rows = parallel_map(Benchmark::all().to_vec(), |&b| {
+        let e = run_eager(b, &exp).expect("eager").cycles as f64;
+        let r = run_row_fwd(b, RowVariant::RwDirUd, &exp).expect("row").cycles as f64;
+        (b, r / e)
+    });
+    let mut best = (Benchmark::Pc, 1.0f64);
+    let mut logs = Vec::new();
+    for (b, ratio) in &rows {
+        println!("{:15} RoW/eager = {ratio:.3}", b.name());
+        logs.push(*ratio);
+        if *ratio < best.1 {
+            best = (*b, *ratio);
+        }
+    }
+    let gm = row_common::stats::geomean(&logs);
+    println!("\nall-apps geomean reduction: {:.1}%", 100.0 * (1.0 - gm));
+    println!(
+        "largest reduction: {:.1}% on {}",
+        100.0 * (1.0 - best.1),
+        best.0.name()
+    );
+    let engine = RowEngine::new(RowConfig::best());
+    println!(
+        "hardware budget: {} bytes of storage (+14-bit subtractor/comparator)",
+        engine.storage_bits(16) / 8
+    );
+    println!("paper: 9.2% avg (up to 43%) on atomic-intensive apps; 4.0% across all.");
+}

@@ -1,0 +1,107 @@
+//! Shared scaffolding for the figure-regeneration harness.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure from the
+//! paper's evaluation. The scale is selected by the `NORUSH_SCALE`
+//! environment variable:
+//!
+//! * `quick` (default) — 8 cores, small caches, 6 k instructions/thread;
+//!   each figure takes seconds.
+//! * `mid` — 16 cores, Table I hierarchy, 10 k instructions/thread.
+//! * `paper` — 32 cores with the Table I hierarchy, 20 k
+//!   instructions/thread; minutes per figure.
+//!
+//! Independent simulation runs are fanned out over worker threads by
+//! [`parallel_map`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use row_sim::ExperimentConfig;
+
+/// The experiment scale selected through `NORUSH_SCALE`.
+pub fn scale() -> ExperimentConfig {
+    match std::env::var("NORUSH_SCALE").as_deref() {
+        Ok("paper") => ExperimentConfig::paper(),
+        Ok("mid") => ExperimentConfig {
+            cores: 16,
+            instructions: 10_000,
+            seed: 42,
+            cycle_limit: 200_000_000,
+            paper_caches: true,
+        },
+        _ => {
+            let mut e = ExperimentConfig::quick();
+            e.instructions = 6_000;
+            e
+        }
+    }
+}
+
+/// Runs `f` over `items` on up to `std::thread::available_parallelism`
+/// workers, returning results in input order.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    let results: Vec<std::sync::Mutex<Option<R>>> =
+        items.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                *results[i].lock().expect("poisoned") = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("poisoned").expect("worker filled"))
+        .collect()
+}
+
+/// Prints a figure header with the active scale.
+pub fn banner(fig: &str, what: &str) {
+    let exp = scale();
+    println!("== {fig}: {what} ==");
+    println!(
+        "   scale: {} cores, {} instructions/thread ({} caches) — set NORUSH_SCALE=quick|mid|paper\n",
+        exp.cores,
+        exp.instructions,
+        if exp.paper_caches { "Table I" } else { "scaled" }
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale_is_quick() {
+        if std::env::var("NORUSH_SCALE").is_err() {
+            assert_eq!(scale().cores, 8);
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..50).collect(), |&x: &i32| x * 2);
+        assert_eq!(out, (0..50).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_empty() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |&x| x);
+        assert!(out.is_empty());
+    }
+}

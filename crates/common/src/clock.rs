@@ -1,0 +1,171 @@
+//! The global simulation time base.
+//!
+//! Everything in the simulator is timed in processor [`Cycle`]s. The type is a
+//! transparent `u64` newtype with saturating-free, explicitly-checked
+//! arithmetic helpers, plus the 14-bit wrapping arithmetic that the RoW
+//! directory-latency detector performs in hardware (Section IV-C of the
+//! paper).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// Width, in bits, of the `request issued cycle` timestamp field each Atomic
+/// Queue entry carries in RoW (paper Section IV-C).
+pub const TIMESTAMP_BITS: u32 = 14;
+/// Modulus of the 14-bit timestamp field: `2^14 = 16384`.
+pub const TIMESTAMP_MODULUS: u64 = 1 << TIMESTAMP_BITS;
+
+/// A point in simulated time, measured in core clock cycles.
+///
+/// # Example
+/// ```
+/// use row_common::clock::Cycle;
+/// let t = Cycle::new(100) + 60;
+/// assert_eq!(t.raw(), 160);
+/// assert_eq!(t - Cycle::new(100), 60);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// Time zero, the start of the simulation.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Creates a cycle count from a raw value.
+    pub const fn new(c: u64) -> Self {
+        Cycle(c)
+    }
+
+    /// The raw cycle count.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The low [`TIMESTAMP_BITS`] bits, as latched in an AQ entry's
+    /// `request issued cycle` field.
+    pub const fn timestamp14(self) -> u16 {
+        (self.0 & (TIMESTAMP_MODULUS - 1)) as u16
+    }
+
+    /// Latency from an earlier 14-bit timestamp to `self`, using the wrapping
+    /// unsigned subtraction the paper's 14-bit subtractor performs.
+    ///
+    /// Latencies in `[16384, 16784)` alias to `[0, 400)` — the paper
+    /// explicitly accepts this (footnote 4); the dedicated unit test below
+    /// documents it.
+    pub const fn latency_since14(self, issued: u16) -> u64 {
+        (self.timestamp14() as u64)
+            .wrapping_sub(issued as u64)
+            .rem_euclid(TIMESTAMP_MODULUS)
+    }
+
+    /// Saturating difference `self - earlier`, zero when `earlier` is later.
+    pub const fn saturating_since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: Cycle) -> Cycle {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+    /// Exact distance between two instants.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `rhs` is later than `self`.
+    fn sub(self, rhs: Cycle) -> u64 {
+        debug_assert!(self.0 >= rhs.0, "negative cycle delta: {self:?} - {rhs:?}");
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(v: u64) -> Self {
+        Cycle(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_basics() {
+        let t = Cycle::new(5);
+        assert_eq!((t + 7).raw(), 12);
+        assert_eq!(Cycle::new(12) - t, 7);
+        let mut u = t;
+        u += 3;
+        assert_eq!(u.raw(), 8);
+    }
+
+    #[test]
+    fn timestamp_is_low_14_bits() {
+        assert_eq!(Cycle::new(TIMESTAMP_MODULUS + 5).timestamp14(), 5);
+        assert_eq!(Cycle::new(TIMESTAMP_MODULUS - 1).timestamp14(), 0x3fff);
+    }
+
+    #[test]
+    fn latency_without_wrap() {
+        let issue = Cycle::new(1000);
+        let done = Cycle::new(1450);
+        assert_eq!(done.latency_since14(issue.timestamp14()), 450);
+    }
+
+    #[test]
+    fn latency_with_wraparound() {
+        // Issue near the top of the 14-bit window, complete after wrap.
+        let issue = Cycle::new(TIMESTAMP_MODULUS - 10);
+        let done = Cycle::new(TIMESTAMP_MODULUS + 30);
+        assert_eq!(done.latency_since14(issue.timestamp14()), 40);
+    }
+
+    #[test]
+    fn latency_aliasing_documented_by_paper() {
+        // A true latency of exactly 2^14 + 100 aliases to 100 (paper
+        // footnote 4: latencies in [16384, 16784) are misread as < 400).
+        let issue = Cycle::new(123);
+        let done = Cycle::new(123 + TIMESTAMP_MODULUS + 100);
+        assert_eq!(done.latency_since14(issue.timestamp14()), 100);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        assert_eq!(Cycle::new(5).saturating_since(Cycle::new(9)), 0);
+        assert_eq!(Cycle::new(9).saturating_since(Cycle::new(5)), 4);
+    }
+
+    #[test]
+    fn max_picks_later() {
+        assert_eq!(Cycle::new(3).max(Cycle::new(7)), Cycle::new(7));
+        assert_eq!(Cycle::new(8).max(Cycle::new(7)), Cycle::new(8));
+    }
+}

@@ -1,0 +1,592 @@
+//! System configuration, mirroring the paper's Table I.
+//!
+//! [`SystemConfig::alder_lake_32c`] reproduces the evaluated 32-core system
+//! (Alder Lake performance-core-like parameters). Every knob the paper sweeps
+//! — atomic execution policy, contention detector, predictor flavour,
+//! directory-latency threshold, store→atomic forwarding — is an explicit field
+//! so the benchmark harness can regenerate each figure from configuration
+//! alone.
+
+use serde::{Deserialize, Serialize};
+
+/// How atomic RMW instructions are scheduled for execution.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum AtomicPolicy {
+    /// Execute as soon as operands are ready (Free Atomics baseline).
+    #[default]
+    Eager,
+    /// Execute only when the atomic is the oldest memory instruction in the
+    /// load queue *and* the store buffer has drained. Younger instructions may
+    /// still execute speculatively (this is *not* a fence).
+    Lazy,
+    /// Rush or Wait: predict contention per PC and pick eager/lazy per atomic.
+    Row(RowConfig),
+}
+
+impl AtomicPolicy {
+    /// The RoW configuration, if this policy is RoW.
+    pub fn row(&self) -> Option<&RowConfig> {
+        match self {
+            AtomicPolicy::Row(cfg) => Some(cfg),
+            _ => None,
+        }
+    }
+}
+
+
+/// Which contention-detection mechanism trains the predictor
+/// (paper Sections IV-A..IV-C).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum DetectorKind {
+    /// Execution window: external requests hitting a *locked* line mark the
+    /// matching atomic contended.
+    ExecutionWindow,
+    /// Ready window: additionally, external requests matching any in-flight
+    /// atomic's (pre-computed) address mark it contended, extending the
+    /// window from address-ready to unlock.
+    ReadyWindow,
+    /// Ready window plus the directory heuristic: a line that arrives from a
+    /// *remote private cache* with latency above `latency_threshold` cycles is
+    /// considered contended even if no external request was observed.
+    ReadyWindowDir {
+        /// Latency threshold in cycles (400 in the paper; `u64::MAX` models
+        /// the "inf" point of Fig. 10, degenerating to plain ReadyWindow).
+        latency_threshold: u64,
+    },
+}
+
+impl DetectorKind {
+    /// The paper's optimal RW+Dir configuration (400-cycle threshold).
+    pub const fn rw_dir_default() -> Self {
+        DetectorKind::ReadyWindowDir {
+            latency_threshold: 400,
+        }
+    }
+}
+
+impl Default for DetectorKind {
+    fn default() -> Self {
+        DetectorKind::rw_dir_default()
+    }
+}
+
+/// Saturating-counter update policy of the contention predictor
+/// (paper Section IV-D).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum PredictorKind {
+    /// +1 on contention, −1 otherwise; predict contended when counter >
+    /// threshold (threshold = 1 in the paper).
+    #[default]
+    UpDown,
+    /// Jump to the maximum on contention, −1 otherwise; predict contended
+    /// when counter > 0.
+    SaturateOnContention,
+    /// +2 on contention, −1 otherwise (evaluated and discarded by the paper;
+    /// kept for the ablation bench).
+    TwoUpOneDown,
+    /// Gshare-style: the table index is XORed with a global history of
+    /// recent contention outcomes. The paper argues history does not help
+    /// because atomics are uncorrelated (Section VII); this variant exists
+    /// to demonstrate that claim.
+    History,
+}
+
+
+/// Configuration of the Rush-or-Wait mechanism.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct RowConfig {
+    /// Contention-detection mechanism used to train the predictor.
+    pub detector: DetectorKind,
+    /// Predictor counter update policy.
+    pub predictor: PredictorKind,
+    /// Number of predictor table entries (64 in the paper).
+    pub predictor_entries: usize,
+    /// Width of each saturating counter in bits (4 in the paper).
+    pub counter_bits: u32,
+    /// Decision threshold: predict contended when counter > threshold.
+    /// The paper uses 1 for UpDown and 0 for SaturateOnContention.
+    pub decision_threshold: u8,
+    /// Turn a predicted-lazy atomic eager when a matching older store is
+    /// found in the SB (atomic-locality optimization, Section IV-E).
+    pub locality_override: bool,
+}
+
+impl RowConfig {
+    /// RoW with the given detector/predictor and the paper's table geometry.
+    pub fn new(detector: DetectorKind, predictor: PredictorKind) -> Self {
+        let decision_threshold = match predictor {
+            PredictorKind::UpDown | PredictorKind::TwoUpOneDown | PredictorKind::History => 1,
+            PredictorKind::SaturateOnContention => 0,
+        };
+        RowConfig {
+            detector,
+            predictor,
+            predictor_entries: 64,
+            counter_bits: 4,
+            decision_threshold,
+            locality_override: false,
+        }
+    }
+
+    /// The best configuration found by the paper:
+    /// RW+Dir detection, Up/Down predictor, forwarding-driven locality override.
+    pub fn best() -> Self {
+        let mut cfg = RowConfig::new(DetectorKind::rw_dir_default(), PredictorKind::UpDown);
+        cfg.locality_override = true;
+        cfg
+    }
+
+    /// Enables or disables the atomic-locality (forwarding) override.
+    pub fn with_locality_override(mut self, on: bool) -> Self {
+        self.locality_override = on;
+        self
+    }
+
+    /// Storage cost of this configuration in bits (predictor table plus the
+    /// per-AQ-entry contended/only-calculate-address/timestamp fields),
+    /// matching the paper's Section IV-F accounting.
+    pub fn storage_bits(&self, aq_entries: usize) -> usize {
+        let table = self.predictor_entries * self.counter_bits as usize;
+        let per_entry = match self.detector {
+            DetectorKind::ExecutionWindow => 1,
+            DetectorKind::ReadyWindow => 1 + 1,
+            DetectorKind::ReadyWindowDir { .. } => 1 + 1 + 14,
+        };
+        table + aq_entries * per_entry
+    }
+}
+
+impl Default for RowConfig {
+    fn default() -> Self {
+        RowConfig::best()
+    }
+}
+
+/// Where atomic RMWs execute (the Section VII design alternative).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub enum AtomicPlacement {
+    /// In the L1D under a cache lock (x86 style; the paper's subject).
+    #[default]
+    Near,
+    /// At the line's home directory bank (IBM/Arm far-atomic style): no
+    /// cache locking; all private copies are invalidated and the RMW is
+    /// performed at the home. Issued with the lazy discipline to preserve
+    /// TSO ordering against older local accesses.
+    Far,
+}
+
+/// Whether the core surrounds atomic µ-ops with implicit full fences.
+///
+/// `Fenced` models pre-Coffee-Lake x86 parts (the Xeon X3210 of Fig. 2);
+/// `Unfenced` models current parts / Free Atomics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum FenceModel {
+    /// Atomics drain the SB, wait to be the oldest instruction, and block all
+    /// younger memory operations until they complete.
+    Fenced,
+    /// Atomics execute per the configured [`AtomicPolicy`], overlapping with
+    /// older and younger instructions.
+    #[default]
+    Unfenced,
+}
+
+
+/// Out-of-order core parameters (Table I, "Processor").
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct CoreConfig {
+    /// Instructions fetched/renamed per cycle (6).
+    pub fetch_width: usize,
+    /// Instructions issued to execution per cycle (12).
+    pub issue_width: usize,
+    /// Instructions committed per cycle (12).
+    pub commit_width: usize,
+    /// Reorder buffer entries (512).
+    pub rob_entries: usize,
+    /// Load queue entries (192).
+    pub lq_entries: usize,
+    /// Store buffer entries (128).
+    pub sb_entries: usize,
+    /// Issue queue (scheduler) entries.
+    pub iq_entries: usize,
+    /// Atomic queue entries (16, per Free Atomics).
+    pub aq_entries: usize,
+    /// Pipeline depth from fetch to dispatch, in cycles (front-end latency
+    /// charged on a branch mispredict redirect).
+    pub frontend_depth: u64,
+    /// Fence semantics of atomics.
+    pub fence_model: FenceModel,
+    /// How atomics are scheduled (only meaningful when unfenced).
+    pub atomic_policy: AtomicPolicy,
+    /// Allow store→load forwarding from the SB to *atomic* loads (Fig. 13
+    /// "+Fwd" configurations). Regular loads always forward.
+    pub forward_to_atomics: bool,
+    /// Near (cache-locked) or far (at-home) atomic execution.
+    pub atomic_placement: AtomicPlacement,
+}
+
+impl CoreConfig {
+    /// Table I core parameters.
+    pub fn alder_lake() -> Self {
+        CoreConfig {
+            fetch_width: 6,
+            issue_width: 12,
+            commit_width: 12,
+            rob_entries: 512,
+            lq_entries: 192,
+            sb_entries: 128,
+            iq_entries: 160,
+            aq_entries: 16,
+            frontend_depth: 12,
+            fence_model: FenceModel::Unfenced,
+            atomic_policy: AtomicPolicy::Eager,
+            forward_to_atomics: false,
+            atomic_placement: AtomicPlacement::Near,
+        }
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig::alder_lake()
+    }
+}
+
+/// One cache level's geometry and latency.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Access (hit) latency in cycles.
+    pub hit_latency: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    /// Panics if the geometry does not divide into whole 64-byte-line sets.
+    pub fn sets(&self) -> usize {
+        let lines = self.size_bytes / crate::ids::LINE_BYTES as usize;
+        assert!(
+            lines.is_multiple_of(self.ways) && lines > 0,
+            "cache geometry must divide into whole sets: {self:?}"
+        );
+        lines / self.ways
+    }
+}
+
+/// Memory hierarchy parameters (Table I, "Memory").
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct MemoryConfig {
+    /// Private L1 data cache (48 KB, 12-way, 5-cycle).
+    pub l1d: CacheConfig,
+    /// Private L2 cache (1 MB, 8-way, 12-cycle).
+    pub l2: CacheConfig,
+    /// Shared L3, per bank (4 MB, 16-way, 35-cycle); one bank per core tile.
+    pub l3_bank: CacheConfig,
+    /// Main-memory access latency in cycles (160).
+    pub mem_latency: u64,
+    /// Outstanding misses supported per core (MSHRs).
+    pub mshr_entries: usize,
+    /// Enable the L1D IP-stride prefetcher.
+    pub prefetcher: bool,
+    /// Prefetch degree (lines ahead) when the prefetcher is enabled.
+    pub prefetch_degree: u64,
+}
+
+impl MemoryConfig {
+    /// Table I memory parameters.
+    pub fn alder_lake() -> Self {
+        MemoryConfig {
+            l1d: CacheConfig {
+                size_bytes: 48 * 1024,
+                ways: 12,
+                hit_latency: 5,
+            },
+            l2: CacheConfig {
+                size_bytes: 1024 * 1024,
+                ways: 8,
+                hit_latency: 12,
+            },
+            l3_bank: CacheConfig {
+                size_bytes: 4 * 1024 * 1024,
+                ways: 16,
+                hit_latency: 35,
+            },
+            mem_latency: 160,
+            mshr_entries: 32,
+            prefetcher: true,
+            prefetch_degree: 2,
+        }
+    }
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        MemoryConfig::alder_lake()
+    }
+}
+
+/// On-chip network parameters (GARNET-substitute mesh).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct NocConfig {
+    /// Mesh width (columns). Height is derived from the core count.
+    pub mesh_cols: usize,
+    /// Per-hop link traversal latency in cycles.
+    pub link_latency: u64,
+    /// Per-router pipeline latency in cycles.
+    pub router_latency: u64,
+    /// Flits a data (full-line) message occupies on a link; control messages
+    /// occupy one flit.
+    pub data_flits: u64,
+}
+
+impl NocConfig {
+    /// An 8×4 mesh sized for the 32-core system.
+    pub fn mesh_8x4() -> Self {
+        NocConfig {
+            mesh_cols: 8,
+            link_latency: 1,
+            router_latency: 2,
+            data_flits: 5,
+        }
+    }
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        NocConfig::mesh_8x4()
+    }
+}
+
+/// The full simulated system: the paper's Table I.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Number of cores (= threads; 32 in the paper).
+    pub cores: usize,
+    /// Core pipeline parameters.
+    pub core: CoreConfig,
+    /// Memory hierarchy parameters.
+    pub mem: MemoryConfig,
+    /// Interconnect parameters.
+    pub noc: NocConfig,
+}
+
+impl SystemConfig {
+    /// The paper's evaluated system: 32 Alder-Lake-like cores, Table I
+    /// memory hierarchy, 8×4 mesh.
+    pub fn alder_lake_32c() -> Self {
+        SystemConfig {
+            cores: 32,
+            core: CoreConfig::alder_lake(),
+            mem: MemoryConfig::alder_lake(),
+            noc: NocConfig::mesh_8x4(),
+        }
+    }
+
+    /// A scaled-down system for fast tests: `cores` cores, small caches.
+    ///
+    /// Keeps all structural behaviour (same pipeline, same protocol) while
+    /// letting unit/integration tests run in milliseconds.
+    pub fn small(cores: usize) -> Self {
+        let mut cfg = SystemConfig::alder_lake_32c();
+        cfg.cores = cores;
+        cfg.core.rob_entries = 128;
+        cfg.core.lq_entries = 48;
+        cfg.core.sb_entries = 32;
+        cfg.core.iq_entries = 48;
+        cfg.mem.l1d = CacheConfig {
+            size_bytes: 8 * 1024,
+            ways: 4,
+            hit_latency: 5,
+        };
+        cfg.mem.l2 = CacheConfig {
+            size_bytes: 64 * 1024,
+            ways: 8,
+            hit_latency: 12,
+        };
+        cfg.mem.l3_bank = CacheConfig {
+            size_bytes: 256 * 1024,
+            ways: 8,
+            hit_latency: 35,
+        };
+        cfg.noc.mesh_cols = cores.clamp(1, 4);
+        cfg
+    }
+
+    /// Sets the atomic execution policy (builder-style).
+    pub fn with_policy(mut self, policy: AtomicPolicy) -> Self {
+        self.core.atomic_policy = policy;
+        self
+    }
+
+    /// Sets the fence model (builder-style).
+    pub fn with_fence_model(mut self, model: FenceModel) -> Self {
+        self.core.fence_model = model;
+        self
+    }
+
+    /// Enables store→atomic forwarding (builder-style).
+    pub fn with_forward_to_atomics(mut self, on: bool) -> Self {
+        self.core.forward_to_atomics = on;
+        self
+    }
+
+    /// Sets near/far atomic placement (builder-style).
+    pub fn with_placement(mut self, placement: AtomicPlacement) -> Self {
+        self.core.atomic_placement = placement;
+        self
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    /// Returns a human-readable description of the first inconsistency found
+    /// (zero cores, zero-width pipeline, non-dividing cache geometry, …).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cores == 0 {
+            return Err("system must have at least one core".into());
+        }
+        if self.core.fetch_width == 0 || self.core.issue_width == 0 || self.core.commit_width == 0
+        {
+            return Err("pipeline widths must be non-zero".into());
+        }
+        if self.core.rob_entries == 0
+            || self.core.lq_entries == 0
+            || self.core.sb_entries == 0
+            || self.core.aq_entries == 0
+        {
+            return Err("queue sizes must be non-zero".into());
+        }
+        for (name, c) in [
+            ("l1d", self.mem.l1d),
+            ("l2", self.mem.l2),
+            ("l3_bank", self.mem.l3_bank),
+        ] {
+            let lines = c.size_bytes / crate::ids::LINE_BYTES as usize;
+            if lines == 0 || !lines.is_multiple_of(c.ways) {
+                return Err(format!("{name} geometry does not divide into sets: {c:?}"));
+            }
+        }
+        if self.noc.mesh_cols == 0 {
+            return Err("mesh must have at least one column".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig::alder_lake_32c()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_parameters_match_paper() {
+        let cfg = SystemConfig::alder_lake_32c();
+        assert_eq!(cfg.cores, 32);
+        assert_eq!(cfg.core.fetch_width, 6);
+        assert_eq!(cfg.core.issue_width, 12);
+        assert_eq!(cfg.core.commit_width, 12);
+        assert_eq!(cfg.core.rob_entries, 512);
+        assert_eq!(cfg.core.lq_entries, 192);
+        assert_eq!(cfg.core.sb_entries, 128);
+        assert_eq!(cfg.core.aq_entries, 16);
+        assert_eq!(cfg.mem.l1d.size_bytes, 48 * 1024);
+        assert_eq!(cfg.mem.l1d.ways, 12);
+        assert_eq!(cfg.mem.l1d.hit_latency, 5);
+        assert_eq!(cfg.mem.l2.hit_latency, 12);
+        assert_eq!(cfg.mem.l3_bank.hit_latency, 35);
+        assert_eq!(cfg.mem.mem_latency, 160);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn row_storage_is_64_bytes() {
+        // Section IV-F: 64-entry x 4-bit table + 16 AQ entries x 16 bits
+        // = 256 + 256 bits = 64 bytes.
+        let cfg = RowConfig::best();
+        assert_eq!(cfg.storage_bits(16), 512);
+        assert_eq!(cfg.storage_bits(16) / 8, 64);
+    }
+
+    #[test]
+    fn detector_storage_scales_with_mechanism() {
+        let ew = RowConfig::new(DetectorKind::ExecutionWindow, PredictorKind::UpDown);
+        let rw = RowConfig::new(DetectorKind::ReadyWindow, PredictorKind::UpDown);
+        assert_eq!(ew.storage_bits(16), 256 + 16);
+        assert_eq!(rw.storage_bits(16), 256 + 32);
+    }
+
+    #[test]
+    fn decision_threshold_tracks_predictor() {
+        assert_eq!(
+            RowConfig::new(DetectorKind::default(), PredictorKind::UpDown).decision_threshold,
+            1
+        );
+        assert_eq!(
+            RowConfig::new(DetectorKind::default(), PredictorKind::SaturateOnContention)
+                .decision_threshold,
+            0
+        );
+    }
+
+    #[test]
+    fn cache_sets_divide() {
+        let c = CacheConfig {
+            size_bytes: 48 * 1024,
+            ways: 12,
+            hit_latency: 5,
+        };
+        assert_eq!(c.sets(), 64);
+    }
+
+    #[test]
+    fn small_config_validates() {
+        for n in [1, 2, 4, 8] {
+            SystemConfig::small(n).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut cfg = SystemConfig::small(2);
+        cfg.cores = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SystemConfig::small(2);
+        cfg.core.fetch_width = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SystemConfig::small(2);
+        cfg.mem.l1d.ways = 7; // 128 lines % 7 != 0
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn builders_apply() {
+        let cfg = SystemConfig::small(2)
+            .with_policy(AtomicPolicy::Lazy)
+            .with_fence_model(FenceModel::Fenced)
+            .with_forward_to_atomics(true);
+        assert_eq!(cfg.core.atomic_policy, AtomicPolicy::Lazy);
+        assert_eq!(cfg.core.fence_model, FenceModel::Fenced);
+        assert!(cfg.core.forward_to_atomics);
+    }
+
+    #[test]
+    fn atomic_policy_row_accessor() {
+        let row = AtomicPolicy::Row(RowConfig::best());
+        assert!(row.row().is_some());
+        assert!(AtomicPolicy::Eager.row().is_none());
+    }
+}

@@ -1,0 +1,216 @@
+//! Strongly-typed identifiers used across the simulator.
+//!
+//! Newtypes ([`CoreId`], [`Addr`], [`LineAddr`], [`Pc`]) prevent the classic
+//! cycle-vs-address-vs-index mixups that plague simulator code bases.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Size of a cache line in bytes (64 B, as in all modern x86 parts).
+pub const LINE_BYTES: u64 = 64;
+/// log2 of [`LINE_BYTES`].
+pub const LINE_SHIFT: u32 = 6;
+
+/// Identifier of a processor core (and of its hardware thread: the simulated
+/// system runs one thread per core, as the paper's 32-thread/32-core setup).
+///
+/// # Example
+/// ```
+/// use row_common::ids::CoreId;
+/// let c = CoreId::new(3);
+/// assert_eq!(c.index(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct CoreId(u16);
+
+impl CoreId {
+    /// Creates a core identifier from a raw index.
+    pub const fn new(index: u16) -> Self {
+        CoreId(index)
+    }
+
+    /// The raw index, usable for array indexing.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+impl From<u16> for CoreId {
+    fn from(v: u16) -> Self {
+        CoreId(v)
+    }
+}
+
+/// A byte address in the simulated physical address space.
+///
+/// # Example
+/// ```
+/// use row_common::ids::{Addr, LineAddr};
+/// let a = Addr::new(0x1234);
+/// assert_eq!(a.line(), LineAddr::new(0x1234 >> 6));
+/// assert_eq!(a.line_offset(), 0x34);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct Addr(u64);
+
+impl Addr {
+    /// Creates an address from a raw byte address.
+    pub const fn new(a: u64) -> Self {
+        Addr(a)
+    }
+
+    /// The raw 64-bit byte address.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The cache line this address falls in.
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 >> LINE_SHIFT)
+    }
+
+    /// Byte offset of this address within its cache line.
+    pub const fn line_offset(self) -> u64 {
+        self.0 & (LINE_BYTES - 1)
+    }
+
+    /// Returns the address advanced by `bytes`.
+    pub const fn offset(self, bytes: u64) -> Addr {
+        Addr(self.0 + bytes)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(v: u64) -> Self {
+        Addr(v)
+    }
+}
+
+/// A cache-line address (byte address divided by the 64-byte line size).
+///
+/// Coherence, cache locking, and the Atomic Queue all operate at line
+/// granularity, so this type appears wherever the directory or the AQ does.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line address from a raw line number.
+    pub const fn new(l: u64) -> Self {
+        LineAddr(l)
+    }
+
+    /// The raw line number.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The byte address of the first byte of this line.
+    pub const fn base_addr(self) -> Addr {
+        Addr(self.0 << LINE_SHIFT)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+impl From<Addr> for LineAddr {
+    fn from(a: Addr) -> Self {
+        a.line()
+    }
+}
+
+/// A program counter value, used to index the RoW contention predictor.
+///
+/// # Example
+/// ```
+/// use row_common::ids::Pc;
+/// let pc = Pc::new(0x400123);
+/// assert_eq!(pc.raw(), 0x400123);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+pub struct Pc(u64);
+
+impl Pc {
+    /// Creates a program counter from a raw value.
+    pub const fn new(pc: u64) -> Self {
+        Pc(pc)
+    }
+
+    /// The raw program-counter value.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Pc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pc:{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Pc {
+    fn from(v: u64) -> Self {
+        Pc(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_mapping_round_trips() {
+        let a = Addr::new(0xdead_beef);
+        assert_eq!(a.line().base_addr().raw(), 0xdead_beef & !63);
+        assert_eq!(a.line_offset(), 0xdead_beef & 63);
+    }
+
+    #[test]
+    fn line_of_base_addr_is_identity() {
+        for l in [0u64, 1, 7, 1 << 40] {
+            let la = LineAddr::new(l);
+            assert_eq!(la.base_addr().line(), la);
+        }
+    }
+
+    #[test]
+    fn addr_offset_advances() {
+        let a = Addr::new(100);
+        assert_eq!(a.offset(28).raw(), 128);
+    }
+
+    #[test]
+    fn display_formats_are_nonempty() {
+        assert_eq!(CoreId::new(5).to_string(), "core5");
+        assert_eq!(Addr::new(16).to_string(), "0x10");
+        assert_eq!(LineAddr::new(2).to_string(), "L0x2");
+        assert_eq!(Pc::new(3).to_string(), "pc:0x3");
+    }
+
+    #[test]
+    fn core_id_index() {
+        assert_eq!(CoreId::from(9u16).index(), 9);
+    }
+}

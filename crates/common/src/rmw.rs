@@ -1,0 +1,62 @@
+//! Read-modify-write operation vocabulary.
+//!
+//! Lives in `row-common` because both the core (near atomics, executed in
+//! the L1D under a cache lock) and the memory system (far atomics, executed
+//! at the home directory — the §VII design alternative) apply these
+//! operations to the functional word store.
+
+use serde::{Deserialize, Serialize};
+
+/// The modify operation of an atomic RMW instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum RmwKind {
+    /// Fetch-and-add: `mem += delta` (x86 `lock xadd`).
+    Faa(u64),
+    /// Unconditional exchange (x86 `xchg`).
+    Swap(u64),
+    /// Compare-and-swap (x86 `lock cmpxchg`).
+    Cas {
+        /// Value the word must hold for the swap to succeed.
+        expected: u64,
+        /// Value written on success.
+        new: u64,
+    },
+}
+
+impl RmwKind {
+    /// Applies the operation to `old`, returning `(new_value, wrote)`.
+    ///
+    /// # Example
+    /// ```
+    /// use row_common::rmw::RmwKind;
+    /// assert_eq!(RmwKind::Faa(3).apply(4), (7, true));
+    /// assert_eq!(RmwKind::Cas { expected: 1, new: 9 }.apply(0), (0, false));
+    /// ```
+    pub fn apply(self, old: u64) -> (u64, bool) {
+        match self {
+            RmwKind::Faa(d) => (old.wrapping_add(d), true),
+            RmwKind::Swap(v) => (v, true),
+            RmwKind::Cas { expected, new } => {
+                if old == expected {
+                    (new, true)
+                } else {
+                    (old, false)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn semantics() {
+        assert_eq!(RmwKind::Faa(1).apply(41), (42, true));
+        assert_eq!(RmwKind::Swap(5).apply(3), (5, true));
+        assert_eq!(RmwKind::Cas { expected: 3, new: 7 }.apply(3), (7, true));
+        assert_eq!(RmwKind::Cas { expected: 3, new: 7 }.apply(4), (4, false));
+        assert_eq!(RmwKind::Faa(1).apply(u64::MAX), (0, true), "wrapping");
+    }
+}

@@ -1,0 +1,153 @@
+//! A generic cycle-keyed event wheel.
+//!
+//! The memory system and interconnect schedule message deliveries and state
+//! transitions at absolute cycles. [`EventQueue`] is a thin deterministic
+//! priority queue: events at the same cycle pop in insertion order (FIFO), so
+//! simulation outcomes never depend on heap tie-breaking.
+
+use std::collections::BinaryHeap;
+
+use crate::clock::Cycle;
+
+/// An event queue delivering items in (cycle, insertion-order) order.
+///
+/// # Example
+/// ```
+/// use row_common::{Cycle, sched::EventQueue};
+/// let mut q = EventQueue::new();
+/// q.push(Cycle::new(10), "b");
+/// q.push(Cycle::new(5), "a");
+/// q.push(Cycle::new(10), "c");
+/// assert_eq!(q.pop_ready(Cycle::new(10)), Some("a"));
+/// assert_eq!(q.pop_ready(Cycle::new(10)), Some("b"));
+/// assert_eq!(q.pop_ready(Cycle::new(10)), Some("c"));
+/// assert_eq!(q.pop_ready(Cycle::new(10)), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Entry<T> {
+    at: Cycle,
+    seq: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert to get earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Schedules `item` for delivery at cycle `at`.
+    pub fn push(&mut self, at: Cycle, item: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, item });
+    }
+
+    /// Pops the next event whose cycle is `<= now`, if any.
+    pub fn pop_ready(&mut self, now: Cycle) -> Option<T> {
+        if self.heap.peek().is_some_and(|e| e.at <= now) {
+            Some(self.heap.pop().expect("peeked").item)
+        } else {
+            None
+        }
+    }
+
+    /// The cycle of the earliest pending event.
+    pub fn next_cycle(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_cycle_order() {
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(30), 3);
+        q.push(Cycle::new(10), 1);
+        q.push(Cycle::new(20), 2);
+        assert_eq!(q.pop_ready(Cycle::new(100)), Some(1));
+        assert_eq!(q.pop_ready(Cycle::new(100)), Some(2));
+        assert_eq!(q.pop_ready(Cycle::new(100)), Some(3));
+    }
+
+    #[test]
+    fn same_cycle_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.push(Cycle::new(5), i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop_ready(Cycle::new(5)), Some(i));
+        }
+    }
+
+    #[test]
+    fn does_not_deliver_early() {
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(10), "x");
+        assert_eq!(q.pop_ready(Cycle::new(9)), None);
+        assert_eq!(q.next_cycle(), Some(Cycle::new(10)));
+        assert_eq!(q.pop_ready(Cycle::new(10)), Some("x"));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn len_tracks_pushes_and_pops() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(Cycle::new(1), ());
+        q.push(Cycle::new(2), ());
+        assert_eq!(q.len(), 2);
+        q.pop_ready(Cycle::new(5));
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,382 @@
+//! Statistics primitives used to regenerate the paper's figures.
+//!
+//! These are deliberately simple value types: simulators mutate them on the
+//! hot path, experiment runners read them out at the end, and the benchmark
+//! harness formats them into the rows/series the paper reports.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An online mean over `u64` samples.
+///
+/// # Example
+/// ```
+/// use row_common::stats::RunningMean;
+/// let mut m = RunningMean::new();
+/// m.add(10);
+/// m.add(20);
+/// assert_eq!(m.mean(), 15.0);
+/// assert_eq!(m.count(), 2);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct RunningMean {
+    sum: u128,
+    count: u64,
+}
+
+impl RunningMean {
+    /// Creates an empty accumulator.
+    pub const fn new() -> Self {
+        RunningMean { sum: 0, count: 0 }
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, sample: u64) {
+        self.sum += sample as u128;
+        self.count += 1;
+    }
+
+    /// The mean of all samples, or 0.0 if none were added.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Number of samples.
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub const fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Merges another accumulator into this one.
+    pub fn merge(&mut self, other: &RunningMean) {
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+}
+
+/// A power-of-two-bucketed latency histogram.
+///
+/// Bucket `i` holds samples in `[2^i, 2^(i+1))` (bucket 0 holds 0 and 1).
+///
+/// # Example
+/// ```
+/// use row_common::stats::Histogram;
+/// let mut h = Histogram::new();
+/// h.add(5);
+/// h.add(300);
+/// assert_eq!(h.count(), 2);
+/// assert!(h.percentile(0.5) <= 300);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; 64],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, sample: u64) {
+        let b = (64 - sample.max(1).leading_zeros() - 1) as usize;
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum += sample as u128;
+        self.max = self.max.max(sample);
+    }
+
+    /// Number of samples.
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all samples, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest sample seen.
+    pub const fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Upper bound of the bucket containing the `q` quantile (`q` in \[0,1\]).
+    /// Returns 0 for an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target.max(1) {
+                return 1u64 << (i + 1);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// The three-segment atomic latency breakdown of Fig. 6:
+/// dispatch→issue, issue→lock, lock→unlock.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct AtomicLatencyBreakdown {
+    /// Cycles from dispatch until the atomic's memory request issues.
+    pub dispatch_to_issue: RunningMean,
+    /// Cycles from issue until the cacheline is locked in the L1D.
+    pub issue_to_lock: RunningMean,
+    /// Cycles the cacheline stays locked (lock until STU writes and unlocks).
+    pub lock_to_unlock: RunningMean,
+}
+
+impl AtomicLatencyBreakdown {
+    /// Creates an empty breakdown.
+    pub const fn new() -> Self {
+        AtomicLatencyBreakdown {
+            dispatch_to_issue: RunningMean::new(),
+            issue_to_lock: RunningMean::new(),
+            lock_to_unlock: RunningMean::new(),
+        }
+    }
+
+    /// Records one completed atomic.
+    pub fn record(&mut self, dispatch_to_issue: u64, issue_to_lock: u64, lock_to_unlock: u64) {
+        self.dispatch_to_issue.add(dispatch_to_issue);
+        self.issue_to_lock.add(issue_to_lock);
+        self.lock_to_unlock.add(lock_to_unlock);
+    }
+
+    /// Mean total dispatch→unlock latency.
+    pub fn total_mean(&self) -> f64 {
+        self.dispatch_to_issue.mean() + self.issue_to_lock.mean() + self.lock_to_unlock.mean()
+    }
+
+    /// Merges another breakdown into this one.
+    pub fn merge(&mut self, other: &AtomicLatencyBreakdown) {
+        self.dispatch_to_issue.merge(&other.dispatch_to_issue);
+        self.issue_to_lock.merge(&other.issue_to_lock);
+        self.lock_to_unlock.merge(&other.lock_to_unlock);
+    }
+}
+
+impl fmt::Display for AtomicLatencyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "d→i {:.1} | i→l {:.1} | l→u {:.1}",
+            self.dispatch_to_issue.mean(),
+            self.issue_to_lock.mean(),
+            self.lock_to_unlock.mean()
+        )
+    }
+}
+
+/// Prediction-accuracy bookkeeping for Fig. 12.
+///
+/// A prediction is *correct* when the predicted class (contended or not)
+/// matches the detector's outcome for that atomic instance.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct AccuracyCounter {
+    /// Predicted contended, detected contended.
+    pub true_contended: u64,
+    /// Predicted non-contended, detected non-contended.
+    pub true_uncontended: u64,
+    /// Predicted contended, detected non-contended.
+    pub false_contended: u64,
+    /// Predicted non-contended, detected contended.
+    pub false_uncontended: u64,
+}
+
+impl AccuracyCounter {
+    /// Creates a zeroed counter.
+    pub const fn new() -> Self {
+        AccuracyCounter {
+            true_contended: 0,
+            true_uncontended: 0,
+            false_contended: 0,
+            false_uncontended: 0,
+        }
+    }
+
+    /// Records one (prediction, outcome) pair.
+    pub fn record(&mut self, predicted_contended: bool, detected_contended: bool) {
+        match (predicted_contended, detected_contended) {
+            (true, true) => self.true_contended += 1,
+            (false, false) => self.true_uncontended += 1,
+            (true, false) => self.false_contended += 1,
+            (false, true) => self.false_uncontended += 1,
+        }
+    }
+
+    /// Total predictions recorded.
+    pub const fn total(&self) -> u64 {
+        self.true_contended + self.true_uncontended + self.false_contended + self.false_uncontended
+    }
+
+    /// Fraction of correct predictions, or 1.0 when nothing was recorded
+    /// (an app with no atomics has a vacuously perfect predictor).
+    pub fn accuracy(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            1.0
+        } else {
+            (self.true_contended + self.true_uncontended) as f64 / t as f64
+        }
+    }
+
+    /// Merges another counter into this one.
+    pub fn merge(&mut self, other: &AccuracyCounter) {
+        self.true_contended += other.true_contended;
+        self.true_uncontended += other.true_uncontended;
+        self.false_contended += other.false_contended;
+        self.false_uncontended += other.false_uncontended;
+    }
+}
+
+/// Geometric mean of a slice of ratios, ignoring non-positive entries.
+/// Returns 1.0 for an empty slice.
+pub fn geomean(values: &[f64]) -> f64 {
+    let logs: Vec<f64> = values.iter().filter(|v| **v > 0.0).map(|v| v.ln()).collect();
+    if logs.is_empty() {
+        1.0
+    } else {
+        (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_mean_basic() {
+        let mut m = RunningMean::new();
+        assert_eq!(m.mean(), 0.0);
+        m.add(4);
+        m.add(8);
+        assert_eq!(m.mean(), 6.0);
+        assert_eq!(m.count(), 2);
+        assert_eq!(m.sum(), 12);
+    }
+
+    #[test]
+    fn running_mean_merge() {
+        let mut a = RunningMean::new();
+        a.add(10);
+        let mut b = RunningMean::new();
+        b.add(20);
+        b.add(30);
+        a.merge(&b);
+        assert_eq!(a.mean(), 20.0);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_and_moments() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.add(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 1000);
+        assert!((h.mean() - 221.2).abs() < 0.01);
+    }
+
+    #[test]
+    fn histogram_zero_sample_is_accepted() {
+        let mut h = Histogram::new();
+        h.add(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn histogram_percentile_monotone() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.add(v);
+        }
+        assert!(h.percentile(0.1) <= h.percentile(0.5));
+        assert!(h.percentile(0.5) <= h.percentile(0.99));
+        assert_eq!(Histogram::new().percentile(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts() {
+        let mut a = Histogram::new();
+        a.add(10);
+        let mut b = Histogram::new();
+        b.add(20);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 20);
+    }
+
+    #[test]
+    fn breakdown_records_and_totals() {
+        let mut b = AtomicLatencyBreakdown::new();
+        b.record(10, 20, 30);
+        b.record(20, 40, 60);
+        assert_eq!(b.dispatch_to_issue.mean(), 15.0);
+        assert_eq!(b.total_mean(), 15.0 + 30.0 + 45.0);
+        assert!(!b.to_string().is_empty());
+    }
+
+    #[test]
+    fn accuracy_counts_quadrants() {
+        let mut a = AccuracyCounter::new();
+        a.record(true, true);
+        a.record(false, false);
+        a.record(true, false);
+        a.record(false, true);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.accuracy(), 0.5);
+    }
+
+    #[test]
+    fn accuracy_empty_is_perfect() {
+        assert_eq!(AccuracyCounter::new().accuracy(), 1.0);
+    }
+
+    #[test]
+    fn geomean_of_ratios() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 1.0);
+        // Non-positive entries are ignored, not propagated as NaN.
+        assert!((geomean(&[4.0, 0.0]) - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,142 @@
+//! Contention-detection rules (paper Sections IV-A, IV-B, IV-C).
+//!
+//! These are pure decision functions over the state an Atomic Queue entry
+//! carries; the CPU core invokes them when an external request snoops the AQ
+//! and when a fill arrives. Keeping them here (rather than inside the
+//! pipeline) makes each mechanism independently testable and lets the bench
+//! harness sweep them.
+
+use row_common::clock::{Cycle, TIMESTAMP_MODULUS};
+use row_common::config::DetectorKind;
+
+/// Whether an external request (invalidation/downgrade) matching an atomic's
+/// line marks the atomic contended, given the atomic's progress.
+///
+/// * Execution window (IV-A): only while the line is *locked*.
+/// * Ready window (IV-B and IV-C): as soon as the atomic's address is known
+///   (the `only-calculate-address` issue computes it even for lazy atomics).
+pub fn marks_on_external(kind: DetectorKind, address_known: bool, locked: bool) -> bool {
+    match kind {
+        DetectorKind::ExecutionWindow => locked,
+        DetectorKind::ReadyWindow | DetectorKind::ReadyWindowDir { .. } => {
+            address_known || locked
+        }
+    }
+}
+
+/// Whether a fill marks the atomic contended via the directory heuristic
+/// (IV-C): the line arrived from a remote private cache and the 14-bit
+/// request latency exceeds the threshold.
+///
+/// `issued14` is the low-14-bit timestamp latched when the GetX was sent;
+/// `fill_at` is the arrival cycle. The subtraction wraps exactly as the
+/// hardware's 14-bit unsigned subtractor does, including the documented
+/// aliasing for latencies ≥ 2^14.
+pub fn marks_on_fill(
+    kind: DetectorKind,
+    from_remote_private: bool,
+    issued14: u16,
+    fill_at: Cycle,
+) -> bool {
+    let DetectorKind::ReadyWindowDir { latency_threshold } = kind else {
+        return false;
+    };
+    if !from_remote_private {
+        return false;
+    }
+    if latency_threshold >= TIMESTAMP_MODULUS {
+        // An unreachable threshold (the Fig. 10 "inf" point) can never fire
+        // through a 14-bit comparator.
+        return false;
+    }
+    fill_at.latency_since14(issued14) > latency_threshold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EW: DetectorKind = DetectorKind::ExecutionWindow;
+    const RW: DetectorKind = DetectorKind::ReadyWindow;
+    const RWD: DetectorKind = DetectorKind::ReadyWindowDir {
+        latency_threshold: 400,
+    };
+
+    #[test]
+    fn execution_window_needs_the_lock() {
+        assert!(!marks_on_external(EW, true, false));
+        assert!(marks_on_external(EW, true, true));
+        assert!(!marks_on_external(EW, false, false));
+    }
+
+    #[test]
+    fn ready_window_extends_to_address_known() {
+        assert!(marks_on_external(RW, true, false));
+        assert!(marks_on_external(RW, true, true));
+        assert!(!marks_on_external(RW, false, false));
+        assert!(marks_on_external(RWD, true, false));
+    }
+
+    #[test]
+    fn locked_without_recorded_address_still_marks_in_rw() {
+        // A locked line implies the address was computed, but be permissive:
+        // the rule accepts either signal.
+        assert!(marks_on_external(RW, false, true));
+    }
+
+    #[test]
+    fn dir_heuristic_requires_remote_private_sender() {
+        let issue = Cycle::new(100);
+        let fill = Cycle::new(1000); // latency 900 > 400
+        assert!(marks_on_fill(RWD, true, issue.timestamp14(), fill));
+        assert!(!marks_on_fill(RWD, false, issue.timestamp14(), fill));
+    }
+
+    #[test]
+    fn dir_heuristic_respects_threshold() {
+        let issue = Cycle::new(100);
+        assert!(!marks_on_fill(RWD, true, issue.timestamp14(), Cycle::new(500))); // 400, not >
+        assert!(marks_on_fill(RWD, true, issue.timestamp14(), Cycle::new(501)));
+    }
+
+    #[test]
+    fn plain_windows_never_mark_on_fill() {
+        let issue = Cycle::new(0);
+        assert!(!marks_on_fill(EW, true, issue.timestamp14(), Cycle::new(10_000)));
+        assert!(!marks_on_fill(RW, true, issue.timestamp14(), Cycle::new(10_000)));
+    }
+
+    #[test]
+    fn zero_threshold_marks_any_remote_fill() {
+        let k = DetectorKind::ReadyWindowDir {
+            latency_threshold: 0,
+        };
+        let issue = Cycle::new(100);
+        assert!(marks_on_fill(k, true, issue.timestamp14(), Cycle::new(101)));
+    }
+
+    #[test]
+    fn infinite_threshold_degenerates_to_rw() {
+        let k = DetectorKind::ReadyWindowDir {
+            latency_threshold: u64::MAX,
+        };
+        let issue = Cycle::new(0);
+        assert!(!marks_on_fill(k, true, issue.timestamp14(), Cycle::new(1 << 20)));
+    }
+
+    #[test]
+    fn wraparound_latency_is_measured_correctly() {
+        // Issue at 16380, fill at 16900: true latency 520 > 400 despite wrap.
+        let issue = Cycle::new(16_380);
+        let fill = Cycle::new(16_900);
+        assert!(marks_on_fill(RWD, true, issue.timestamp14(), fill));
+    }
+
+    #[test]
+    fn aliased_long_latency_is_misread_as_paper_documents() {
+        // True latency 2^14 + 100 aliases to 100 < 400: not marked.
+        let issue = Cycle::new(50);
+        let fill = Cycle::new(50 + TIMESTAMP_MODULUS + 100);
+        assert!(!marks_on_fill(RWD, true, issue.timestamp14(), fill));
+    }
+}

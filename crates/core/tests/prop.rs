@@ -1,0 +1,95 @@
+//! Property tests for the RoW predictor and detectors.
+
+use proptest::prelude::*;
+use row_common::clock::{Cycle, TIMESTAMP_MODULUS};
+use row_common::config::{DetectorKind, PredictorKind, RowConfig};
+use row_common::ids::Pc;
+use row_core::detect::{marks_on_external, marks_on_fill};
+use row_core::predictor::ContentionPredictor;
+use row_core::RowEngine;
+
+proptest! {
+    /// The XOR index never leaves the table, for any PC.
+    #[test]
+    fn index_is_always_in_range(pc in any::<u64>(), entries_pow in 0u32..10) {
+        let entries = 1usize << entries_pow;
+        let p = ContentionPredictor::new(PredictorKind::UpDown, entries, 4, 1);
+        prop_assert!(p.index(Pc::new(pc)) < entries);
+    }
+
+    /// Counters stay within [0, 2^bits) under any training sequence.
+    #[test]
+    fn counters_stay_bounded(
+        kind in prop::sample::select(vec![
+            PredictorKind::UpDown,
+            PredictorKind::SaturateOnContention,
+            PredictorKind::TwoUpOneDown,
+        ]),
+        outcomes in prop::collection::vec((any::<u64>(), any::<bool>()), 1..300),
+        bits in 1u32..6,
+    ) {
+        let mut p = ContentionPredictor::new(kind, 64, bits, 1);
+        for &(pc, contended) in &outcomes {
+            p.train(Pc::new(pc), contended);
+            prop_assert!(u32::from(p.counter(Pc::new(pc))) < (1 << bits));
+        }
+    }
+
+    /// A PC trained only with contention eventually predicts lazy; trained
+    /// only without, eventually predicts eager — for every predictor kind.
+    #[test]
+    fn training_converges(
+        kind in prop::sample::select(vec![
+            PredictorKind::UpDown,
+            PredictorKind::SaturateOnContention,
+            PredictorKind::TwoUpOneDown,
+        ]),
+        pc in any::<u64>(),
+    ) {
+        let mut row = RowEngine::new(RowConfig::new(DetectorKind::rw_dir_default(), kind));
+        for _ in 0..20 {
+            row.complete(Pc::new(pc), false, true);
+        }
+        prop_assert!(row.predicts_contended(Pc::new(pc)));
+        for _ in 0..20 {
+            row.complete(Pc::new(pc), true, false);
+        }
+        prop_assert!(!row.predicts_contended(Pc::new(pc)));
+    }
+
+    /// The ready window strictly contains the execution window: anything EW
+    /// marks, RW marks too.
+    #[test]
+    fn rw_window_contains_ew(addr_known in any::<bool>(), locked in any::<bool>()) {
+        if marks_on_external(DetectorKind::ExecutionWindow, addr_known, locked) {
+            prop_assert!(marks_on_external(DetectorKind::ReadyWindow, addr_known, locked));
+        }
+    }
+
+    /// The fill heuristic fires iff the sender is remote-private and the
+    /// 14-bit latency exceeds the threshold.
+    #[test]
+    fn fill_rule_matches_definition(
+        issue in 0u64..1u64<<30,
+        delta in 0u64..1u64<<15,
+        threshold in 0u64..2_000,
+        remote in any::<bool>(),
+    ) {
+        let k = DetectorKind::ReadyWindowDir { latency_threshold: threshold };
+        let fires = marks_on_fill(k, remote, Cycle::new(issue).timestamp14(), Cycle::new(issue + delta));
+        let expected = remote && (delta % TIMESTAMP_MODULUS) > threshold;
+        prop_assert_eq!(fires, expected);
+    }
+
+    /// Accuracy counters always partition the total.
+    #[test]
+    fn accuracy_partitions(outcomes in prop::collection::vec((any::<bool>(), any::<bool>()), 0..200)) {
+        let mut row = RowEngine::new(RowConfig::best());
+        for &(p, d) in &outcomes {
+            row.complete(Pc::new(0x10), p, d);
+        }
+        let a = row.accuracy();
+        prop_assert_eq!(a.total() as usize, outcomes.len());
+        prop_assert!(a.accuracy() >= 0.0 && a.accuracy() <= 1.0);
+    }
+}

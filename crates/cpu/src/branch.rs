@@ -1,0 +1,291 @@
+//! TAGE-lite branch direction predictor.
+//!
+//! Table I specifies TAGE-SC-L; the statistical corrector and loop predictor
+//! contribute accuracy that is irrelevant to atomic-instruction timing, so we
+//! implement the TAGE core: a bimodal base predictor plus four tagged tables
+//! indexed by geometrically increasing global-history lengths, with the
+//! standard provider/altpred, useful-bit, and allocation-on-mispredict rules.
+
+use row_common::ids::Pc;
+
+const BIMODAL_BITS: usize = 12; // 4096 entries
+const TAGGED_ENTRIES_BITS: usize = 10; // 1024 entries per table
+const TAG_BITS: u32 = 8;
+const HISTORIES: [usize; 4] = [8, 24, 64, 128];
+
+#[derive(Clone, Copy, Debug, Default)]
+struct TaggedEntry {
+    tag: u16,
+    ctr: i8, // -4..=3, taken when >= 0
+    useful: u8,
+}
+
+/// A global-history register holding the last 128 branch outcomes.
+#[derive(Clone, Copy, Debug, Default)]
+struct History {
+    bits: u128,
+}
+
+impl History {
+    fn push(&mut self, taken: bool) {
+        self.bits = (self.bits << 1) | (taken as u128);
+    }
+
+    fn folded(&self, length: usize, out_bits: usize) -> u64 {
+        let mask = if length >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << length) - 1
+        };
+        let mut h = self.bits & mask;
+        let mut acc: u64 = 0;
+        while h != 0 {
+            acc ^= (h as u64) & ((1u64 << out_bits) - 1);
+            h >>= out_bits;
+        }
+        acc
+    }
+}
+
+/// TAGE-lite predictor.
+///
+/// # Example
+/// ```
+/// use row_common::ids::Pc;
+/// use row_cpu::branch::TageLite;
+///
+/// let mut bp = TageLite::new();
+/// let pc = Pc::new(0x400);
+/// for _ in 0..100 {
+///     let pred = bp.predict(pc);
+///     bp.update(pc, true, pred);
+/// }
+/// assert!(bp.predict(pc)); // learned always-taken
+/// ```
+#[derive(Clone, Debug)]
+pub struct TageLite {
+    bimodal: Vec<i8>, // 2-bit counters, taken when >= 0 (-2..=1)
+    tables: Vec<Vec<TaggedEntry>>,
+    hist: History,
+    /// Deterministic LFSR for the allocation tie-break.
+    lfsr: u32,
+    stats: BranchStats,
+}
+
+/// Branch-prediction counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct BranchStats {
+    /// Predictions made.
+    pub predictions: u64,
+    /// Mispredictions.
+    pub mispredictions: u64,
+}
+
+impl BranchStats {
+    /// Misprediction rate in [0, 1].
+    pub fn mpki_rate(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.predictions as f64
+        }
+    }
+}
+
+impl TageLite {
+    /// Creates a predictor with cleared tables.
+    pub fn new() -> Self {
+        TageLite {
+            bimodal: vec![0; 1 << BIMODAL_BITS],
+            tables: HISTORIES
+                .iter()
+                .map(|_| vec![TaggedEntry::default(); 1 << TAGGED_ENTRIES_BITS])
+                .collect(),
+            hist: History::default(),
+            lfsr: 0xace1,
+            stats: BranchStats::default(),
+        }
+    }
+
+    fn index(&self, pc: Pc, t: usize) -> usize {
+        let h = self.hist.folded(HISTORIES[t], TAGGED_ENTRIES_BITS);
+        ((pc.raw() ^ (pc.raw() >> TAGGED_ENTRIES_BITS as u64) ^ h) as usize)
+            & ((1 << TAGGED_ENTRIES_BITS) - 1)
+    }
+
+    fn tag(&self, pc: Pc, t: usize) -> u16 {
+        let h = self.hist.folded(HISTORIES[t], TAG_BITS as usize);
+        (((pc.raw() >> 2) ^ h ^ (h << 1)) & ((1 << TAG_BITS) - 1)) as u16
+    }
+
+    fn bimodal_index(&self, pc: Pc) -> usize {
+        (pc.raw() as usize >> 2) & ((1 << BIMODAL_BITS) - 1)
+    }
+
+    fn provider(&self, pc: Pc) -> Option<(usize, usize)> {
+        for t in (0..self.tables.len()).rev() {
+            let i = self.index(pc, t);
+            if self.tables[t][i].tag == self.tag(pc, t) {
+                return Some((t, i));
+            }
+        }
+        None
+    }
+
+    /// Predicts the direction of the branch at `pc`.
+    pub fn predict(&self, pc: Pc) -> bool {
+        match self.provider(pc) {
+            Some((t, i)) => self.tables[t][i].ctr >= 0,
+            None => self.bimodal[self.bimodal_index(pc)] >= 0,
+        }
+    }
+
+    fn rand_bit(&mut self) -> bool {
+        let bit = (self.lfsr ^ (self.lfsr >> 2) ^ (self.lfsr >> 3) ^ (self.lfsr >> 5)) & 1;
+        self.lfsr = (self.lfsr >> 1) | (bit << 15);
+        bit == 1
+    }
+
+    /// Updates the predictor with the architectural outcome. `predicted` is
+    /// the direction [`TageLite::predict`] returned for this instance.
+    pub fn update(&mut self, pc: Pc, taken: bool, predicted: bool) {
+        self.stats.predictions += 1;
+        if predicted != taken {
+            self.stats.mispredictions += 1;
+        }
+        match self.provider(pc) {
+            Some((t, i)) => {
+                let correct = (self.tables[t][i].ctr >= 0) == taken;
+                let e = &mut self.tables[t][i];
+                e.ctr = (e.ctr + if taken { 1 } else { -1 }).clamp(-4, 3);
+                if correct {
+                    e.useful = (e.useful + 1).min(3);
+                } else {
+                    e.useful = e.useful.saturating_sub(1);
+                    // Allocate in a longer-history table.
+                    self.allocate(pc, taken, t + 1);
+                }
+            }
+            None => {
+                let i = self.bimodal_index(pc);
+                self.bimodal[i] = (self.bimodal[i] + if taken { 1 } else { -1 }).clamp(-2, 1);
+                if (self.bimodal[i] >= 0) != taken && predicted != taken {
+                    self.allocate(pc, taken, 0);
+                }
+            }
+        }
+        self.hist.push(taken);
+    }
+
+    fn allocate(&mut self, pc: Pc, taken: bool, from: usize) {
+        if from >= self.tables.len() {
+            return;
+        }
+        // Probabilistically pick among candidate tables with useful == 0.
+        for t in from..self.tables.len() {
+            let i = self.index(pc, t);
+            let tag = self.tag(pc, t);
+            if self.tables[t][i].useful == 0 {
+                if t + 1 < self.tables.len() && self.rand_bit() {
+                    continue; // sometimes skip to a longer table
+                }
+                self.tables[t][i] = TaggedEntry {
+                    tag,
+                    ctr: if taken { 0 } else { -1 },
+                    useful: 0,
+                };
+                return;
+            }
+        }
+        // No free slot: age useful bits along the way.
+        for t in from..self.tables.len() {
+            let i = self.index(pc, t);
+            self.tables[t][i].useful = self.tables[t][i].useful.saturating_sub(1);
+        }
+    }
+
+    /// Prediction counters.
+    pub fn stats(&self) -> &BranchStats {
+        &self.stats
+    }
+}
+
+impl Default for TageLite {
+    fn default() -> Self {
+        TageLite::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn train(bp: &mut TageLite, pc: Pc, pattern: &[bool], reps: usize) -> f64 {
+        let mut wrong = 0usize;
+        let mut total = 0usize;
+        for _ in 0..reps {
+            for &o in pattern {
+                let p = bp.predict(pc);
+                if p != o {
+                    wrong += 1;
+                }
+                bp.update(pc, o, p);
+                total += 1;
+            }
+        }
+        wrong as f64 / total as f64
+    }
+
+    #[test]
+    fn learns_always_taken() {
+        let mut bp = TageLite::new();
+        let rate = train(&mut bp, Pc::new(0x100), &[true], 200);
+        assert!(rate < 0.05, "misprediction rate {rate}");
+    }
+
+    #[test]
+    fn learns_alternating_pattern_via_history() {
+        let mut bp = TageLite::new();
+        let rate = train(&mut bp, Pc::new(0x200), &[true, false], 500);
+        assert!(rate < 0.2, "misprediction rate {rate}");
+    }
+
+    #[test]
+    fn learns_short_loop_pattern() {
+        // taken x7, not-taken x1 (an 8-iteration loop).
+        let mut bp = TageLite::new();
+        let mut pat = vec![true; 7];
+        pat.push(false);
+        let rate = train(&mut bp, Pc::new(0x300), &pat, 300);
+        assert!(rate < 0.15, "misprediction rate {rate}");
+    }
+
+    #[test]
+    fn random_pattern_is_hard() {
+        let mut bp = TageLite::new();
+        let mut rng = row_common::rng::SplitMix64::new(11);
+        let pat: Vec<bool> = (0..64).map(|_| rng.chance(0.5)).collect();
+        // Even "random" fixed patterns get partially memorized, but early
+        // accuracy should be near chance — just assert it runs and counts.
+        let _ = train(&mut bp, Pc::new(0x400), &pat, 10);
+        assert_eq!(bp.stats().predictions, 640);
+    }
+
+    #[test]
+    fn distinct_branches_do_not_destructively_interfere() {
+        let mut bp = TageLite::new();
+        let r1 = train(&mut bp, Pc::new(0x1000), &[true], 100);
+        let r2 = train(&mut bp, Pc::new(0x2004), &[false], 100);
+        assert!(r1 < 0.1 && r2 < 0.1, "{r1} {r2}");
+    }
+
+    #[test]
+    fn stats_rate() {
+        let s = BranchStats {
+            predictions: 100,
+            mispredictions: 7,
+        };
+        assert!((s.mpki_rate() - 0.07).abs() < 1e-12);
+        assert_eq!(BranchStats::default().mpki_rate(), 0.0);
+    }
+}

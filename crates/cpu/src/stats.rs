@@ -1,0 +1,126 @@
+//! Per-core statistics: everything the paper's figures need.
+
+use row_common::stats::{AtomicLatencyBreakdown, RunningMean};
+use row_common::Cycle;
+
+/// Counters and accumulators gathered by one core over a run.
+#[derive(Clone, Debug, Default)]
+pub struct CoreStats {
+    /// Instructions committed.
+    pub committed: u64,
+    /// Atomic RMWs committed.
+    pub atomics: u64,
+    /// Atomics whose detector marked them contended.
+    pub contended_atomics: u64,
+    /// Atomics that executed eager (includes locality-override flips).
+    pub atomics_eager: u64,
+    /// Atomics that executed lazy.
+    pub atomics_lazy: u64,
+    /// Atomics that received data via store→atomic forwarding.
+    pub atomics_forwarded: u64,
+    /// Predicted-lazy atomics flipped eager by the locality override.
+    pub locality_overrides: u64,
+    /// Loads served by store→load forwarding from the SB.
+    pub loads_forwarded: u64,
+    /// Memory-order violations (load squashes trained into StoreSet).
+    pub violations: u64,
+    /// Loads squashed by external invalidations (TSO consistency).
+    pub inv_squashes: u64,
+    /// Deadlock-breaker firings (locked atomic squashed and retried lazy).
+    pub deadlock_breaks: u64,
+    /// Lock re-acquisitions: an atomic's line was stolen while it waited for
+    /// older atomics to lock first (in-order lock acquisition).
+    pub lock_reacquires: u64,
+    /// Fig. 6 latency breakdown of committed atomics.
+    pub breakdown: AtomicLatencyBreakdown,
+    /// Fig. 4, first bar: instructions older than an atomic not yet executed
+    /// when the atomic issued its memory request.
+    pub older_unexecuted_at_issue: RunningMean,
+    /// Fig. 4, second bar: instructions younger than an atomic that had
+    /// already started executing when the atomic issued.
+    pub younger_started_at_issue: RunningMean,
+    /// Cycle this core finished its parallel phase (trace drained and
+    /// pipeline empty).
+    pub finished_at: Option<Cycle>,
+}
+
+impl CoreStats {
+    /// Atomics per 10 000 committed instructions (Fig. 5, left axis).
+    pub fn atomics_per_10k(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.atomics as f64 * 10_000.0 / self.committed as f64
+        }
+    }
+
+    /// Fraction of atomics detected contended (Fig. 5, right axis).
+    pub fn contended_fraction(&self) -> f64 {
+        if self.atomics == 0 {
+            0.0
+        } else {
+            self.contended_atomics as f64 / self.atomics as f64
+        }
+    }
+
+    /// Merges another core's stats into this one (for whole-app aggregates).
+    pub fn merge(&mut self, other: &CoreStats) {
+        self.committed += other.committed;
+        self.atomics += other.atomics;
+        self.contended_atomics += other.contended_atomics;
+        self.atomics_eager += other.atomics_eager;
+        self.atomics_lazy += other.atomics_lazy;
+        self.atomics_forwarded += other.atomics_forwarded;
+        self.locality_overrides += other.locality_overrides;
+        self.loads_forwarded += other.loads_forwarded;
+        self.violations += other.violations;
+        self.inv_squashes += other.inv_squashes;
+        self.deadlock_breaks += other.deadlock_breaks;
+        self.lock_reacquires += other.lock_reacquires;
+        self.breakdown.merge(&other.breakdown);
+        self.older_unexecuted_at_issue
+            .merge(&other.older_unexecuted_at_issue);
+        self.younger_started_at_issue
+            .merge(&other.younger_started_at_issue);
+        self.finished_at = match (self.finished_at, other.finished_at) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates() {
+        let s = CoreStats {
+            committed: 20_000,
+            atomics: 10,
+            contended_atomics: 4,
+            ..CoreStats::default()
+        };
+        assert!((s.atomics_per_10k() - 5.0).abs() < 1e-12);
+        assert!((s.contended_fraction() - 0.4).abs() < 1e-12);
+        assert_eq!(CoreStats::default().atomics_per_10k(), 0.0);
+        assert_eq!(CoreStats::default().contended_fraction(), 0.0);
+    }
+
+    #[test]
+    fn merge_takes_latest_finish() {
+        let mut a = CoreStats {
+            finished_at: Some(Cycle::new(10)),
+            committed: 1,
+            ..CoreStats::default()
+        };
+        let b = CoreStats {
+            finished_at: Some(Cycle::new(30)),
+            committed: 2,
+            ..CoreStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.finished_at, Some(Cycle::new(30)));
+        assert_eq!(a.committed, 3);
+    }
+}

@@ -1,0 +1,683 @@
+//! End-to-end pipeline tests: one or two cores driving the real memory
+//! system, exercising commits, forwarding, atomics in all three disciplines,
+//! fences, and cross-core contention.
+
+use row_common::config::{AtomicPolicy, FenceModel, RowConfig};
+use row_common::ids::{Addr, CoreId, Pc};
+use row_common::{Cycle, SystemConfig};
+use row_cpu::instr::{Instr, Op, RmwKind, VecStream};
+use row_cpu::Core;
+use row_mem::MemorySystem;
+
+const LIMIT: u64 = 400_000;
+
+fn run_single(cfg: &SystemConfig, prog: Vec<Instr>) -> (Core, MemorySystem, Cycle) {
+    let mut mem = MemorySystem::new(cfg);
+    let mut core = Core::new(
+        CoreId::new(0),
+        cfg.core,
+        cfg.mem.l1d.hit_latency,
+        Box::new(VecStream::new(prog)),
+    );
+    core.record_loads();
+    let mut now = Cycle::ZERO;
+    while !core.finished() && now.raw() < LIMIT {
+        for ev in mem.tick(now) {
+            core.handle_mem_event(&ev, now, &mut mem);
+        }
+        core.cycle(now, &mut mem);
+        now += 1;
+    }
+    assert!(core.finished(), "core did not drain within {LIMIT} cycles");
+    (core, mem, now)
+}
+
+fn run_pair(cfg: &SystemConfig, progs: [Vec<Instr>; 2]) -> (Vec<Core>, MemorySystem, Cycle) {
+    let mut mem = MemorySystem::new(cfg);
+    let mut cores: Vec<Core> = progs
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| {
+            Core::new(
+                CoreId::new(i as u16),
+                cfg.core,
+                cfg.mem.l1d.hit_latency,
+                Box::new(VecStream::new(p)),
+            )
+        })
+        .collect();
+    let mut now = Cycle::ZERO;
+    while cores.iter().any(|c| !c.finished()) && now.raw() < LIMIT {
+        for ev in mem.tick(now) {
+            let target = match ev {
+                row_mem::MemEvent::Fill { core, .. } => core,
+                row_mem::MemEvent::FarDone { core, .. } => core,
+                row_mem::MemEvent::ExternalObserved { core, .. } => core,
+            };
+            cores[target.index()].handle_mem_event(&ev, now, &mut mem);
+        }
+        for c in cores.iter_mut() {
+            c.cycle(now, &mut mem);
+        }
+        now += 1;
+    }
+    assert!(
+        cores.iter().all(|c| c.finished()),
+        "cores did not drain within {LIMIT} cycles"
+    );
+    (cores, mem, now)
+}
+
+fn alu(pc: u64) -> Instr {
+    Instr::simple(Pc::new(pc), Op::Alu { latency: 1 })
+}
+
+fn load(pc: u64, addr: u64) -> Instr {
+    Instr::simple(Pc::new(pc), Op::Load { addr: Addr::new(addr) })
+}
+
+fn store(pc: u64, addr: u64, v: u64) -> Instr {
+    Instr::simple(
+        Pc::new(pc),
+        Op::Store {
+            addr: Addr::new(addr),
+            value: Some(v),
+        },
+    )
+}
+
+fn faa(pc: u64, addr: u64, d: u64) -> Instr {
+    Instr::simple(
+        Pc::new(pc),
+        Op::Atomic {
+            rmw: RmwKind::Faa(d),
+            addr: Addr::new(addr),
+        },
+    )
+}
+
+#[test]
+fn alu_program_commits_everything() {
+    let cfg = SystemConfig::small(1);
+    let prog: Vec<Instr> = (0..100).map(|i| alu(i * 4)).collect();
+    let (core, _, _) = run_single(&cfg, prog);
+    assert_eq!(core.stats().committed, 100);
+}
+
+#[test]
+fn dependent_alu_chain_is_serialized() {
+    let cfg = SystemConfig::small(1);
+    // 50 independent ALUs vs 50 chained ALUs: the chain must take longer.
+    let indep: Vec<Instr> = (0..50).map(|i| alu(i * 4)).collect();
+    let (_, _, t_indep) = run_single(&cfg, indep);
+    let chain: Vec<Instr> = (0..50)
+        .map(|i| alu(i * 4).with_srcs(Some(1), None).with_dst(1))
+        .collect();
+    let (_, _, t_chain) = run_single(&cfg, chain);
+    assert!(
+        t_chain.raw() > t_indep.raw() + 30,
+        "chain {t_chain} vs indep {t_indep}"
+    );
+}
+
+#[test]
+fn stores_write_functionally_in_order() {
+    let cfg = SystemConfig::small(1);
+    let prog = vec![
+        store(0, 0x100, 1),
+        store(4, 0x100, 2),
+        store(8, 0x200, 9),
+    ];
+    let (_, mem, _) = run_single(&cfg, prog);
+    assert_eq!(mem.read_word(Addr::new(0x100)), 2);
+    assert_eq!(mem.read_word(Addr::new(0x200)), 9);
+}
+
+#[test]
+fn load_observes_forwarded_store_value() {
+    let cfg = SystemConfig::small(1);
+    let prog = vec![store(0, 0x300, 77), load(4, 0x300)];
+    let (core, _, _) = run_single(&cfg, prog);
+    assert_eq!(core.stats().loads_forwarded, 1);
+    let obs = core.load_observations();
+    assert_eq!(obs.len(), 1);
+    assert_eq!(obs[0].value, 77);
+}
+
+#[test]
+fn load_from_memory_observes_prior_run_value() {
+    let cfg = SystemConfig::small(1);
+    let mut mem = MemorySystem::new(&cfg);
+    mem.write_word(Addr::new(0x400), 1234);
+    let mut core = Core::new(
+        CoreId::new(0),
+        cfg.core,
+        cfg.mem.l1d.hit_latency,
+        Box::new(VecStream::new(vec![load(0, 0x400)])),
+    );
+    core.record_loads();
+    let mut now = Cycle::ZERO;
+    while !core.finished() && now.raw() < LIMIT {
+        for ev in mem.tick(now) {
+            core.handle_mem_event(&ev, now, &mut mem);
+        }
+        core.cycle(now, &mut mem);
+        now += 1;
+    }
+    assert_eq!(core.load_observations()[0].value, 1234);
+}
+
+#[test]
+fn single_atomic_rmw_applies() {
+    let cfg = SystemConfig::small(1);
+    let (core, mem, _) = run_single(&cfg, vec![faa(0, 0x1000, 5)]);
+    assert_eq!(mem.read_word(Addr::new(0x1000)), 5);
+    assert_eq!(core.stats().atomics, 1);
+    assert_eq!(core.stats().atomics_eager, 1);
+    assert!(!mem.is_locked(CoreId::new(0), Addr::new(0x1000).line()));
+}
+
+#[test]
+fn repeated_atomics_accumulate() {
+    let cfg = SystemConfig::small(1);
+    let prog: Vec<Instr> = (0..20).map(|_| faa(0x40, 0x1000, 1)).collect();
+    let (core, mem, _) = run_single(&cfg, prog);
+    assert_eq!(mem.read_word(Addr::new(0x1000)), 20);
+    assert_eq!(core.stats().atomics, 20);
+}
+
+#[test]
+fn cas_success_and_failure() {
+    let cfg = SystemConfig::small(1);
+    let prog = vec![
+        Instr::simple(
+            Pc::new(0),
+            Op::Atomic {
+                rmw: RmwKind::Cas { expected: 0, new: 7 },
+                addr: Addr::new(0x2000),
+            },
+        ),
+        Instr::simple(
+            Pc::new(4),
+            Op::Atomic {
+                rmw: RmwKind::Cas { expected: 0, new: 9 },
+                addr: Addr::new(0x2000),
+            },
+        ),
+    ];
+    let (_, mem, _) = run_single(&cfg, prog);
+    assert_eq!(mem.read_word(Addr::new(0x2000)), 7, "second CAS must fail");
+}
+
+#[test]
+fn lazy_policy_counts_lazy_and_matches_result() {
+    let cfg = SystemConfig::small(1).with_policy(AtomicPolicy::Lazy);
+    let prog = vec![store(0, 0x5000, 1), faa(4, 0x6000, 3)];
+    let (core, mem, _) = run_single(&cfg, prog);
+    assert_eq!(mem.read_word(Addr::new(0x6000)), 3);
+    assert_eq!(core.stats().atomics_lazy, 1);
+    // The lazy atomic issued after dispatch with a visible wait.
+    assert!(core.stats().breakdown.dispatch_to_issue.mean() > 0.0);
+}
+
+#[test]
+fn lazy_atomic_issues_after_older_store_drains() {
+    // Older store misses (cold line): the lazy atomic must wait for the full
+    // drain, so its dispatch→issue latency exceeds the eager one's.
+    let prog = || vec![store(0, 0x7000, 1), faa(4, 0x8000, 1)];
+    let eager_cfg = SystemConfig::small(1).with_policy(AtomicPolicy::Eager);
+    let lazy_cfg = SystemConfig::small(1).with_policy(AtomicPolicy::Lazy);
+    let (ecore, _, _) = run_single(&eager_cfg, prog());
+    let (lcore, _, _) = run_single(&lazy_cfg, prog());
+    let e_wait = ecore.stats().breakdown.dispatch_to_issue.mean();
+    let l_wait = lcore.stats().breakdown.dispatch_to_issue.mean();
+    assert!(
+        l_wait > e_wait + 50.0,
+        "lazy dispatch→issue {l_wait} vs eager {e_wait}"
+    );
+}
+
+#[test]
+fn mfence_serializes_independent_loads() {
+    // Two independent cold loads: with an mfence between them the second
+    // can't overlap the first's miss latency.
+    let cfg = SystemConfig::small(1);
+    let free = vec![load(0, 0x10000), load(4, 0x20000)];
+    let fenced = vec![
+        load(0, 0x10000),
+        Instr::simple(Pc::new(8), Op::Fence),
+        load(4, 0x20000),
+    ];
+    let (_, _, t_free) = run_single(&cfg, free);
+    let (_, _, t_fenced) = run_single(&cfg, fenced);
+    assert!(
+        t_fenced.raw() > t_free.raw() + 100,
+        "fenced {t_fenced} vs free {t_free}"
+    );
+}
+
+#[test]
+fn fenced_core_model_serializes_atomics() {
+    // Unfenced atomics overlap their miss latency with neighbours; fenced
+    // atomics serialize. Interleave atomics with independent cold loads.
+    let prog = || {
+        let mut p = Vec::new();
+        for i in 0..8u64 {
+            p.push(load(i * 16, 0x100_000 + i * 4096));
+            p.push(faa(8 + i * 16, 0x200_000 + i * 4096, 1));
+        }
+        p
+    };
+    let unfenced = SystemConfig::small(1).with_fence_model(FenceModel::Unfenced);
+    let fenced = SystemConfig::small(1).with_fence_model(FenceModel::Fenced);
+    let (_, _, t_u) = run_single(&unfenced, prog());
+    let (_, _, t_f) = run_single(&fenced, prog());
+    assert!(
+        t_f.raw() as f64 > t_u.raw() as f64 * 1.5,
+        "fenced {t_f} vs unfenced {t_u}"
+    );
+}
+
+#[test]
+fn branch_heavy_code_still_commits_all() {
+    let cfg = SystemConfig::small(1);
+    let mut prog = Vec::new();
+    for i in 0..200u64 {
+        prog.push(alu(i * 16));
+        prog.push(Instr::simple(
+            Pc::new(i * 16 + 4),
+            Op::Branch { taken: i % 3 == 0 },
+        ));
+    }
+    let (core, _, _) = run_single(&cfg, prog);
+    assert_eq!(core.stats().committed, 400);
+    assert!(core.branch_stats().predictions >= 200);
+}
+
+#[test]
+fn two_cores_atomics_are_linearizable() {
+    let cfg = SystemConfig::small(2);
+    let per_core = 30u64;
+    let prog: Vec<Instr> = (0..per_core).map(|_| faa(0x40, 0xbeef00, 1)).collect();
+    let (cores, mem, _) = run_pair(&cfg, [prog.clone(), prog]);
+    assert_eq!(
+        mem.read_word(Addr::new(0xbeef00)),
+        2 * per_core,
+        "every FAA must be applied exactly once"
+    );
+    let total: u64 = cores.iter().map(|c| c.stats().atomics).sum();
+    assert_eq!(total, 2 * per_core);
+}
+
+#[test]
+fn contended_atomics_are_detected() {
+    let cfg = SystemConfig::small(2);
+    let prog: Vec<Instr> = (0..40).map(|_| faa(0x40, 0xcafe00, 1)).collect();
+    let (cores, _, _) = run_pair(&cfg, [prog.clone(), prog]);
+    let contended: u64 = cores.iter().map(|c| c.stats().contended_atomics).sum();
+    assert!(
+        contended >= 10,
+        "hot-line atomics should be detected contended, got {contended}"
+    );
+}
+
+#[test]
+fn row_learns_to_run_contended_atomics_lazy() {
+    let row_cfg = RowConfig::best().with_locality_override(false);
+    let cfg = SystemConfig::small(2).with_policy(AtomicPolicy::Row(row_cfg));
+    let prog: Vec<Instr> = (0..60).map(|_| faa(0x80, 0xdead00, 1)).collect();
+    let (cores, mem, _) = run_pair(&cfg, [prog.clone(), prog]);
+    assert_eq!(mem.read_word(Addr::new(0xdead00)), 120);
+    let lazy: u64 = cores.iter().map(|c| c.stats().atomics_lazy).sum();
+    assert!(lazy >= 20, "RoW should shift contended atomics lazy, got {lazy}");
+    let acc = cores[0].row_accuracy().expect("RoW runs track accuracy");
+    assert!(acc.total() > 0);
+}
+
+#[test]
+fn row_keeps_private_atomics_eager() {
+    let cfg =
+        SystemConfig::small(2).with_policy(AtomicPolicy::Row(RowConfig::best()));
+    // Each core pounds its own line: no contention, everything stays eager.
+    let prog0: Vec<Instr> = (0..40).map(|_| faa(0x80, 0x111100, 1)).collect();
+    let prog1: Vec<Instr> = (0..40).map(|_| faa(0x84, 0x222200, 1)).collect();
+    let (cores, _, _) = run_pair(&cfg, [prog0, prog1]);
+    for c in &cores {
+        assert_eq!(c.stats().atomics_lazy, 0, "no contention -> no lazy");
+    }
+}
+
+#[test]
+fn store_to_atomic_forwarding_is_counted() {
+    let mut cfg = SystemConfig::small(1).with_forward_to_atomics(true);
+    cfg.core.atomic_policy = AtomicPolicy::Eager;
+    let prog = vec![store(0, 0x9000, 4), faa(4, 0x9000, 1)];
+    let (core, mem, _) = run_single(&cfg, prog);
+    // Functional order preserved: store then FAA.
+    assert_eq!(mem.read_word(Addr::new(0x9000)), 5);
+    assert_eq!(core.stats().atomics_forwarded, 1);
+}
+
+#[test]
+fn determinism_across_runs() {
+    let cfg = SystemConfig::small(2).with_policy(AtomicPolicy::Row(RowConfig::best()));
+    let mk = || {
+        let mut p = Vec::new();
+        for i in 0..50u64 {
+            p.push(store(i * 20, 0x4000 + i * 64, i));
+            p.push(faa(4 + i * 20, 0xfeed00, 1));
+            p.push(load(8 + i * 20, 0x4000 + i * 64));
+        }
+        p
+    };
+    let (c1, _, t1) = run_pair(&cfg, [mk(), mk()]);
+    let (c2, _, t2) = run_pair(&cfg, [mk(), mk()]);
+    assert_eq!(t1, t2, "identical inputs must give identical cycle counts");
+    assert_eq!(c1[0].stats().committed, c2[0].stats().committed);
+    assert_eq!(c1[1].stats().atomics, c2[1].stats().atomics);
+}
+
+#[test]
+fn atomic_breakdown_timestamps_are_sane() {
+    let cfg = SystemConfig::small(1);
+    let (core, _, _) = run_single(&cfg, vec![faa(0, 0xaaa000, 1)]);
+    let b = &core.stats().breakdown;
+    assert_eq!(b.dispatch_to_issue.count(), 1);
+    assert!(b.issue_to_lock.mean() > 0.0, "cold miss: lock takes time");
+    assert!(b.lock_to_unlock.mean() > 0.0);
+}
+
+#[test]
+fn fig4_probes_record_on_issue() {
+    let cfg = SystemConfig::small(1);
+    let mut prog: Vec<Instr> = (0..30).map(|i| alu(i * 4)).collect();
+    prog.push(faa(0x800, 0xbbb000, 1));
+    let (core, _, _) = run_single(&cfg, prog);
+    assert_eq!(core.stats().older_unexecuted_at_issue.count(), 1);
+    assert_eq!(core.stats().younger_started_at_issue.count(), 1);
+}
+
+#[test]
+fn cross_core_store_atomic_deadlock_is_broken() {
+    // core0: store(L2); faa(L1)   core1: store(L1); faa(L2)
+    // Each atomic locks its line eagerly while the older store needs the
+    // line the *other* core holds locked — a genuine hold-and-wait cycle
+    // that only the deadlock breaker can resolve.
+    let l1 = 0x111_0000u64;
+    let l2 = 0x222_0000u64;
+    let cfg = SystemConfig::small(2);
+    let p0 = vec![store(0x10, l2, 1), faa(0x14, l1, 1)];
+    let p1 = vec![store(0x20, l1, 2), faa(0x24, l2, 1)];
+    let (cores, mem, _) = run_pair(&cfg, [p0, p1]);
+    // Cross-core order is unconstrained: each line ends with either
+    // store-then-faa or faa-then-store applied.
+    let v1 = mem.read_word(Addr::new(l1));
+    let v2 = mem.read_word(Addr::new(l2));
+    assert!(v1 == 2 || v1 == 3, "l1 = {v1}");
+    assert!(v2 == 1 || v2 == 2, "l2 = {v2}");
+    let atomics: u64 = cores.iter().map(|c| c.stats().atomics).sum();
+    assert_eq!(atomics, 2, "both atomics must complete (no livelock)");
+}
+
+#[test]
+fn invalidation_squashes_speculative_load() {
+    // core0: a long cold load delays commit while a younger load to X
+    // completes speculatively; core1 then writes X, invalidating core0's
+    // copy — the speculative load must squash and replay (TSO).
+    let x = 0x333_0000u64;
+    let cfg = SystemConfig::small(2);
+    // Warm X into core0 first so the speculative load completes instantly;
+    // a chain of dependent cold misses then blocks core0's commit for ~600+
+    // cycles, leaving a wide window for core1's invalidation to land.
+    let p0 = vec![
+        load(0x08, x).with_dst(2), // warm (will commit)
+        load(0x10, 0x444_0000).with_dst(3), // cold miss
+        load(0x12, 0x445_0000).with_srcs(Some(3), None).with_dst(4), // chained cold miss
+        load(0x13, 0x446_0000).with_srcs(Some(4), None).with_dst(5), // chained cold miss
+        load(0x14, x), // speculative hit behind the misses
+        alu(0x18),
+    ];
+    let p1 = vec![
+        store(0x24, x, 9), // drains after its GetX (~300 cycles in)
+        faa(0x28, 0x666_0000, 1), // padding to keep the core busy
+    ];
+    let (cores, _, _) = run_pair(&cfg, [p0, p1]);
+    assert_eq!(cores[0].stats().committed, 6);
+    assert!(
+        cores[0].stats().inv_squashes >= 1,
+        "the invalidation must squash the speculative load, got {}",
+        cores[0].stats().inv_squashes
+    );
+}
+
+#[test]
+fn single_entry_aq_still_completes() {
+    let mut cfg = SystemConfig::small(1);
+    cfg.core.aq_entries = 1;
+    let prog: Vec<Instr> = (0..10).map(|_| faa(0x40, 0x777_0000, 1)).collect();
+    let (core, mem, _) = run_single(&cfg, prog);
+    assert_eq!(core.stats().atomics, 10);
+    assert_eq!(mem.read_word(Addr::new(0x777_0000)), 10);
+}
+
+#[test]
+fn deep_aq_is_faster_on_atomic_bursts_of_misses() {
+    // Independent atomic misses: MLP grows with AQ depth under eager.
+    let prog = || -> Vec<Instr> {
+        (0..12)
+            .map(|i| faa(0x40 + i * 4, 0x800_0000 + i * 0x10_000, 1))
+            .collect()
+    };
+    let mut deep = SystemConfig::small(1);
+    deep.core.aq_entries = 16;
+    let mut shallow = SystemConfig::small(1);
+    shallow.core.aq_entries = 1;
+    let (_, _, t_deep) = run_single(&deep, prog());
+    let (_, _, t_shallow) = run_single(&shallow, prog());
+    assert!(
+        t_shallow.raw() as f64 > t_deep.raw() as f64 * 1.5,
+        "shallow {t_shallow} vs deep {t_deep}"
+    );
+}
+
+#[test]
+fn store_set_violation_squashes_and_learns() {
+    // A load speculates past an older store whose address resolves late
+    // (dependence chain): first instance violates, trains StoreSet.
+    let mut prog = Vec::new();
+    for round in 0..6u64 {
+        let base = round * 0x100;
+        // Long ALU chain feeding the store's address operand.
+        for k in 0..12 {
+            prog.push(
+                alu(base + k * 4)
+                    .with_srcs(Some(1), None)
+                    .with_dst(1),
+            );
+        }
+        prog.push(
+            Instr::simple(
+                Pc::new(0x900),
+                Op::Store {
+                    addr: Addr::new(0x999_0000),
+                    value: Some(round),
+                },
+            )
+            .with_srcs(Some(1), None),
+        );
+        prog.push(load(0x910, 0x999_0000)); // same word: potential violation
+        prog.push(alu(base + 0x90));
+    }
+    let cfg = SystemConfig::small(1);
+    let (core, mem, _) = run_single(&cfg, prog);
+    assert_eq!(mem.read_word(Addr::new(0x999_0000)), 5, "last round's value");
+    assert!(
+        core.stats().violations >= 1,
+        "the first speculation must violate"
+    );
+    // After training, later rounds should forward instead of violating.
+    assert!(
+        core.stats().violations < 6,
+        "StoreSet must prevent repeat violations, got {}",
+        core.stats().violations
+    );
+}
+
+#[test]
+fn lock_reacquire_path_is_exercised_under_multi_line_contention() {
+    // Many in-flight atomics to two hot lines from two cores: younger fills
+    // release their locks (in-order acquisition) and must sometimes re-fetch.
+    let cfg = SystemConfig::small(2);
+    let mk = |seed: u64| -> Vec<Instr> {
+        let mut rng = row_common::rng::SplitMix64::new(seed);
+        (0..80)
+            .map(|_| {
+                let line = rng.below(2);
+                faa(0x40 + line * 4, 0xaaa_0000 + line * 64, 1)
+            })
+            .collect()
+    };
+    let (cores, mem, _) = run_pair(&cfg, [mk(1), mk(2)]);
+    let total: u64 = (0..2)
+        .map(|k| mem.read_word(Addr::new(0xaaa_0000 + k * 64)))
+        .sum();
+    assert_eq!(total, 160);
+    let re: u64 = cores.iter().map(|c| c.stats().lock_reacquires).sum();
+    let breaks: u64 = cores.iter().map(|c| c.stats().deadlock_breaks).sum();
+    assert_eq!(breaks, 0, "in-order acquisition leaves nothing to break");
+    // Re-acquisition may or may not trigger depending on timing; just make
+    // sure the run is sane and the counter is wired.
+    let _ = re;
+}
+
+mod far {
+    use super::*;
+    use row_common::config::AtomicPlacement;
+
+    fn far_cfg(cores: usize) -> SystemConfig {
+        SystemConfig::small(cores).with_placement(AtomicPlacement::Far)
+    }
+
+    #[test]
+    fn far_atomic_applies_at_home() {
+        let (core, mem, _) = run_single(&far_cfg(1), vec![faa(0, 0x5000, 5)]);
+        assert_eq!(mem.read_word(Addr::new(0x5000)), 5);
+        assert_eq!(core.stats().atomics, 1);
+        assert!(!mem.is_locked(CoreId::new(0), Addr::new(0x5000).line()));
+    }
+
+    #[test]
+    fn far_atomics_sum_across_cores() {
+        let prog: Vec<Instr> = (0..40).map(|_| faa(0x40, 0xfa0000, 1)).collect();
+        let (cores, mem, _) = run_pair(&far_cfg(2), [prog.clone(), prog]);
+        assert_eq!(mem.read_word(Addr::new(0xfa0000)), 80);
+        let total: u64 = cores.iter().map(|c| c.stats().atomics).sum();
+        assert_eq!(total, 80);
+    }
+
+    #[test]
+    fn far_atomic_orders_after_older_store_same_word() {
+        let prog = vec![store(0x10, 0xfb0000, 100), faa(0x14, 0xfb0000, 1)];
+        let (_, mem, _) = run_single(&far_cfg(1), prog);
+        assert_eq!(
+            mem.read_word(Addr::new(0xfb0000)),
+            101,
+            "lazy issue discipline orders the far RMW after the store drains"
+        );
+    }
+
+    #[test]
+    fn far_atomic_invalidates_cached_copies() {
+        // Core0 reads (caches) the line; core1's far atomic must invalidate
+        // it before applying, so a later read by core0 refetches. Core1 is
+        // delayed behind a dependent cold load so the read wins the race.
+        let p0 = vec![load(0x08, 0xfc0000), alu(0x0c)];
+        let p1 = vec![
+            load(0x18, 0x77_0000).with_dst(3),
+            load(0x1c, 0x78_0000).with_srcs(Some(3), None).with_dst(4),
+            alu(0x1e).with_srcs(Some(4), None),
+            faa(0x20, 0xfc0000, 7),
+        ];
+        let (_, mem, _) = run_pair(&far_cfg(2), [p0, p1]);
+        assert_eq!(mem.read_word(Addr::new(0xfc0000)), 7);
+        assert_eq!(
+            mem.priv_state(CoreId::new(0), Addr::new(0xfc0000).line()),
+            None,
+            "the far atomic invalidates every private copy"
+        );
+    }
+
+    fn run_many(cfg: &SystemConfig, progs: Vec<Vec<Instr>>) -> (u64, MemorySystem) {
+        let mut mem = MemorySystem::new(cfg);
+        let mut cores: Vec<Core> = progs
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| {
+                Core::new(
+                    CoreId::new(i as u16),
+                    cfg.core,
+                    cfg.mem.l1d.hit_latency,
+                    Box::new(VecStream::new(p)),
+                )
+            })
+            .collect();
+        let mut now = Cycle::ZERO;
+        while cores.iter().any(|c| !c.finished()) && now.raw() < 2_000_000 {
+            for ev in mem.tick(now) {
+                let t = match ev {
+                    row_mem::MemEvent::Fill { core, .. } => core,
+                    row_mem::MemEvent::FarDone { core, .. } => core,
+                    row_mem::MemEvent::ExternalObserved { core, .. } => core,
+                };
+                cores[t.index()].handle_mem_event(&ev, now, &mut mem);
+            }
+            for c in cores.iter_mut() {
+                c.cycle(now, &mut mem);
+            }
+            now += 1;
+        }
+        assert!(cores.iter().all(|c| c.finished()), "did not drain");
+        (now.raw(), mem)
+    }
+
+    #[test]
+    fn far_beats_lazy_near_under_extreme_contention() {
+        // Both far and lazy-near issue with the same discipline (oldest
+        // memory instruction, drained SB); the difference is pure coherence
+        // traffic: lazy-near must *fetch and lock* the hot line every time,
+        // far sends one control round trip and never moves the line.
+        let cores = 8;
+        let mk = |_t: usize| -> Vec<Instr> {
+            let mut p = Vec::new();
+            for i in 0..30u64 {
+                for k in 0..3 {
+                    p.push(alu(0x100 + i * 16 + k * 4));
+                }
+                p.push(faa(0x104, 0xfd0000, 1));
+            }
+            p
+        };
+        let near_lazy =
+            SystemConfig::small(cores).with_policy(row_common::config::AtomicPolicy::Lazy);
+        let (t_lazy, _) = run_many(&near_lazy, (0..cores).map(mk).collect());
+        let (t_far, mem) = run_many(&far_cfg(cores), (0..cores).map(mk).collect());
+        assert_eq!(mem.read_word(Addr::new(0xfd0000)), 8 * 30);
+        assert!(
+            t_far < t_lazy,
+            "far {t_far} should beat lazy-near {t_lazy} on a single hot line"
+        );
+    }
+
+    #[test]
+    fn near_beats_far_on_private_reuse() {
+        // One core repeatedly FAAs its own line: near keeps it in L1, far
+        // pays a NoC round trip every time.
+        let prog: Vec<Instr> = (0..50).map(|_| faa(0x40, 0xfe0000, 1)).collect();
+        let (_, _, t_near) = run_single(&SystemConfig::small(2), prog.clone());
+        let (_, _, t_far) = run_single(&far_cfg(2), prog);
+        assert!(
+            t_near.raw() < t_far.raw(),
+            "near {t_near} should beat far {t_far} on private reuse"
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Cache hierarchy and directory coherence — the GEMS substitute.
+//!
+//! This crate implements everything below the core's load/store ports:
+//!
+//! * [`mod@array`] — set-associative tag arrays with LRU and pinnable
+//!   (locked) lines.
+//! * [`prefetch`] — the L1D IP-stride prefetcher from Table I.
+//! * [`private`] — the per-core private controller (L1D + L2): MSHRs,
+//!   coherence state, the cache-lock table, and the stall queue for external
+//!   requests that hit locked lines.
+//! * [`directory`] — unblock-based MESI directory banks with *Blocked*
+//!   transient states (the Fig. 8 dynamics).
+//! * [`system`] — [`MemorySystem`], gluing caches, directories and the
+//!   [`row_noc`] mesh together, plus the functional word store used to prove
+//!   atomicity end-to-end.
+//!
+//! # Example
+//!
+//! ```
+//! use row_common::{Cycle, SystemConfig, ids::{CoreId, LineAddr}};
+//! use row_mem::{AccessKind, MemEvent, MemorySystem, ReqMeta};
+//!
+//! let mut mem = MemorySystem::new(&SystemConfig::small(2));
+//! let meta = ReqMeta { req_id: 1, pc: None, prefetch: false, kind: AccessKind::Read };
+//! mem.access(CoreId::new(0), LineAddr::new(42), meta, Cycle::ZERO);
+//! let mut filled = false;
+//! for c in 0..2000 {
+//!     for ev in mem.tick(Cycle::new(c)) {
+//!         if let MemEvent::Fill { req_id: 1, .. } = ev { filled = true; }
+//!     }
+//! }
+//! assert!(filled);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod directory;
+pub mod msg;
+pub mod prefetch;
+pub mod private;
+pub mod system;
+
+pub use directory::{DirState, DirStats};
+pub use msg::{AccessKind, FillSource, MemEvent, Msg, ReqMeta};
+pub use private::{PrivState, PrivStats};
+pub use system::{MemStats, MemorySystem};

@@ -1,0 +1,231 @@
+//! Coherence message and request/response vocabulary.
+//!
+//! The protocol is a classic unblock-based MESI directory (in the style of
+//! GEMS `MESI_CMP_directory`, which the paper uses): requests block the
+//! directory entry until the requester's `Unblock` confirms receipt, and
+//! requests arriving meanwhile queue at the directory — the exact dynamics of
+//! the paper's Fig. 8.
+
+use row_common::ids::{CoreId, LineAddr, Pc};
+use row_common::rmw::RmwKind;
+use row_common::Cycle;
+
+/// What kind of access a core requests from its memory hierarchy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccessKind {
+    /// A regular load: shared permission suffices (GetS on miss).
+    Read,
+    /// A committed store draining from the SB: needs ownership (GetX).
+    Write,
+    /// An atomic's `load_lock` µ-op: needs ownership, and the core will lock
+    /// the line in its AQ when the fill arrives (GetX).
+    Rmw,
+}
+
+impl AccessKind {
+    /// Whether this access requires exclusive ownership.
+    pub const fn needs_exclusive(self) -> bool {
+        matches!(self, AccessKind::Write | AccessKind::Rmw)
+    }
+}
+
+/// Caller-supplied bookkeeping attached to a request and echoed in its fill.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ReqMeta {
+    /// Opaque request identifier, assigned by the core.
+    pub req_id: u64,
+    /// Program counter of the requesting instruction (drives the IP-stride
+    /// prefetcher); `None` for hardware-generated requests.
+    pub pc: Option<Pc>,
+    /// Whether this is a hardware prefetch (no fill event is emitted).
+    pub prefetch: bool,
+    /// Access kind.
+    pub kind: AccessKind,
+}
+
+/// Where a fill's data came from — the information the RW+Dir contention
+/// detector keys on ("the sender of the cacheline is a remote private cache").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FillSource {
+    /// Hit in the local L1D.
+    L1,
+    /// Hit in the local private L2.
+    L2,
+    /// Served by the home L3 bank.
+    L3,
+    /// Fetched from main memory.
+    Memory,
+    /// Transferred from another core's private cache.
+    RemotePrivate,
+}
+
+/// An event the memory system reports to the core side.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MemEvent {
+    /// A request completed; the line is now present with sufficient
+    /// permission.
+    Fill {
+        /// Requesting core.
+        core: CoreId,
+        /// Echo of [`ReqMeta::req_id`].
+        req_id: u64,
+        /// The line.
+        line: LineAddr,
+        /// Completion cycle.
+        at: Cycle,
+        /// When the miss request left the private hierarchy (equals `at`
+        /// minus the hit latency for hits).
+        issued_at: Cycle,
+        /// Where the data came from.
+        source: FillSource,
+        /// Access kind of the original request.
+        kind: AccessKind,
+    },
+    /// A far atomic completed at the home directory.
+    FarDone {
+        /// Requesting core.
+        core: CoreId,
+        /// The line operated on.
+        line: LineAddr,
+        /// Echo of the request id.
+        req_id: u64,
+        /// Completion (response-arrival) cycle.
+        at: Cycle,
+    },
+    /// An external coherence request (invalidation or downgrade) reached this
+    /// core for `line`. Emitted *when it arrives*, even if it then stalls
+    /// against a locked line — this is what the ready-window detector snoops.
+    ExternalObserved {
+        /// The core receiving the external request.
+        core: CoreId,
+        /// The line being invalidated/downgraded.
+        line: LineAddr,
+        /// Arrival cycle.
+        at: Cycle,
+        /// Whether the request found the line locked and stalled.
+        stalled: bool,
+    },
+}
+
+/// Network-visible protocol messages.
+///
+/// Field meanings are uniform across variants: `req` is the requesting
+/// core, `line` the cacheline concerned, `from` the sender.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum Msg {
+    /// Read request to the home directory.
+    GetS { req: CoreId, line: LineAddr },
+    /// Ownership request to the home directory.
+    GetX { req: CoreId, line: LineAddr },
+    /// Directory forwards a read to the current owner.
+    FwdGetS { req: CoreId, line: LineAddr },
+    /// Directory forwards an ownership request to the current owner.
+    FwdGetX { req: CoreId, line: LineAddr },
+    /// Directory invalidates a sharer (acks go back to the directory).
+    Inv { line: LineAddr },
+    /// Sharer acknowledges an invalidation.
+    InvAck { from: CoreId, line: LineAddr },
+    /// Data grant to a requester.
+    Data {
+        req: CoreId,
+        line: LineAddr,
+        /// Permission granted.
+        excl: bool,
+        /// True when a remote private cache supplied the line.
+        from_private: bool,
+    },
+    /// Requester confirms receipt; unblocks the directory entry.
+    Unblock { from: CoreId, line: LineAddr },
+    /// Owner writes back / evicts a line.
+    PutM { from: CoreId, line: LineAddr },
+    /// Directory accepts the writeback.
+    WbAck { line: LineAddr },
+    /// Directory rejects a stale writeback (a forward raced past it).
+    WbStale { line: LineAddr },
+    /// A far atomic: the RMW executes at the home directory (§VII's
+    /// near-vs-far design alternative), after all private copies are
+    /// invalidated.
+    AtomicFar {
+        req: CoreId,
+        line: LineAddr,
+        rmw: RmwKind,
+        req_id: u64,
+    },
+    /// The home directory performed a far atomic.
+    FarDone {
+        req: CoreId,
+        line: LineAddr,
+        req_id: u64,
+    },
+}
+
+impl Msg {
+    /// The line a message concerns.
+    pub fn line(&self) -> LineAddr {
+        match *self {
+            Msg::GetS { line, .. }
+            | Msg::GetX { line, .. }
+            | Msg::FwdGetS { line, .. }
+            | Msg::FwdGetX { line, .. }
+            | Msg::Inv { line }
+            | Msg::InvAck { line, .. }
+            | Msg::Data { line, .. }
+            | Msg::Unblock { line, .. }
+            | Msg::PutM { line, .. }
+            | Msg::WbAck { line }
+            | Msg::WbStale { line }
+            | Msg::AtomicFar { line, .. }
+            | Msg::FarDone { line, .. } => line,
+        }
+    }
+
+    /// Whether the message carries a full cache line (data-class on the NoC).
+    pub const fn carries_data(&self) -> bool {
+        matches!(self, Msg::Data { .. } | Msg::PutM { .. })
+    }
+}
+
+/// Delivery endpoint of a message.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Endpoint {
+    /// A core's private cache controller.
+    Core(CoreId),
+    /// The directory/L3 bank at a tile.
+    Dir(usize),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusive_requirement() {
+        assert!(!AccessKind::Read.needs_exclusive());
+        assert!(AccessKind::Write.needs_exclusive());
+        assert!(AccessKind::Rmw.needs_exclusive());
+    }
+
+    #[test]
+    fn msg_line_extraction() {
+        let l = LineAddr::new(42);
+        let msgs = [
+            Msg::GetS { req: CoreId::new(0), line: l },
+            Msg::Inv { line: l },
+            Msg::Data { req: CoreId::new(1), line: l, excl: true, from_private: false },
+            Msg::WbAck { line: l },
+        ];
+        for m in msgs {
+            assert_eq!(m.line(), l);
+        }
+    }
+
+    #[test]
+    fn data_class_flags() {
+        let l = LineAddr::new(1);
+        assert!(Msg::Data { req: CoreId::new(0), line: l, excl: false, from_private: false }
+            .carries_data());
+        assert!(Msg::PutM { from: CoreId::new(0), line: l }.carries_data());
+        assert!(!Msg::Inv { line: l }.carries_data());
+    }
+}

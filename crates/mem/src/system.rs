@@ -1,0 +1,541 @@
+//! The full memory system: private caches + directory banks + mesh.
+//!
+//! [`MemorySystem`] owns one [`PrivateCache`] per core, one [`DirBank`] per
+//! tile, the [`Mesh`], a global event wheel for in-flight messages, and the
+//! *functional* word store (real 64-bit values per 8-byte word, so atomics
+//! truly read-modify-write and integration tests can assert linearizable
+//! outcomes).
+//!
+//! The core-side contract:
+//!
+//! 1. Call [`MemorySystem::access`] for loads, SB writes, and atomic
+//!    `load_lock`s; completions arrive as [`MemEvent::Fill`]s from
+//!    [`MemorySystem::tick`] (hits included, with their hit latency).
+//! 2. On an `Rmw` fill, the core locks the line with [`MemorySystem::lock`]
+//!    before acting on it and unlocks with [`MemorySystem::unlock`] when the
+//!    `store_unlock` writes. External requests targeting a locked line stall
+//!    inside the private controller until the unlock.
+//! 3. [`MemEvent::ExternalObserved`] fires whenever an invalidation or
+//!    downgrade reaches a core — the hook for RoW's ready-window detector and
+//!    for LQ squashing.
+
+use std::collections::HashMap;
+
+use row_common::config::SystemConfig;
+use row_common::ids::{Addr, CoreId, LineAddr};
+use row_common::sched::EventQueue;
+use row_common::stats::RunningMean;
+use row_common::Cycle;
+
+use crate::directory::{DirBank, DirState};
+use crate::msg::{Endpoint, MemEvent, Msg, ReqMeta};
+use crate::private::{AccessOutcome, CacheAction, PrivState, PrivateCache};
+use row_noc::{Mesh, MsgClass, NodeId};
+
+fn home_of(line: LineAddr, tiles: usize) -> usize {
+    (line.raw() as usize) % tiles
+}
+
+/// Aggregate memory-system statistics (drives Fig. 11).
+#[derive(Clone, Debug, Default)]
+pub struct MemStats {
+    /// Mean L1D miss latency per core (demand requests, access → fill).
+    pub miss_latency: Vec<RunningMean>,
+    /// Mean miss latency across all cores.
+    pub miss_latency_all: RunningMean,
+    /// Fills served by a remote private cache.
+    pub remote_fills: u64,
+    /// Fills served by L3 or memory.
+    pub home_fills: u64,
+}
+
+/// The simulated memory hierarchy shared by all cores.
+#[derive(Clone, Debug)]
+pub struct MemorySystem {
+    tiles: usize,
+    mesh: Mesh,
+    dirs: Vec<DirBank>,
+    caches: Vec<PrivateCache>,
+    net: EventQueue<(Endpoint, Msg)>,
+    out: Vec<MemEvent>,
+    words: HashMap<u64, u64>,
+    starts: HashMap<(CoreId, u64), Cycle>,
+    stats: MemStats,
+}
+
+impl MemorySystem {
+    /// Builds the memory system for `cfg`.
+    ///
+    /// # Panics
+    /// Panics if the configuration does not validate.
+    pub fn new(cfg: &SystemConfig) -> Self {
+        cfg.validate().expect("invalid system configuration");
+        let tiles = cfg.cores;
+        let dirs = (0..tiles)
+            .map(|t| DirBank::new(t, cfg.mem.l3_bank, cfg.mem.mem_latency))
+            .collect();
+        let caches = (0..tiles)
+            .map(|i| PrivateCache::new(CoreId::new(i as u16), &cfg.mem, tiles, home_of))
+            .collect();
+        MemorySystem {
+            tiles,
+            mesh: Mesh::new(cfg.noc, tiles),
+            dirs,
+            caches,
+            net: EventQueue::new(),
+            out: Vec::new(),
+            words: HashMap::new(),
+            starts: HashMap::new(),
+            stats: MemStats {
+                miss_latency: vec![RunningMean::new(); tiles],
+                ..MemStats::default()
+            },
+        }
+    }
+
+    /// Issues a core-side access. The completion arrives as a
+    /// [`MemEvent::Fill`] from a subsequent [`MemorySystem::tick`].
+    pub fn access(&mut self, core: CoreId, line: LineAddr, meta: ReqMeta, now: Cycle) {
+        let mut actions = Vec::new();
+        let outcome = self.caches[core.index()].access(meta, line, now, &mut actions);
+        match outcome {
+            AccessOutcome::Hit {
+                complete_at,
+                source,
+            } => {
+                if !meta.prefetch {
+                    self.out.push(MemEvent::Fill {
+                        core,
+                        req_id: meta.req_id,
+                        line,
+                        at: complete_at,
+                        issued_at: now,
+                        source,
+                        kind: meta.kind,
+                    });
+                }
+            }
+            AccessOutcome::Pending => {
+                if !meta.prefetch {
+                    self.starts.insert((core, meta.req_id), now);
+                }
+            }
+        }
+        self.run_actions(Endpoint::Core(core), actions);
+    }
+
+    /// Issues a *far* atomic (Section VII's alternative placement): the RMW
+    /// executes at the line's home directory bank after all private copies
+    /// are invalidated; the completion arrives as [`MemEvent::FarDone`].
+    pub fn far_atomic(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        rmw: row_common::rmw::RmwKind,
+        req_id: u64,
+        now: Cycle,
+    ) {
+        let msg = Msg::AtomicFar {
+            req: core,
+            line,
+            rmw,
+            req_id,
+        };
+        let to = Endpoint::Dir(home_of(line, self.tiles));
+        self.run_actions(
+            Endpoint::Core(core),
+            vec![CacheAction::Send { to, msg, at: now }],
+        );
+    }
+
+    /// Locks `line` in `core`'s AQ (must hold it in M — i.e. right after an
+    /// `Rmw` fill).
+    pub fn lock(&mut self, core: CoreId, line: LineAddr) {
+        self.caches[core.index()].lock(line);
+    }
+
+    /// Unlocks `line`; stalled external requests are then served.
+    pub fn unlock(&mut self, core: CoreId, line: LineAddr, now: Cycle) {
+        let mut actions = Vec::new();
+        self.caches[core.index()].unlock(line, now, &mut actions);
+        self.run_actions(Endpoint::Core(core), actions);
+    }
+
+    /// Whether `core` currently holds `line` locked.
+    pub fn is_locked(&self, core: CoreId, line: LineAddr) -> bool {
+        self.caches[core.index()].is_locked(line)
+    }
+
+    /// Whether `core` owns `line` (M/E) so an SB write would hit locally.
+    pub fn owns(&self, core: CoreId, line: LineAddr) -> bool {
+        self.caches[core.index()].owns(line)
+    }
+
+    /// Coherence state of `line` in `core`'s private domain.
+    pub fn priv_state(&self, core: CoreId, line: LineAddr) -> Option<PrivState> {
+        self.caches[core.index()].state(line)
+    }
+
+    /// Directory state of `line` at its home bank.
+    pub fn dir_state(&self, line: LineAddr) -> DirState {
+        self.dirs[home_of(line, self.tiles)].state(line)
+    }
+
+    /// Advances the message network to `now` and returns all events produced
+    /// since the last tick (fills, external-request observations).
+    pub fn tick(&mut self, now: Cycle) -> Vec<MemEvent> {
+        while let Some((to, msg)) = self.net.pop_ready(now) {
+            let mut actions = Vec::new();
+            match to {
+                Endpoint::Core(c) => {
+                    self.caches[c.index()].handle_msg(msg, now, &mut actions)
+                }
+                Endpoint::Dir(t) => self.dirs[t].handle_msg(msg, now, &mut actions),
+            }
+            self.run_actions(to, actions);
+        }
+        for i in 0..self.caches.len() {
+            let mut actions = Vec::new();
+            self.caches[i].promote_pending(now, &mut actions);
+            self.run_actions(Endpoint::Core(CoreId::new(i as u16)), actions);
+        }
+        std::mem::take(&mut self.out)
+    }
+
+    /// Earliest cycle at which a pending message wants to be delivered.
+    pub fn next_event_cycle(&self) -> Option<Cycle> {
+        self.net.next_cycle()
+    }
+
+    fn run_actions(&mut self, from: Endpoint, actions: Vec<CacheAction>) {
+        for a in actions {
+            match a {
+                CacheAction::Send { to, msg, at } => {
+                    let src = self.node_of(from);
+                    let dst = self.node_of(to);
+                    let class = if msg.carries_data() {
+                        MsgClass::Data
+                    } else {
+                        MsgClass::Control
+                    };
+                    let deliver = self.mesh.send(src, dst, class, at);
+                    self.net.push(deliver, (to, msg));
+                }
+                CacheAction::ApplyRmw {
+                    req,
+                    line,
+                    rmw,
+                    req_id,
+                    at,
+                } => {
+                    // The home bank owns the only copy now: apply in place.
+                    let a = line.base_addr();
+                    let old = self.read_word(a);
+                    let (new, wrote) = rmw.apply(old);
+                    if wrote {
+                        self.write_word(a, new);
+                    }
+                    let src = self.node_of(from);
+                    let dst = self.node_of(Endpoint::Core(req));
+                    let deliver = self.mesh.send(src, dst, MsgClass::Control, at);
+                    self.net.push(
+                        deliver,
+                        (
+                            Endpoint::Core(req),
+                            Msg::FarDone {
+                                req,
+                                line,
+                                req_id,
+                            },
+                        ),
+                    );
+                }
+                CacheAction::Emit(ev) => {
+                    if let MemEvent::Fill {
+                        core,
+                        req_id,
+                        at,
+                        source,
+                        ..
+                    } = ev
+                    {
+                        if let Some(start) = self.starts.remove(&(core, req_id)) {
+                            let lat = at.saturating_since(start);
+                            self.stats.miss_latency[core.index()].add(lat);
+                            self.stats.miss_latency_all.add(lat);
+                        }
+                        match source {
+                            crate::msg::FillSource::RemotePrivate => self.stats.remote_fills += 1,
+                            crate::msg::FillSource::L3 | crate::msg::FillSource::Memory => {
+                                self.stats.home_fills += 1
+                            }
+                            _ => {}
+                        }
+                    }
+                    self.out.push(ev);
+                }
+            }
+        }
+    }
+
+    fn node_of(&self, e: Endpoint) -> NodeId {
+        match e {
+            Endpoint::Core(c) => NodeId::new(c.index() as u16),
+            Endpoint::Dir(t) => NodeId::new(t as u16),
+        }
+    }
+
+    /// Reads the 64-bit word containing `addr` from the functional store.
+    pub fn read_word(&self, addr: Addr) -> u64 {
+        self.words.get(&(addr.raw() & !7)).copied().unwrap_or(0)
+    }
+
+    /// Writes the 64-bit word containing `addr` in the functional store.
+    pub fn write_word(&mut self, addr: Addr, value: u64) {
+        self.words.insert(addr.raw() & !7, value);
+    }
+
+    /// Memory-system statistics.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+
+    /// Per-core private-cache statistics.
+    pub fn cache_stats(&self, core: CoreId) -> &crate::private::PrivStats {
+        self.caches[core.index()].stats()
+    }
+
+    /// Interconnect statistics.
+    pub fn noc_stats(&self) -> &row_noc::NocStats {
+        self.mesh.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::AccessKind;
+
+    fn sys(cores: usize) -> MemorySystem {
+        MemorySystem::new(&SystemConfig::small(cores))
+    }
+
+    fn meta(id: u64, kind: AccessKind) -> ReqMeta {
+        ReqMeta {
+            req_id: id,
+            pc: None,
+            prefetch: false,
+            kind,
+        }
+    }
+
+    /// Runs ticks until `pred` returns Some, or panics after `max` cycles.
+    fn run_until<T>(
+        m: &mut MemorySystem,
+        start: Cycle,
+        max: u64,
+        mut pred: impl FnMut(&MemEvent) -> Option<T>,
+    ) -> (Cycle, T) {
+        for c in start.raw()..start.raw() + max {
+            let now = Cycle::new(c);
+            for ev in m.tick(now) {
+                if let Some(t) = pred(&ev) {
+                    return (now, t);
+                }
+            }
+        }
+        panic!("event not observed within {max} cycles");
+    }
+
+    #[test]
+    fn read_miss_fills_with_home_source() {
+        let mut m = sys(2);
+        let line = LineAddr::new(100);
+        m.access(CoreId::new(0), line, meta(1, AccessKind::Read), Cycle::ZERO);
+        let (_, (src, at)) = run_until(&mut m, Cycle::ZERO, 2000, |ev| match ev {
+            MemEvent::Fill { req_id: 1, source, at, .. } => Some((*source, *at)),
+            _ => None,
+        });
+        assert_eq!(src, crate::msg::FillSource::L3);
+        // First touch pays memory latency.
+        assert!(at.raw() > 160, "fill at {at}");
+        assert_eq!(m.priv_state(CoreId::new(0), line), Some(PrivState::E));
+    }
+
+    #[test]
+    fn second_core_write_transfers_ownership_cache_to_cache() {
+        let mut m = sys(2);
+        let line = LineAddr::new(101);
+        let (c0, c1) = (CoreId::new(0), CoreId::new(1));
+        m.access(c0, line, meta(1, AccessKind::Write), Cycle::ZERO);
+        let (t1, _) = run_until(&mut m, Cycle::ZERO, 2000, |ev| match ev {
+            MemEvent::Fill { req_id: 1, .. } => Some(()),
+            _ => None,
+        });
+        assert_eq!(m.priv_state(c0, line), Some(PrivState::M));
+
+        m.access(c1, line, meta(2, AccessKind::Write), t1 + 1);
+        let (_, src) = run_until(&mut m, t1 + 1, 2000, |ev| match ev {
+            MemEvent::Fill { req_id: 2, source, .. } => Some(*source),
+            _ => None,
+        });
+        assert_eq!(src, crate::msg::FillSource::RemotePrivate);
+        assert_eq!(m.priv_state(c0, line), None, "old owner invalidated");
+        assert_eq!(m.priv_state(c1, line), Some(PrivState::M));
+        // Drain the in-flight Unblock before inspecting the directory.
+        for c in 0..500u64 {
+            let _ = m.tick(Cycle::new(10_000 + c));
+        }
+        assert_eq!(m.dir_state(line), DirState::Exclusive(c1));
+    }
+
+    #[test]
+    fn locked_line_stalls_rival_until_unlock() {
+        let mut m = sys(2);
+        let line = LineAddr::new(102);
+        let (c0, c1) = (CoreId::new(0), CoreId::new(1));
+        m.access(c0, line, meta(1, AccessKind::Rmw), Cycle::ZERO);
+        let (t1, _) = run_until(&mut m, Cycle::ZERO, 2000, |ev| match ev {
+            MemEvent::Fill { req_id: 1, .. } => Some(()),
+            _ => None,
+        });
+        assert!(m.is_locked(c0, line), "Rmw fill locks atomically");
+
+        m.access(c1, line, meta(2, AccessKind::Rmw), t1 + 1);
+        // The external request reaches core0 and stalls.
+        let (t2, stalled) = run_until(&mut m, t1 + 1, 4000, |ev| match ev {
+            MemEvent::ExternalObserved { core, stalled, .. } if *core == c0 => Some(*stalled),
+            _ => None,
+        });
+        assert!(stalled);
+
+        // Hold the lock for 500 more cycles; core1 must not fill meanwhile.
+        let hold = 500;
+        for c in t2.raw()..t2.raw() + hold {
+            for ev in m.tick(Cycle::new(c)) {
+                assert!(
+                    !matches!(ev, MemEvent::Fill { req_id: 2, .. }),
+                    "fill leaked past a locked line"
+                );
+            }
+        }
+        let unlock_at = t2 + hold;
+        m.unlock(c0, line, unlock_at);
+        let (t3, src) = run_until(&mut m, unlock_at, 2000, |ev| match ev {
+            MemEvent::Fill { req_id: 2, source, .. } => Some(*source),
+            _ => None,
+        });
+        assert_eq!(src, crate::msg::FillSource::RemotePrivate);
+        assert!(t3 >= unlock_at);
+        assert!(m.priv_state(c1, line) == Some(PrivState::M));
+    }
+
+    #[test]
+    fn contended_fill_latency_exceeds_uncontended() {
+        let mut m = sys(4);
+        let line = LineAddr::new(103);
+        let c0 = CoreId::new(0);
+        let c1 = CoreId::new(1);
+        // Uncontended remote transfer first (unlock immediately).
+        m.access(c0, line, meta(1, AccessKind::Rmw), Cycle::ZERO);
+        let (t1, _) = run_until(&mut m, Cycle::ZERO, 2000, |ev| match ev {
+            MemEvent::Fill { req_id: 1, .. } => Some(()),
+            _ => None,
+        });
+        m.unlock(c0, line, t1);
+        m.access(c1, line, meta(2, AccessKind::Rmw), t1 + 1);
+        let (_, uncontended) = run_until(&mut m, t1 + 1, 2000, |ev| match ev {
+            MemEvent::Fill { req_id: 2, at, issued_at, .. } => Some(at.saturating_since(*issued_at)),
+            _ => None,
+        });
+
+        // Contended: owner holds the lock for 600 cycles.
+        let line2 = LineAddr::new(203);
+        m.access(c0, line2, meta(3, AccessKind::Rmw), Cycle::new(10_000));
+        let (t2, _) = run_until(&mut m, Cycle::new(10_000), 2000, |ev| match ev {
+            MemEvent::Fill { req_id: 3, .. } => Some(()),
+            _ => None,
+        });
+        // The Rmw fill auto-locked line2 at core0; hold it for 600 cycles.
+        m.access(c1, line2, meta(4, AccessKind::Rmw), t2 + 1);
+        for c in t2.raw() + 1..t2.raw() + 600 {
+            let _ = m.tick(Cycle::new(c));
+        }
+        m.unlock(c0, line2, t2 + 600);
+        let (_, contended) = run_until(&mut m, t2 + 600, 2000, |ev| match ev {
+            MemEvent::Fill { req_id: 4, at, issued_at, .. } => Some(at.saturating_since(*issued_at)),
+            _ => None,
+        });
+        assert!(
+            contended > uncontended + 400,
+            "contended {contended} vs uncontended {uncontended}"
+        );
+    }
+
+    #[test]
+    fn functional_word_store_round_trips() {
+        let mut m = sys(1);
+        assert_eq!(m.read_word(Addr::new(0x1000)), 0);
+        m.write_word(Addr::new(0x1000), 7);
+        assert_eq!(m.read_word(Addr::new(0x1004)), 7, "same 8-byte word");
+        m.write_word(Addr::new(0x1008), 9);
+        assert_eq!(m.read_word(Addr::new(0x1000)), 7);
+    }
+
+    #[test]
+    fn read_sharing_then_upgrade_invalidates_reader() {
+        let mut m = sys(3);
+        let line = LineAddr::new(104);
+        let (c0, c1) = (CoreId::new(0), CoreId::new(1));
+        m.access(c0, line, meta(1, AccessKind::Read), Cycle::ZERO);
+        let (t1, _) = run_until(&mut m, Cycle::ZERO, 2000, |ev| match ev {
+            MemEvent::Fill { req_id: 1, .. } => Some(()),
+            _ => None,
+        });
+        m.access(c1, line, meta(2, AccessKind::Read), t1 + 1);
+        let (t2, _) = run_until(&mut m, t1 + 1, 2000, |ev| match ev {
+            MemEvent::Fill { req_id: 2, .. } => Some(()),
+            _ => None,
+        });
+        assert_eq!(m.priv_state(c0, line), Some(PrivState::S));
+        assert_eq!(m.priv_state(c1, line), Some(PrivState::S));
+
+        m.access(c1, line, meta(3, AccessKind::Write), t2 + 1);
+        let (_, _) = run_until(&mut m, t2 + 1, 4000, |ev| match ev {
+            MemEvent::Fill { req_id: 3, .. } => Some(()),
+            _ => None,
+        });
+        assert_eq!(m.priv_state(c0, line), None);
+        assert_eq!(m.priv_state(c1, line), Some(PrivState::M));
+    }
+
+    #[test]
+    fn miss_latency_stats_accumulate() {
+        let mut m = sys(2);
+        m.access(CoreId::new(0), LineAddr::new(500), meta(1, AccessKind::Read), Cycle::ZERO);
+        run_until(&mut m, Cycle::ZERO, 2000, |ev| match ev {
+            MemEvent::Fill { req_id: 1, .. } => Some(()),
+            _ => None,
+        });
+        assert_eq!(m.stats().miss_latency_all.count(), 1);
+        assert!(m.stats().miss_latency_all.mean() > 100.0);
+    }
+
+    #[test]
+    fn single_core_system_works_end_to_end() {
+        let mut m = sys(1);
+        let c0 = CoreId::new(0);
+        for k in 0..20u64 {
+            m.access(c0, LineAddr::new(k * 3), meta(k, AccessKind::Read), Cycle::new(k));
+        }
+        let mut fills = 0;
+        for c in 0..5000u64 {
+            fills += m
+                .tick(Cycle::new(c))
+                .iter()
+                .filter(|e| matches!(e, MemEvent::Fill { .. }))
+                .count();
+        }
+        assert_eq!(fills, 20);
+    }
+}

@@ -1,0 +1,32 @@
+//! On-chip interconnect model — the GARNET substitute.
+//!
+//! The paper models its interconnect with GARNET. For the studied effects only
+//! the aggregate latency and congestion of coherence messages matter, so this
+//! crate provides a deterministic 2D-mesh model with:
+//!
+//! * dimension-ordered (X-Y) routing,
+//! * per-router pipeline latency and per-hop link latency,
+//! * link serialization: a link is busy for one cycle per flit, so bursts of
+//!   data messages back-pressure each other (the congestion component).
+//!
+//! Delivery times are computed eagerly at send time ([`Mesh::send`]); the
+//! caller (the memory system) schedules the message on its event wheel.
+//!
+//! # Example
+//! ```
+//! use row_common::{Cycle, config::NocConfig};
+//! use row_noc::{Mesh, MsgClass, NodeId};
+//!
+//! let mut mesh = Mesh::new(NocConfig::mesh_8x4(), 32);
+//! let at = mesh.send(NodeId::new(0), NodeId::new(9), MsgClass::Control, Cycle::ZERO);
+//! assert!(at > Cycle::ZERO);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mesh;
+pub mod topology;
+
+pub use mesh::{Mesh, MsgClass, NocStats};
+pub use topology::{NodeId, Topology};

@@ -1,0 +1,193 @@
+//! Mesh topology and dimension-ordered routing.
+
+use std::fmt;
+
+/// Identifier of a network node (one tile per core; the core's L1/L2 and the
+/// co-located L3 bank + directory slice share the tile's router).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NodeId(u16);
+
+impl NodeId {
+    /// Creates a node id from a raw tile index.
+    pub const fn new(i: u16) -> Self {
+        NodeId(i)
+    }
+
+    /// The raw tile index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u16> for NodeId {
+    fn from(v: u16) -> Self {
+        NodeId(v)
+    }
+}
+
+/// A rectangular mesh: `cols` columns, enough rows for `nodes` tiles.
+///
+/// Node `i` sits at `(x, y) = (i % cols, i / cols)`. Routing is X-then-Y
+/// (dimension-ordered), which is deadlock-free and deterministic.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Topology {
+    cols: usize,
+    nodes: usize,
+}
+
+impl Topology {
+    /// Creates a topology with `cols` columns covering `nodes` tiles.
+    ///
+    /// # Panics
+    /// Panics if `cols == 0` or `nodes == 0`.
+    pub fn new(cols: usize, nodes: usize) -> Self {
+        assert!(cols > 0, "mesh needs at least one column");
+        assert!(nodes > 0, "mesh needs at least one node");
+        Topology { cols, nodes }
+    }
+
+    /// Number of tiles.
+    pub const fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of columns.
+    pub const fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of rows (last row may be partial).
+    pub const fn rows(&self) -> usize {
+        self.nodes.div_ceil(self.cols)
+    }
+
+    /// (x, y) coordinates of a node.
+    pub const fn coords(&self, n: NodeId) -> (usize, usize) {
+        (n.index() % self.cols, n.index() / self.cols)
+    }
+
+    /// Manhattan hop distance between two nodes.
+    pub fn hops(&self, a: NodeId, b: NodeId) -> usize {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        ax.abs_diff(bx) + ay.abs_diff(by)
+    }
+
+    /// The X-Y route from `src` to `dst` as the sequence of nodes traversed,
+    /// excluding `src`, including `dst`. Empty when `src == dst`.
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+        let (mut x, mut y) = self.coords(src);
+        let (dx, dy) = self.coords(dst);
+        let mut path = Vec::with_capacity(self.hops(src, dst));
+        while x != dx {
+            x = if dx > x { x + 1 } else { x - 1 };
+            path.push(NodeId::new((y * self.cols + x) as u16));
+        }
+        while y != dy {
+            y = if dy > y { y + 1 } else { y - 1 };
+            path.push(NodeId::new((y * self.cols + x) as u16));
+        }
+        path
+    }
+
+    /// Directed link index for the hop `from -> to`, used to key per-link
+    /// occupancy state. Links are identified by the source node and one of
+    /// four directions.
+    ///
+    /// # Panics
+    /// Panics if `from` and `to` are not mesh neighbours.
+    pub fn link_index(&self, from: NodeId, to: NodeId) -> usize {
+        let (fx, fy) = self.coords(from);
+        let (tx, ty) = self.coords(to);
+        let dir = match (tx as isize - fx as isize, ty as isize - fy as isize) {
+            (1, 0) => 0,  // east
+            (-1, 0) => 1, // west
+            (0, 1) => 2,  // south
+            (0, -1) => 3, // north
+            d => panic!("not neighbours: {from} -> {to} (delta {d:?})"),
+        };
+        from.index() * 4 + dir
+    }
+
+    /// Total number of directed-link slots (4 per node).
+    pub const fn link_count(&self) -> usize {
+        // Allocate for full rows so partial last rows still index safely.
+        self.cols * self.rows() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coords_round_trip() {
+        let t = Topology::new(8, 32);
+        assert_eq!(t.rows(), 4);
+        assert_eq!(t.coords(NodeId::new(0)), (0, 0));
+        assert_eq!(t.coords(NodeId::new(9)), (1, 1));
+        assert_eq!(t.coords(NodeId::new(31)), (7, 3));
+    }
+
+    #[test]
+    fn hops_is_manhattan() {
+        let t = Topology::new(8, 32);
+        assert_eq!(t.hops(NodeId::new(0), NodeId::new(0)), 0);
+        assert_eq!(t.hops(NodeId::new(0), NodeId::new(7)), 7);
+        assert_eq!(t.hops(NodeId::new(0), NodeId::new(31)), 10);
+        assert_eq!(t.hops(NodeId::new(31), NodeId::new(0)), 10);
+    }
+
+    #[test]
+    fn route_length_matches_hops_and_ends_at_dst() {
+        let t = Topology::new(8, 32);
+        for s in 0..32u16 {
+            for d in 0..32u16 {
+                let (src, dst) = (NodeId::new(s), NodeId::new(d));
+                let r = t.route(src, dst);
+                assert_eq!(r.len(), t.hops(src, dst));
+                if s != d {
+                    assert_eq!(*r.last().unwrap(), dst);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_goes_x_first() {
+        let t = Topology::new(8, 32);
+        let r = t.route(NodeId::new(0), NodeId::new(9));
+        assert_eq!(r, vec![NodeId::new(1), NodeId::new(9)]);
+    }
+
+    #[test]
+    fn link_indices_are_unique_per_direction() {
+        let t = Topology::new(4, 16);
+        let e = t.link_index(NodeId::new(5), NodeId::new(6));
+        let w = t.link_index(NodeId::new(5), NodeId::new(4));
+        let s = t.link_index(NodeId::new(5), NodeId::new(9));
+        let n = t.link_index(NodeId::new(5), NodeId::new(1));
+        let set: std::collections::HashSet<_> = [e, w, s, n].into_iter().collect();
+        assert_eq!(set.len(), 4);
+        assert!(e < t.link_count() && w < t.link_count());
+        assert!(s < t.link_count() && n < t.link_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "not neighbours")]
+    fn link_index_rejects_non_neighbours() {
+        Topology::new(4, 16).link_index(NodeId::new(0), NodeId::new(2));
+    }
+
+    #[test]
+    fn single_node_mesh_works() {
+        let t = Topology::new(1, 1);
+        assert_eq!(t.route(NodeId::new(0), NodeId::new(0)), vec![]);
+    }
+}

@@ -1,0 +1,354 @@
+//! Experiment runner: one function per knob the paper sweeps.
+//!
+//! Every figure in the evaluation reduces to "run benchmark B under policy P
+//! (± forwarding) and read metric M". This module provides those runs with a
+//! [`ExperimentConfig`] that scales between `quick` (CI-sized) and `paper`
+//! (32 cores, Table I caches) fidelity.
+
+use row_common::config::{
+    AtomicPlacement, AtomicPolicy, DetectorKind, FenceModel, PredictorKind, RowConfig,
+};
+use row_common::SystemConfig;
+use row_cpu::instr::InstrStream;
+use row_workloads::{
+    Benchmark, MicroRmw, MicroVariant, MicrobenchConfig, MicrobenchStream, ProfileStream,
+};
+
+use crate::machine::{Machine, RunResult, SimTimeout};
+
+/// Scale of an experiment run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ExperimentConfig {
+    /// Number of cores (= threads).
+    pub cores: usize,
+    /// Instructions per thread.
+    pub instructions: u64,
+    /// Workload seed (same seed ⇒ identical traces across policies).
+    pub seed: u64,
+    /// Simulation cycle budget.
+    pub cycle_limit: u64,
+    /// Use the full Table I cache hierarchy (vs the scaled-down one).
+    pub paper_caches: bool,
+}
+
+impl ExperimentConfig {
+    /// CI-sized: 8 cores, small caches, short traces. Seconds per run.
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            cores: 8,
+            instructions: 6_000,
+            seed: 42,
+            cycle_limit: 40_000_000,
+            paper_caches: false,
+        }
+    }
+
+    /// Paper-sized: 32 cores, Table I memory hierarchy.
+    pub fn paper() -> Self {
+        ExperimentConfig {
+            cores: 32,
+            instructions: 20_000,
+            seed: 42,
+            cycle_limit: 200_000_000,
+            paper_caches: true,
+        }
+    }
+
+    /// The system configuration this scale implies.
+    pub fn system(&self) -> SystemConfig {
+        let mut cfg = if self.paper_caches {
+            SystemConfig::alder_lake_32c()
+        } else {
+            SystemConfig::small(self.cores)
+        };
+        cfg.cores = self.cores;
+        cfg
+    }
+}
+
+/// The six RoW variants of Fig. 9 (detector × predictor).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum RowVariant {
+    EwUd,
+    EwSat,
+    RwUd,
+    RwSat,
+    RwDirUd,
+    RwDirSat,
+}
+
+impl RowVariant {
+    /// All six, in the paper's legend order.
+    pub const ALL: [RowVariant; 6] = [
+        RowVariant::EwUd,
+        RowVariant::EwSat,
+        RowVariant::RwUd,
+        RowVariant::RwSat,
+        RowVariant::RwDirUd,
+        RowVariant::RwDirSat,
+    ];
+
+    /// Display name as in Fig. 9.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RowVariant::EwUd => "EW_U/D",
+            RowVariant::EwSat => "EW_Sat",
+            RowVariant::RwUd => "RW_U/D",
+            RowVariant::RwSat => "RW_Sat",
+            RowVariant::RwDirUd => "RW+Dir_U/D",
+            RowVariant::RwDirSat => "RW+Dir_Sat",
+        }
+    }
+
+    /// The RoW configuration (no locality override; Fig. 9 disables
+    /// forwarding).
+    pub fn config(&self) -> RowConfig {
+        let (det, pred) = match self {
+            RowVariant::EwUd => (DetectorKind::ExecutionWindow, PredictorKind::UpDown),
+            RowVariant::EwSat => (
+                DetectorKind::ExecutionWindow,
+                PredictorKind::SaturateOnContention,
+            ),
+            RowVariant::RwUd => (DetectorKind::ReadyWindow, PredictorKind::UpDown),
+            RowVariant::RwSat => (
+                DetectorKind::ReadyWindow,
+                PredictorKind::SaturateOnContention,
+            ),
+            RowVariant::RwDirUd => (DetectorKind::rw_dir_default(), PredictorKind::UpDown),
+            RowVariant::RwDirSat => (
+                DetectorKind::rw_dir_default(),
+                PredictorKind::SaturateOnContention,
+            ),
+        };
+        RowConfig::new(det, pred)
+    }
+}
+
+/// Runs `bench` under `policy`, with or without store→atomic forwarding.
+///
+/// # Errors
+/// Propagates [`SimTimeout`] if the cycle budget is exhausted.
+pub fn run_benchmark(
+    bench: Benchmark,
+    policy: AtomicPolicy,
+    forwarding: bool,
+    exp: &ExperimentConfig,
+) -> Result<RunResult, SimTimeout> {
+    let sys = exp
+        .system()
+        .with_policy(policy)
+        .with_forward_to_atomics(forwarding);
+    let profile = bench.profile().with_instructions(exp.instructions);
+    let streams: Vec<Box<dyn InstrStream>> = (0..exp.cores)
+        .map(|t| {
+            Box::new(ProfileStream::new(profile, t, exp.cores, exp.seed)) as Box<dyn InstrStream>
+        })
+        .collect();
+    Machine::new(&sys, streams).run(exp.cycle_limit)
+}
+
+/// Runs one Fig. 2 microbenchmark cell and returns cycles per iteration.
+///
+/// # Errors
+/// Propagates [`SimTimeout`] if the cycle budget is exhausted.
+pub fn run_microbench(
+    rmw: MicroRmw,
+    variant: MicroVariant,
+    fence_model: FenceModel,
+    iterations: u64,
+) -> Result<f64, SimTimeout> {
+    let sys = SystemConfig::small(1).with_fence_model(fence_model);
+    let cfg = MicrobenchConfig::paper_like(rmw, variant, iterations);
+    let stream: Box<dyn InstrStream> = Box::new(MicrobenchStream::new(cfg));
+    let r = Machine::new(&sys, vec![stream]).run(iterations * 50_000)?;
+    Ok(r.cycles as f64 / iterations as f64)
+}
+
+/// Far atomics (Section VII's alternative placement): the RMW executes at
+/// the home directory bank.
+///
+/// # Errors
+/// Propagates [`SimTimeout`] if the cycle budget is exhausted.
+pub fn run_far(bench: Benchmark, exp: &ExperimentConfig) -> Result<RunResult, SimTimeout> {
+    let sys = exp
+        .system()
+        .with_policy(AtomicPolicy::Eager)
+        .with_placement(AtomicPlacement::Far);
+    let profile = bench.profile().with_instructions(exp.instructions);
+    let streams: Vec<Box<dyn InstrStream>> = (0..exp.cores)
+        .map(|t| {
+            Box::new(ProfileStream::new(profile, t, exp.cores, exp.seed)) as Box<dyn InstrStream>
+        })
+        .collect();
+    Machine::new(&sys, streams).run(exp.cycle_limit)
+}
+
+/// Convenience: eager baseline for normalization.
+pub fn run_eager(bench: Benchmark, exp: &ExperimentConfig) -> Result<RunResult, SimTimeout> {
+    run_benchmark(bench, AtomicPolicy::Eager, false, exp)
+}
+
+/// Convenience: lazy execution.
+pub fn run_lazy(bench: Benchmark, exp: &ExperimentConfig) -> Result<RunResult, SimTimeout> {
+    run_benchmark(bench, AtomicPolicy::Lazy, false, exp)
+}
+
+/// Convenience: a RoW variant (Fig. 9: no forwarding).
+pub fn run_row(
+    bench: Benchmark,
+    variant: RowVariant,
+    exp: &ExperimentConfig,
+) -> Result<RunResult, SimTimeout> {
+    run_benchmark(bench, AtomicPolicy::Row(variant.config()), false, exp)
+}
+
+/// RoW with the locality override and forwarding enabled (Fig. 13).
+pub fn run_row_fwd(
+    bench: Benchmark,
+    variant: RowVariant,
+    exp: &ExperimentConfig,
+) -> Result<RunResult, SimTimeout> {
+    let cfg = variant.config().with_locality_override(true);
+    run_benchmark(bench, AtomicPolicy::Row(cfg), true, exp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExperimentConfig {
+        ExperimentConfig {
+            cores: 4,
+            instructions: 2_000,
+            seed: 7,
+            cycle_limit: 20_000_000,
+            paper_caches: false,
+        }
+    }
+
+    #[test]
+    fn eager_and_lazy_complete_on_pc() {
+        let exp = tiny();
+        let e = run_eager(Benchmark::Pc, &exp).expect("eager finishes");
+        let l = run_lazy(Benchmark::Pc, &exp).expect("lazy finishes");
+        assert!(e.total.atomics > 0);
+        assert!(l.total.atomics > 0);
+        assert_eq!(e.total.committed, l.total.committed, "same trace");
+    }
+
+    #[test]
+    fn row_variant_names_and_configs() {
+        for v in RowVariant::ALL {
+            assert!(!v.name().is_empty());
+            let cfg = v.config();
+            assert!(!cfg.locality_override);
+        }
+        assert_eq!(
+            RowVariant::RwDirUd.config().detector,
+            DetectorKind::rw_dir_default()
+        );
+    }
+
+    #[test]
+    fn row_runs_and_tracks_accuracy() {
+        let exp = tiny();
+        let r = run_row(Benchmark::Sps, RowVariant::RwDirUd, &exp).expect("finishes");
+        let acc = r.accuracy.expect("RoW records accuracy");
+        assert!(acc.total() > 0);
+    }
+
+    #[test]
+    fn microbench_lock_close_to_plain_when_unfenced() {
+        let it = 300;
+        let plain = run_microbench(
+            MicroRmw::Faa,
+            MicroVariant { atomic: false, mfence: false },
+            FenceModel::Unfenced,
+            it,
+        )
+        .unwrap();
+        let lock = run_microbench(
+            MicroRmw::Faa,
+            MicroVariant { atomic: true, mfence: false },
+            FenceModel::Unfenced,
+            it,
+        )
+        .unwrap();
+        let fenced = run_microbench(
+            MicroRmw::Faa,
+            MicroVariant { atomic: true, mfence: true },
+            FenceModel::Unfenced,
+            it,
+        )
+        .unwrap();
+        assert!(
+            lock < plain * 1.6,
+            "unfenced lock ({lock:.0}) should be near plain ({plain:.0})"
+        );
+        assert!(
+            fenced > lock * 2.0,
+            "explicit mfence ({fenced:.0}) should be much slower than lock ({lock:.0})"
+        );
+    }
+
+    #[test]
+    fn experiment_config_scales() {
+        assert_eq!(ExperimentConfig::quick().system().cores, 8);
+        assert_eq!(ExperimentConfig::paper().system().cores, 32);
+        assert_eq!(
+            ExperimentConfig::paper().system().mem.l1d.size_bytes,
+            48 * 1024
+        );
+    }
+}
+
+#[cfg(test)]
+mod far_tests {
+    use super::*;
+
+    fn tiny() -> ExperimentConfig {
+        ExperimentConfig {
+            cores: 4,
+            instructions: 1_500,
+            seed: 7,
+            cycle_limit: 50_000_000,
+            paper_caches: false,
+        }
+    }
+
+    #[test]
+    fn far_runs_and_counts_every_atomic() {
+        let exp = tiny();
+        let near = run_eager(Benchmark::Sps, &exp).expect("near");
+        let far = run_far(Benchmark::Sps, &exp).expect("far");
+        assert_eq!(near.total.atomics, far.total.atomics, "same trace");
+        assert_eq!(
+            far.total.atomics_lazy, far.total.atomics,
+            "far atomics always use the lazy discipline"
+        );
+    }
+
+    #[test]
+    fn per_core_stats_sum_to_total() {
+        let exp = tiny();
+        let r = run_eager(Benchmark::Tpcc, &exp).expect("runs");
+        let committed: u64 = r.per_core.iter().map(|c| c.committed).sum();
+        assert_eq!(committed, r.total.committed);
+        let atomics: u64 = r.per_core.iter().map(|c| c.atomics).sum();
+        assert_eq!(atomics, r.total.atomics);
+        assert_eq!(r.per_core.len(), exp.cores);
+    }
+
+    #[test]
+    fn same_seed_same_cycles_different_seed_differs() {
+        let exp = tiny();
+        let a = run_eager(Benchmark::Pc, &exp).expect("runs");
+        let b = run_eager(Benchmark::Pc, &exp).expect("runs");
+        assert_eq!(a.cycles, b.cycles);
+        let mut exp2 = exp;
+        exp2.seed = 8;
+        let c = run_eager(Benchmark::Pc, &exp2).expect("runs");
+        assert_ne!(a.cycles, c.cycles);
+    }
+}

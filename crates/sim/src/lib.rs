@@ -1,0 +1,33 @@
+//! Multicore simulation orchestration and the experiment runner.
+//!
+//! * [`machine`] — [`Machine`]: N cores + the shared memory system stepped
+//!   to completion, producing a [`RunResult`] with every metric the paper's
+//!   figures need.
+//! * [`experiment`] — the per-figure knobs: benchmarks × policies ×
+//!   detectors × predictors × forwarding, plus the Fig. 2 microbenchmark
+//!   runner and [`ExperimentConfig`] scaling (`quick` vs `paper`).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use row_sim::{run_eager, run_lazy, ExperimentConfig};
+//! use row_workloads::Benchmark;
+//!
+//! let exp = ExperimentConfig::quick();
+//! let eager = run_eager(Benchmark::Pc, &exp)?;
+//! let lazy = run_lazy(Benchmark::Pc, &exp)?;
+//! println!("pc: lazy/eager = {:.2}", lazy.cycles as f64 / eager.cycles as f64);
+//! # Ok::<(), row_sim::SimTimeout>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod machine;
+
+pub use experiment::{
+    run_benchmark, run_eager, run_far, run_lazy, run_microbench, run_row, run_row_fwd,
+    ExperimentConfig, RowVariant,
+};
+pub use machine::{Machine, RunResult, SimTimeout};

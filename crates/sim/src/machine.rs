@@ -1,0 +1,230 @@
+//! The multicore machine: N cores + the shared memory system, stepped in
+//! lockstep until every thread's parallel phase drains.
+
+use row_common::stats::{AccuracyCounter, RunningMean};
+use row_common::{Cycle, SystemConfig};
+use row_cpu::instr::InstrStream;
+use row_cpu::{Core, CoreStats};
+use row_mem::MemorySystem;
+use row_common::ids::CoreId;
+
+/// Error returned when a simulation exceeds its cycle budget.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimTimeout {
+    /// The budget that was exhausted.
+    pub limit: u64,
+    /// Cores that had not drained.
+    pub unfinished: Vec<u16>,
+}
+
+impl std::fmt::Display for SimTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "simulation exceeded {} cycles; unfinished cores: {:?}",
+            self.limit, self.unfinished
+        )
+    }
+}
+
+impl std::error::Error for SimTimeout {}
+
+/// Results of one full simulation run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Parallel-phase execution time: the cycle the last core drained.
+    pub cycles: u64,
+    /// Aggregate of all cores' statistics.
+    pub total: CoreStats,
+    /// Per-core statistics.
+    pub per_core: Vec<CoreStats>,
+    /// Mean L1D miss latency across all demand misses (Fig. 11).
+    pub miss_latency: RunningMean,
+    /// RoW prediction accuracy, when the RoW policy ran (Fig. 12).
+    pub accuracy: Option<AccuracyCounter>,
+    /// Fraction of branch predictions that missed.
+    pub branch_miss_rate: f64,
+    /// Fills served cache-to-cache from remote private caches.
+    pub remote_fills: u64,
+}
+
+impl RunResult {
+    /// Instructions per cycle across the whole machine.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total.committed as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// A simulated multicore machine.
+pub struct Machine {
+    mem: MemorySystem,
+    cores: Vec<Core>,
+}
+
+impl Machine {
+    /// Builds a machine with one core per stream.
+    ///
+    /// # Panics
+    /// Panics if the number of streams does not match `cfg.cores` or the
+    /// configuration is invalid.
+    pub fn new(cfg: &SystemConfig, streams: Vec<Box<dyn InstrStream>>) -> Self {
+        assert_eq!(
+            streams.len(),
+            cfg.cores,
+            "one instruction stream per core required"
+        );
+        let mem = MemorySystem::new(cfg);
+        let cores = streams
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| Core::new(CoreId::new(i as u16), cfg.core, cfg.mem.l1d.hit_latency, s))
+            .collect();
+        Machine { mem, cores }
+    }
+
+    /// Read access to a core (e.g. to enable load recording before running).
+    pub fn core_mut(&mut self, i: usize) -> &mut Core {
+        &mut self.cores[i]
+    }
+
+    /// Read access to the memory system (tests inspect functional state).
+    pub fn memory(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    /// Mutable access to the memory system (tests pre-seed values).
+    pub fn memory_mut(&mut self) -> &mut MemorySystem {
+        &mut self.mem
+    }
+
+    /// Runs until every core drains or `limit` cycles elapse.
+    ///
+    /// # Errors
+    /// Returns [`SimTimeout`] when the budget is exhausted — usually a sign
+    /// of a deadlocked workload or an undersized limit.
+    pub fn run(&mut self, limit: u64) -> Result<RunResult, SimTimeout> {
+        let mut now = Cycle::ZERO;
+        while now.raw() < limit {
+            if self.cores.iter().all(|c| c.finished()) {
+                break;
+            }
+            for ev in self.mem.tick(now) {
+                let target = match ev {
+                    row_mem::MemEvent::Fill { core, .. } => core,
+                    row_mem::MemEvent::FarDone { core, .. } => core,
+                    row_mem::MemEvent::ExternalObserved { core, .. } => core,
+                };
+                self.cores[target.index()].handle_mem_event(&ev, now, &mut self.mem);
+            }
+            for c in self.cores.iter_mut() {
+                if !c.finished() {
+                    c.cycle(now, &mut self.mem);
+                }
+            }
+            now += 1;
+        }
+        if !self.cores.iter().all(|c| c.finished()) {
+            return Err(SimTimeout {
+                limit,
+                unfinished: self
+                    .cores
+                    .iter()
+                    .filter(|c| !c.finished())
+                    .map(|c| c.id().index() as u16)
+                    .collect(),
+            });
+        }
+        Ok(self.collect())
+    }
+
+    fn collect(&self) -> RunResult {
+        let per_core: Vec<CoreStats> = self.cores.iter().map(|c| c.stats().clone()).collect();
+        let mut total = CoreStats::default();
+        for s in &per_core {
+            total.merge(s);
+        }
+        let cycles = total.finished_at.map(|c| c.raw()).unwrap_or(0);
+        let mut accuracy: Option<AccuracyCounter> = None;
+        for c in &self.cores {
+            if let Some(a) = c.row_accuracy() {
+                accuracy.get_or_insert_with(AccuracyCounter::new).merge(a);
+            }
+        }
+        let (mut preds, mut miss) = (0u64, 0u64);
+        for c in &self.cores {
+            preds += c.branch_stats().predictions;
+            miss += c.branch_stats().mispredictions;
+        }
+        RunResult {
+            cycles,
+            total,
+            per_core,
+            miss_latency: self.mem.stats().miss_latency_all,
+            accuracy,
+            branch_miss_rate: if preds == 0 {
+                0.0
+            } else {
+                miss as f64 / preds as f64
+            },
+            remote_fills: self.mem.stats().remote_fills,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use row_common::ids::{Addr, Pc};
+    use row_cpu::instr::{Instr, Op, RmwKind, VecStream};
+
+    fn faa_prog(n: u64, addr: u64) -> Box<dyn InstrStream> {
+        let prog: Vec<Instr> = (0..n)
+            .map(|_| {
+                Instr::simple(
+                    Pc::new(0x40),
+                    Op::Atomic {
+                        rmw: RmwKind::Faa(1),
+                        addr: Addr::new(addr),
+                    },
+                )
+            })
+            .collect();
+        Box::new(VecStream::new(prog))
+    }
+
+    #[test]
+    fn four_core_faa_sums_exactly() {
+        let cfg = SystemConfig::small(4);
+        let streams: Vec<Box<dyn InstrStream>> =
+            (0..4).map(|_| faa_prog(25, 0xabc000)).collect();
+        let mut m = Machine::new(&cfg, streams);
+        let r = m.run(3_000_000).expect("finishes");
+        assert_eq!(m.memory().read_word(Addr::new(0xabc000)), 100);
+        assert_eq!(r.total.atomics, 100);
+        assert!(r.cycles > 0);
+        assert!(r.ipc() > 0.0);
+    }
+
+    #[test]
+    fn timeout_is_reported() {
+        let cfg = SystemConfig::small(2);
+        let streams: Vec<Box<dyn InstrStream>> =
+            (0..2).map(|_| faa_prog(50, 0xddd000)).collect();
+        let mut m = Machine::new(&cfg, streams);
+        let err = m.run(10).expect_err("cannot finish in 10 cycles");
+        assert_eq!(err.limit, 10);
+        assert!(!err.unfinished.is_empty());
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "one instruction stream per core")]
+    fn stream_count_must_match() {
+        let cfg = SystemConfig::small(2);
+        Machine::new(&cfg, vec![faa_prog(1, 0)]);
+    }
+}

@@ -1,0 +1,309 @@
+//! The Fig. 2 microbenchmark.
+//!
+//! One thread allocates a large array (exceeding all caches), then repeatedly
+//! picks a random element and performs an RMW on it in one of four variants:
+//! non-atomic or atomic (x86 `lock` prefix), each without or with explicit
+//! `mfence`s before and after. Because accesses miss and are independent, the
+//! fence variants collapse memory-level parallelism — the effect Fig. 2
+//! measures.
+//!
+//! Note the paper's footnote: `xchg` with a memory operand is always locked,
+//! so the Swap/non-atomic variant behaves identically to Swap/atomic; this
+//! generator reproduces that by always emitting the atomic form for Swap.
+
+use row_common::ids::{Addr, Pc};
+use row_common::rng::SplitMix64;
+
+use row_cpu::instr::{Instr, InstrStream, Op, RmwKind};
+
+/// Which RMW instruction the microbenchmark exercises.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MicroRmw {
+    /// Fetch-and-add (`lock xadd` / `add`).
+    Faa,
+    /// Compare-and-swap (`lock cmpxchg` / `cmpxchg`).
+    Cas,
+    /// Exchange (`xchg` — always locked on x86).
+    Swap,
+}
+
+impl MicroRmw {
+    /// All three RMW instructions, in the paper's order.
+    pub const ALL: [MicroRmw; 3] = [MicroRmw::Faa, MicroRmw::Cas, MicroRmw::Swap];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MicroRmw::Faa => "FAA",
+            MicroRmw::Cas => "CAS",
+            MicroRmw::Swap => "Swap",
+        }
+    }
+}
+
+/// One of the four microbenchmark variants.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MicroVariant {
+    /// Use the `lock` prefix (atomic execution).
+    pub atomic: bool,
+    /// Surround the RMW with explicit `mfence`s.
+    pub mfence: bool,
+}
+
+impl MicroVariant {
+    /// The four variants in the paper's per-group order:
+    /// plain, plain+mfence, lock, lock+mfence.
+    pub const ALL: [MicroVariant; 4] = [
+        MicroVariant { atomic: false, mfence: false },
+        MicroVariant { atomic: false, mfence: true },
+        MicroVariant { atomic: true, mfence: false },
+        MicroVariant { atomic: true, mfence: true },
+    ];
+
+    /// Display name, e.g. `"lock+mfence"`.
+    pub fn name(&self) -> &'static str {
+        match (self.atomic, self.mfence) {
+            (false, false) => "plain",
+            (false, true) => "plain+mfence",
+            (true, false) => "lock",
+            (true, true) => "lock+mfence",
+        }
+    }
+}
+
+/// Configuration of one microbenchmark run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MicrobenchConfig {
+    /// RMW instruction under test.
+    pub rmw: MicroRmw,
+    /// Variant (lock prefix / explicit fences).
+    pub variant: MicroVariant,
+    /// Iterations (each picks a random element and RMWs it).
+    pub iterations: u64,
+    /// Array size in cache lines; must exceed the simulated LLC to keep the
+    /// memory latency exposed (the paper uses a many-megabyte array).
+    pub array_lines: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl MicrobenchConfig {
+    /// A configuration matching the paper's setup, scaled to simulation.
+    pub fn paper_like(rmw: MicroRmw, variant: MicroVariant, iterations: u64) -> Self {
+        MicrobenchConfig {
+            rmw,
+            variant,
+            iterations,
+            array_lines: 1 << 17, // 8 MiB, beyond the small-config LLC
+            seed: 0xf162,
+        }
+    }
+
+    /// Instructions emitted per iteration (constant within a variant, so
+    /// cycles/iteration are comparable across RMWs).
+    pub fn instrs_per_iteration(&self) -> u64 {
+        let rmw = if self.effective_atomic() { 1 } else { 3 };
+        let fences = if self.variant.mfence { 2 } else { 0 };
+        2 + rmw + fences // 2 index ALUs + RMW + fences
+    }
+
+    /// Whether the emitted RMW is atomic, accounting for `xchg`'s implicit
+    /// lock.
+    pub fn effective_atomic(&self) -> bool {
+        self.variant.atomic || self.rmw == MicroRmw::Swap
+    }
+}
+
+const ARRAY_BASE: u64 = 0x4000_0000;
+
+/// The microbenchmark instruction stream.
+#[derive(Clone, Debug)]
+pub struct MicrobenchStream {
+    cfg: MicrobenchConfig,
+    rng: SplitMix64,
+    iter: u64,
+    queue: std::collections::VecDeque<Instr>,
+}
+
+impl MicrobenchStream {
+    /// Creates the stream.
+    ///
+    /// # Panics
+    /// Panics if `iterations` or `array_lines` is zero.
+    pub fn new(cfg: MicrobenchConfig) -> Self {
+        assert!(cfg.iterations > 0, "need at least one iteration");
+        assert!(cfg.array_lines > 0, "need a non-empty array");
+        MicrobenchStream {
+            cfg,
+            rng: SplitMix64::new(cfg.seed),
+            iter: 0,
+            queue: std::collections::VecDeque::new(),
+        }
+    }
+
+    fn emit_iteration(&mut self) {
+        let line = self.rng.below(self.cfg.array_lines);
+        let addr = Addr::new(ARRAY_BASE + line * 64);
+        // Index computation: two chained ALU ops producing the address.
+        self.queue.push_back(
+            Instr::simple(Pc::new(0x100), Op::Alu { latency: 1 })
+                .with_srcs(Some(4), None)
+                .with_dst(4),
+        );
+        self.queue.push_back(
+            Instr::simple(Pc::new(0x104), Op::Alu { latency: 1 })
+                .with_srcs(Some(4), None)
+                .with_dst(5),
+        );
+        if self.cfg.variant.mfence {
+            self.queue
+                .push_back(Instr::simple(Pc::new(0x108), Op::Fence));
+        }
+        let rmw = match self.cfg.rmw {
+            MicroRmw::Faa => RmwKind::Faa(1),
+            MicroRmw::Cas => RmwKind::Cas { expected: 0, new: 1 },
+            MicroRmw::Swap => RmwKind::Swap(7),
+        };
+        if self.cfg.effective_atomic() {
+            self.queue.push_back(
+                Instr::simple(Pc::new(0x10c), Op::Atomic { rmw, addr })
+                    .with_srcs(Some(5), None),
+            );
+        } else {
+            // Non-atomic RMW: load, modify, store.
+            self.queue.push_back(
+                Instr::simple(Pc::new(0x110), Op::Load { addr })
+                    .with_srcs(Some(5), None)
+                    .with_dst(6),
+            );
+            self.queue.push_back(
+                Instr::simple(Pc::new(0x114), Op::Alu { latency: 1 })
+                    .with_srcs(Some(6), None)
+                    .with_dst(6),
+            );
+            self.queue.push_back(
+                Instr::simple(Pc::new(0x118), Op::Store { addr, value: None })
+                    .with_srcs(Some(6), None),
+            );
+        }
+        if self.cfg.variant.mfence {
+            self.queue
+                .push_back(Instr::simple(Pc::new(0x11c), Op::Fence));
+        }
+    }
+}
+
+impl InstrStream for MicrobenchStream {
+    fn next_instr(&mut self) -> Option<Instr> {
+        if self.queue.is_empty() {
+            if self.iter >= self.cfg.iterations {
+                return None;
+            }
+            self.iter += 1;
+            self.emit_iteration();
+        }
+        self.queue.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(cfg: MicrobenchConfig) -> Vec<Instr> {
+        let mut s = MicrobenchStream::new(cfg);
+        let mut v = Vec::new();
+        while let Some(i) = s.next_instr() {
+            v.push(i);
+        }
+        v
+    }
+
+    #[test]
+    fn instruction_count_matches_formula() {
+        for rmw in MicroRmw::ALL {
+            for variant in MicroVariant::ALL {
+                let cfg = MicrobenchConfig::paper_like(rmw, variant, 50);
+                let v = collect(cfg);
+                assert_eq!(
+                    v.len() as u64,
+                    50 * cfg.instrs_per_iteration(),
+                    "{} {}",
+                    rmw.name(),
+                    variant.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lock_variant_emits_atomics_plain_emits_load_store() {
+        let lock = collect(MicrobenchConfig::paper_like(
+            MicroRmw::Faa,
+            MicroVariant { atomic: true, mfence: false },
+            10,
+        ));
+        assert_eq!(lock.iter().filter(|i| i.op.is_atomic()).count(), 10);
+        let plain = collect(MicrobenchConfig::paper_like(
+            MicroRmw::Faa,
+            MicroVariant { atomic: false, mfence: false },
+            10,
+        ));
+        assert_eq!(plain.iter().filter(|i| i.op.is_atomic()).count(), 0);
+        assert_eq!(
+            plain
+                .iter()
+                .filter(|i| matches!(i.op, Op::Load { .. }))
+                .count(),
+            10
+        );
+    }
+
+    #[test]
+    fn swap_is_always_locked_like_x86_xchg() {
+        let plain_swap = collect(MicrobenchConfig::paper_like(
+            MicroRmw::Swap,
+            MicroVariant { atomic: false, mfence: false },
+            10,
+        ));
+        assert_eq!(plain_swap.iter().filter(|i| i.op.is_atomic()).count(), 10);
+    }
+
+    #[test]
+    fn mfence_variants_carry_two_fences_per_iteration() {
+        let v = collect(MicrobenchConfig::paper_like(
+            MicroRmw::Cas,
+            MicroVariant { atomic: true, mfence: true },
+            7,
+        ));
+        assert_eq!(
+            v.iter().filter(|i| matches!(i.op, Op::Fence)).count(),
+            14
+        );
+    }
+
+    #[test]
+    fn addresses_span_the_array_randomly() {
+        let v = collect(MicrobenchConfig::paper_like(
+            MicroRmw::Faa,
+            MicroVariant { atomic: true, mfence: false },
+            200,
+        ));
+        let lines: std::collections::HashSet<u64> = v
+            .iter()
+            .filter_map(|i| i.op.addr())
+            .map(|a| a.line().raw())
+            .collect();
+        assert!(lines.len() > 150, "expected wide random spread, got {}", lines.len());
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = MicrobenchConfig::paper_like(
+            MicroRmw::Cas,
+            MicroVariant { atomic: true, mfence: false },
+            30,
+        );
+        assert_eq!(collect(cfg), collect(cfg));
+    }
+}

@@ -1,0 +1,418 @@
+//! Profile-driven synthetic workload generator.
+//!
+//! Real Splash-4/PARSEC binaries are unavailable here, so each benchmark is
+//! modelled by the properties that drive the paper's mechanism (see
+//! DESIGN.md): atomic intensity, the fraction of atomics touching shared hot
+//! lines, atomic locality (a store to the same line right before the atomic —
+//! the `cq`/`tatp`/`barnes` pattern), dependence-chain density, instruction
+//! mix, and working-set size. A [`ProfileStream`] turns a
+//! [`WorkloadProfile`] into a deterministic per-thread instruction stream.
+
+use row_common::ids::{Addr, Pc};
+use row_common::rng::SplitMix64;
+
+use row_cpu::instr::{Instr, InstrStream, Op, RmwKind};
+
+/// Address-space layout constants (per-thread regions never collide).
+const PRIVATE_BASE: u64 = 0x1000_0000;
+const PRIVATE_STRIDE: u64 = 0x0100_0000;
+const HOT_BASE: u64 = 0x8000_0000;
+const SHARED_READ_BASE: u64 = 0x9000_0000;
+
+/// The tunable properties of a synthetic parallel workload.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct WorkloadProfile {
+    /// Display name (matches the paper's benchmark names).
+    pub name: &'static str,
+    /// Instructions per thread in the parallel phase.
+    pub instructions: u64,
+    /// Atomic RMWs per 10 000 instructions (Fig. 5, left axis).
+    pub atomics_per_10k: f64,
+    /// Fraction of atomics that target the shared hot lines.
+    pub contended_fraction: f64,
+    /// Number of hot (all-thread-shared) lines.
+    pub hot_lines: u64,
+    /// Per-thread lines reachable by non-contended atomics.
+    pub private_atomic_lines: u64,
+    /// Fraction of atomics preceded by a regular store to the same word
+    /// (atomic locality; drives the Fig. 13 forwarding results).
+    pub locality_fraction: f64,
+    /// When true, one PC issues both contended and non-contended atomics
+    /// (partial bias — the `barnes`/`tatp`/`raytrace` pathology).
+    pub mixed_site: bool,
+    /// Fraction of filler instructions that are loads.
+    pub load_frac: f64,
+    /// Fraction of filler instructions that are stores.
+    pub store_frac: f64,
+    /// Fraction of filler instructions that are branches.
+    pub branch_frac: f64,
+    /// Probability each filler ALU depends on the previous one (ILP knob;
+    /// high values model `raytrace`/`streamcluster`-like serial chains).
+    pub dep_chain: f64,
+    /// Per-thread working-set size in cache lines for filler loads/stores.
+    pub working_set_lines: u64,
+    /// Fraction of filler loads that read the all-thread shared-read region.
+    pub shared_read_fraction: f64,
+}
+
+impl WorkloadProfile {
+    /// A neutral medium-intensity profile, useful as a starting point.
+    pub fn balanced(name: &'static str) -> Self {
+        WorkloadProfile {
+            name,
+            instructions: 20_000,
+            atomics_per_10k: 10.0,
+            contended_fraction: 0.0,
+            hot_lines: 4,
+            private_atomic_lines: 512,
+            locality_fraction: 0.0,
+            mixed_site: false,
+            load_frac: 0.25,
+            store_frac: 0.10,
+            branch_frac: 0.10,
+            dep_chain: 0.30,
+            working_set_lines: 4096,
+            shared_read_fraction: 0.05,
+        }
+    }
+
+    /// Returns the profile with the per-thread instruction count replaced
+    /// (the experiment runner scales workloads to the time budget).
+    pub fn with_instructions(mut self, n: u64) -> Self {
+        self.instructions = n;
+        self
+    }
+
+    /// Validates that all fractions are sane.
+    ///
+    /// # Errors
+    /// Describes the first out-of-range field.
+    pub fn validate(&self) -> Result<(), String> {
+        for (n, v) in [
+            ("contended_fraction", self.contended_fraction),
+            ("locality_fraction", self.locality_fraction),
+            ("load_frac", self.load_frac),
+            ("store_frac", self.store_frac),
+            ("branch_frac", self.branch_frac),
+            ("dep_chain", self.dep_chain),
+            ("shared_read_fraction", self.shared_read_fraction),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{}: {n} = {v} out of [0,1]", self.name));
+            }
+        }
+        if self.load_frac + self.store_frac + self.branch_frac > 1.0 {
+            return Err(format!("{}: instruction mix exceeds 1.0", self.name));
+        }
+        if self.atomics_per_10k < 0.0 || self.atomics_per_10k > 5_000.0 {
+            return Err(format!("{}: atomics_per_10k out of range", self.name));
+        }
+        if self.hot_lines == 0 || self.private_atomic_lines == 0 || self.working_set_lines == 0 {
+            return Err(format!("{}: region sizes must be non-zero", self.name));
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic instruction stream for one thread of a profiled workload.
+#[derive(Clone, Debug)]
+pub struct ProfileStream {
+    p: WorkloadProfile,
+    rng: SplitMix64,
+    tid: u64,
+    emitted: u64,
+    queue: std::collections::VecDeque<Instr>,
+    until_atomic: u64,
+    chain_live: bool,
+}
+
+/// PCs of the workload's static instruction sites.
+mod pcs {
+    pub const ALU: u64 = 0x1000;
+    pub const LOAD: u64 = 0x1100;
+    pub const STORE: u64 = 0x1200;
+    pub const BRANCH: u64 = 0x1300;
+    pub const ATOMIC_HOT: u64 = 0x2040;
+    pub const ATOMIC_PRIVATE: u64 = 0x2080;
+    pub const ATOMIC_MIXED: u64 = 0x20c0;
+    pub const LOCAL_STORE: u64 = 0x2100;
+}
+
+impl ProfileStream {
+    /// Creates the stream for thread `tid` of `threads` with a global `seed`.
+    ///
+    /// # Panics
+    /// Panics if the profile does not validate.
+    pub fn new(profile: WorkloadProfile, tid: usize, threads: usize, seed: u64) -> Self {
+        profile.validate().expect("invalid workload profile");
+        assert!(tid < threads, "thread id out of range");
+        let mut root = SplitMix64::new(seed ^ 0x5eed_0000);
+        let mut rng = SplitMix64::new(root.next_u64().wrapping_add(tid as u64 * 0x9e37));
+        let until_atomic = Self::gap(&mut rng, &profile);
+        ProfileStream {
+            p: profile,
+            rng,
+            tid: tid as u64,
+            emitted: 0,
+            queue: std::collections::VecDeque::new(),
+            until_atomic,
+            chain_live: false,
+        }
+    }
+
+    fn gap(rng: &mut SplitMix64, p: &WorkloadProfile) -> u64 {
+        if p.atomics_per_10k <= 0.0 {
+            return u64::MAX;
+        }
+        rng.geometric_gap(10_000.0 / p.atomics_per_10k)
+    }
+
+    fn private_ws_addr(&mut self) -> Addr {
+        let line = self.rng.below(self.p.working_set_lines);
+        let off = self.rng.below(8) * 8;
+        Addr::new(PRIVATE_BASE + self.tid * PRIVATE_STRIDE + line * 64 + off)
+    }
+
+    fn shared_read_addr(&mut self) -> Addr {
+        let line = self.rng.below(self.p.working_set_lines.max(64));
+        Addr::new(SHARED_READ_BASE + line * 64)
+    }
+
+    fn hot_addr(&mut self) -> Addr {
+        let line = self.rng.below(self.p.hot_lines);
+        Addr::new(HOT_BASE + line * 64)
+    }
+
+    fn private_atomic_addr(&mut self) -> Addr {
+        let line = self.rng.below(self.p.private_atomic_lines);
+        Addr::new(PRIVATE_BASE + self.tid * PRIVATE_STRIDE + 0x80_0000 + line * 64)
+    }
+
+    fn emit_atomic_block(&mut self) {
+        let contended = self.rng.chance(self.p.contended_fraction);
+        let addr = if contended {
+            self.hot_addr()
+        } else {
+            self.private_atomic_addr()
+        };
+        let pc = if self.p.mixed_site {
+            pcs::ATOMIC_MIXED
+        } else if contended {
+            pcs::ATOMIC_HOT
+        } else {
+            pcs::ATOMIC_PRIVATE
+        };
+        if self.rng.chance(self.p.locality_fraction) {
+            // Atomic locality: a plain store to the same word first.
+            self.queue.push_back(Instr::simple(
+                Pc::new(pcs::LOCAL_STORE),
+                Op::Store {
+                    addr,
+                    value: None,
+                },
+            ));
+        }
+        self.queue.push_back(Instr::simple(
+            Pc::new(pc),
+            Op::Atomic {
+                rmw: RmwKind::Faa(1),
+                addr,
+            },
+        ));
+    }
+
+    fn emit_filler(&mut self) {
+        let r = self.rng.unit_f64();
+        let i = if r < self.p.load_frac {
+            let shared = self.rng.chance(self.p.shared_read_fraction);
+            let addr = if shared {
+                self.shared_read_addr()
+            } else {
+                self.private_ws_addr()
+            };
+            let site = self.rng.below(8);
+            Instr::simple(Pc::new(pcs::LOAD + site * 4), Op::Load { addr }).with_dst(2)
+        } else if r < self.p.load_frac + self.p.store_frac {
+            let addr = self.private_ws_addr();
+            let site = self.rng.below(8);
+            Instr::simple(
+                Pc::new(pcs::STORE + site * 4),
+                Op::Store { addr, value: None },
+            )
+        } else if r < self.p.load_frac + self.p.store_frac + self.p.branch_frac {
+            // Loop-like branches: a handful of sites, strongly biased.
+            let site = self.rng.below(4);
+            let taken = self.rng.chance(0.9);
+            Instr::simple(Pc::new(pcs::BRANCH + site * 4), Op::Branch { taken })
+        } else {
+            let dep = self.chain_live && self.rng.chance(self.p.dep_chain);
+            self.chain_live = true;
+            let latency = if self.rng.chance(0.1) { 3 } else { 1 };
+            let site = self.rng.below(8);
+            let mut i = Instr::simple(Pc::new(pcs::ALU + site * 4), Op::Alu { latency })
+                .with_dst(1);
+            if dep {
+                i = i.with_srcs(Some(1), None);
+            }
+            i
+        };
+        self.queue.push_back(i);
+    }
+}
+
+impl InstrStream for ProfileStream {
+    fn next_instr(&mut self) -> Option<Instr> {
+        loop {
+            if let Some(i) = self.queue.pop_front() {
+                self.emitted += 1;
+                return Some(i);
+            }
+            if self.emitted >= self.p.instructions {
+                return None;
+            }
+            if self.until_atomic == 0 {
+                self.emit_atomic_block();
+                self.until_atomic = Self::gap(&mut self.rng, &self.p);
+            } else {
+                self.until_atomic -= 1;
+                self.emit_filler();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(p: WorkloadProfile, tid: usize, seed: u64) -> Vec<Instr> {
+        let mut s = ProfileStream::new(p, tid, 4, seed);
+        let mut v = Vec::new();
+        while let Some(i) = s.next_instr() {
+            v.push(i);
+        }
+        v
+    }
+
+    fn profile() -> WorkloadProfile {
+        let mut p = WorkloadProfile::balanced("test");
+        p.instructions = 30_000;
+        p.atomics_per_10k = 50.0;
+        p.contended_fraction = 0.5;
+        p.locality_fraction = 0.2;
+        p
+    }
+
+    #[test]
+    fn stream_is_deterministic() {
+        let a = collect(profile(), 1, 42);
+        let b = collect(profile(), 1, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn threads_and_seeds_differ() {
+        let a = collect(profile(), 0, 42);
+        let b = collect(profile(), 1, 42);
+        let c = collect(profile(), 0, 43);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn atomic_rate_is_calibrated() {
+        let v = collect(profile(), 0, 7);
+        let atomics = v.iter().filter(|i| i.op.is_atomic()).count() as f64;
+        let rate = atomics * 10_000.0 / v.len() as f64;
+        assert!(
+            (35.0..65.0).contains(&rate),
+            "expected ~50 atomics/10k, got {rate}"
+        );
+    }
+
+    #[test]
+    fn contended_atomics_hit_hot_region() {
+        let v = collect(profile(), 2, 7);
+        let (mut hot, mut private) = (0, 0);
+        for i in &v {
+            if let Op::Atomic { addr, .. } = i.op {
+                if addr.raw() >= HOT_BASE && addr.raw() < SHARED_READ_BASE {
+                    hot += 1;
+                } else {
+                    private += 1;
+                }
+            }
+        }
+        assert!(hot > 0 && private > 0);
+        let frac = hot as f64 / (hot + private) as f64;
+        assert!((0.3..0.7).contains(&frac), "contended fraction {frac}");
+    }
+
+    #[test]
+    fn locality_stores_precede_atomics() {
+        let v = collect(profile(), 0, 9);
+        let mut preceded = 0;
+        let mut total = 0;
+        for w in v.windows(2) {
+            if let Op::Atomic { addr, .. } = w[1].op {
+                total += 1;
+                if let Op::Store { addr: sa, .. } = w[0].op {
+                    if sa == addr {
+                        preceded += 1;
+                    }
+                }
+            }
+        }
+        assert!(total > 0);
+        let frac = preceded as f64 / total as f64;
+        assert!((0.1..0.35).contains(&frac), "locality fraction {frac}");
+    }
+
+    #[test]
+    fn private_regions_do_not_overlap_across_threads() {
+        let a = collect(profile(), 0, 11);
+        let b = collect(profile(), 1, 11);
+        let priv_lines = |v: &[Instr]| -> std::collections::HashSet<u64> {
+            v.iter()
+                .filter_map(|i| i.op.addr())
+                .filter(|a| a.raw() < HOT_BASE)
+                .map(|a| a.line().raw())
+                .collect()
+        };
+        let la = priv_lines(&a);
+        let lb = priv_lines(&b);
+        assert!(la.is_disjoint(&lb), "private working sets must not collide");
+    }
+
+    #[test]
+    fn zero_atomics_profile_emits_none() {
+        let mut p = profile();
+        p.atomics_per_10k = 0.0;
+        p.instructions = 5_000;
+        let v = collect(p, 0, 3);
+        assert!(v.iter().all(|i| !i.op.is_atomic()));
+        assert_eq!(v.len(), 5_000);
+    }
+
+    #[test]
+    fn invalid_profiles_are_rejected() {
+        let mut p = profile();
+        p.load_frac = 0.9;
+        p.store_frac = 0.5;
+        assert!(p.validate().is_err());
+        let mut p = profile();
+        p.contended_fraction = 1.5;
+        assert!(p.validate().is_err());
+        let mut p = profile();
+        p.hot_lines = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn instruction_count_matches_profile() {
+        let v = collect(profile().with_instructions(12_345), 0, 1);
+        // Atomic blocks can push the total slightly past the target.
+        assert!(v.len() as u64 >= 12_345);
+        assert!((v.len() as u64) < 12_345 + 10);
+    }
+}

@@ -1,0 +1,51 @@
+//! The Section II-A microbenchmark (Fig. 2), reproduced in simulation.
+//!
+//! Runs FAA/CAS/Swap in the four variants (± `lock` prefix, ± explicit
+//! `mfence`s) on two core models: `Kentsfield-like` (atomics carry implicit
+//! fences, as 2007-era x86) and `Coffee-Lake-like` (unfenced atomics, as
+//! current x86). Prints cycles per iteration — compare the shapes with the
+//! paper's Fig. 2.
+//!
+//! ```text
+//! cargo run --release --example microbenchmark [iterations]
+//! ```
+
+use norush::common::config::FenceModel;
+use norush::sim::run_microbench;
+use norush::workloads::{MicroRmw, MicroVariant};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let iterations: u64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(1_000);
+
+    for (label, model) in [
+        ("Coffee-Lake-like (unfenced atomics)", FenceModel::Unfenced),
+        ("Kentsfield-like (fenced atomics)", FenceModel::Fenced),
+    ] {
+        println!("== {label} — cycles/iteration, {iterations} iterations ==");
+        println!("{:6} {:>9} {:>14} {:>9} {:>13}", "rmw", "plain", "plain+mfence", "lock", "lock+mfence");
+        for rmw in MicroRmw::ALL {
+            print!("{:6}", rmw.name());
+            for variant in MicroVariant::ALL {
+                let cpi = run_microbench(rmw, variant, model, iterations)?;
+                let w = match variant.name() {
+                    "plain" => 9,
+                    "plain+mfence" => 14,
+                    "lock" => 9,
+                    _ => 13,
+                };
+                print!(" {cpi:>w$.1}", w = w);
+            }
+            println!();
+        }
+        println!();
+    }
+    println!("expected shapes (paper Fig. 2):");
+    println!(" * unfenced model: lock ≈ plain; explicit mfence ≈ 4x slower");
+    println!(" * fenced model:   lock ≈ 2x plain; extra mfence adds nothing");
+    println!(" * Swap: x86 xchg is always locked, so plain == lock");
+    Ok(())
+}

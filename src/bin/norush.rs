@@ -1,0 +1,305 @@
+//! `norush` command-line interface.
+//!
+//! ```text
+//! norush list
+//! norush table1
+//! norush run <benchmark> [--cores N] [--instr N] [--seed S] [--policy P]
+//! norush compare <benchmark> [--cores N] [--instr N] [--seed S]
+//! norush microbench [--iters N] [--fenced]
+//! norush record <benchmark> <file> [--instr N] [--tid T] [--threads N]
+//! norush replay <file> [--policy P]
+//! ```
+//!
+//! Policies: `eager` (default), `lazy`, `row`, `row-fwd`, `far`.
+
+use norush::common::config::{AtomicPlacement, AtomicPolicy, FenceModel, RowConfig};
+use norush::cpu::instr::InstrStream;
+use norush::sim::{run_microbench, ExperimentConfig, Machine, RunResult};
+use norush::workloads::{
+    Benchmark, MicroRmw, MicroVariant, ProfileStream, TraceFileStream,
+};
+use norush::SystemConfig;
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+struct Args {
+    positional: Vec<String>,
+    flags: std::collections::HashMap<String, String>,
+    switches: std::collections::HashSet<String>,
+}
+
+fn parse_args(raw: Vec<String>) -> Args {
+    let mut positional = Vec::new();
+    let mut flags = std::collections::HashMap::new();
+    let mut switches = std::collections::HashSet::new();
+    let mut it = raw.into_iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    flags.insert(name.to_string(), it.next().expect("peeked"));
+                }
+                _ => {
+                    switches.insert(name.to_string());
+                }
+            }
+        } else {
+            positional.push(a);
+        }
+    }
+    Args {
+        positional,
+        flags,
+        switches,
+    }
+}
+
+impl Args {
+    fn num(&self, name: &str, default: u64) -> Result<u64, Box<dyn std::error::Error>> {
+        match self.flags.get(name) {
+            Some(v) => Ok(v.parse()?),
+            None => Ok(default),
+        }
+    }
+}
+
+fn bench_by_name(name: &str) -> Result<Benchmark, String> {
+    Benchmark::all()
+        .iter()
+        .copied()
+        .find(|b| b.name() == name)
+        .ok_or_else(|| {
+            format!(
+                "unknown benchmark `{name}`; known: {}",
+                Benchmark::all()
+                    .iter()
+                    .map(|b| b.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })
+}
+
+fn system_for(policy: &str, exp: &ExperimentConfig) -> Result<SystemConfig, String> {
+    let sys = exp.system();
+    Ok(match policy {
+        "eager" => sys.with_policy(AtomicPolicy::Eager),
+        "lazy" => sys.with_policy(AtomicPolicy::Lazy),
+        "row" => sys.with_policy(AtomicPolicy::Row(
+            RowConfig::best().with_locality_override(false),
+        )),
+        "row-fwd" => sys
+            .with_policy(AtomicPolicy::Row(RowConfig::best()))
+            .with_forward_to_atomics(true),
+        "far" => sys.with_placement(AtomicPlacement::Far),
+        other => return Err(format!("unknown policy `{other}`")),
+    })
+}
+
+fn run_with(sys: &SystemConfig, bench: Benchmark, exp: &ExperimentConfig) -> RunResult {
+    let profile = bench.profile().with_instructions(exp.instructions);
+    let streams: Vec<Box<dyn InstrStream>> = (0..exp.cores)
+        .map(|t| Box::new(ProfileStream::new(profile, t, exp.cores, exp.seed)) as _)
+        .collect();
+    Machine::new(sys, streams)
+        .run(exp.cycle_limit)
+        .expect("simulation drains")
+}
+
+fn summarize(name: &str, r: &RunResult, baseline: Option<u64>) {
+    let norm = baseline
+        .map(|b| format!("{:>8.3}", r.cycles as f64 / b as f64))
+        .unwrap_or_else(|| "       -".into());
+    println!(
+        "{name:10} {:>10} {norm} {:>6.2} {:>8} {:>7.0}%",
+        r.cycles,
+        r.ipc(),
+        r.total.atomics,
+        100.0 * r.total.contended_fraction(),
+    );
+}
+
+fn exp_from(args: &Args) -> Result<ExperimentConfig, Box<dyn std::error::Error>> {
+    let mut exp = ExperimentConfig::quick();
+    exp.cores = args.num("cores", 8)? as usize;
+    exp.instructions = args.num("instr", 6_000)?;
+    exp.seed = args.num("seed", 42)?;
+    exp.paper_caches = exp.cores > 8;
+    Ok(exp)
+}
+
+fn cmd_run(args: &Args) -> CliResult {
+    let bench = bench_by_name(args.positional.first().ok_or("usage: run <benchmark>")?)?;
+    let exp = exp_from(args)?;
+    let policy = args
+        .flags
+        .get("policy")
+        .map(String::as_str)
+        .unwrap_or("eager");
+    let sys = system_for(policy, &exp)?;
+    let r = run_with(&sys, bench, &exp);
+    println!("{bench} on {} cores, policy {policy}:", exp.cores);
+    println!("  cycles            {}", r.cycles);
+    println!("  IPC               {:.2}", r.ipc());
+    println!("  atomics           {}", r.total.atomics);
+    println!(
+        "  contended         {:.0}%",
+        100.0 * r.total.contended_fraction()
+    );
+    println!("  miss latency      {:.0} cycles", r.miss_latency.mean());
+    if let Some(acc) = r.accuracy {
+        println!("  RoW accuracy      {:.0}%", 100.0 * acc.accuracy());
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> CliResult {
+    let bench = bench_by_name(args.positional.first().ok_or("usage: compare <benchmark>")?)?;
+    let exp = exp_from(args)?;
+    println!(
+        "{bench} on {} cores ({} instructions/thread):\n",
+        exp.cores, exp.instructions
+    );
+    println!(
+        "{:10} {:>10} {:>8} {:>6} {:>8} {:>8}",
+        "policy", "cycles", "vs eager", "IPC", "atomics", "cont"
+    );
+    let mut baseline = None;
+    for policy in ["eager", "lazy", "row", "row-fwd", "far"] {
+        let sys = system_for(policy, &exp)?;
+        let r = run_with(&sys, bench, &exp);
+        summarize(policy, &r, baseline);
+        baseline.get_or_insert(r.cycles);
+    }
+    Ok(())
+}
+
+fn cmd_list() -> CliResult {
+    println!(
+        "{:15} {:>12} {:>10} {:>9} {:>9}",
+        "benchmark", "atomics/10k", "contended", "locality", "hot-lines"
+    );
+    for b in Benchmark::all() {
+        let p = b.profile();
+        println!(
+            "{:15} {:>12.1} {:>9.0}% {:>8.0}% {:>9}",
+            b.name(),
+            p.atomics_per_10k,
+            100.0 * p.contended_fraction,
+            100.0 * p.locality_fraction,
+            p.hot_lines
+        );
+    }
+    Ok(())
+}
+
+fn cmd_microbench(args: &Args) -> CliResult {
+    let iters = args.num("iters", 500)?;
+    let model = if args.switches.contains("fenced") {
+        FenceModel::Fenced
+    } else {
+        FenceModel::Unfenced
+    };
+    println!("{:6} {:>9} {:>14} {:>9} {:>13}", "rmw", "plain", "plain+mfence", "lock", "lock+mfence");
+    for rmw in MicroRmw::ALL {
+        print!("{:6}", rmw.name());
+        for variant in MicroVariant::ALL {
+            let cpi = run_microbench(rmw, variant, model, iters)?;
+            let w = [9, 14, 9, 13][MicroVariant::ALL.iter().position(|v| *v == variant).expect("member")];
+            print!(" {cpi:>w$.1}", w = w);
+        }
+        println!();
+    }
+    Ok(())
+}
+
+fn cmd_record(args: &Args) -> CliResult {
+    let bench = bench_by_name(args.positional.first().ok_or("usage: record <benchmark> <file>")?)?;
+    let path = args.positional.get(1).ok_or("usage: record <benchmark> <file>")?;
+    let instr = args.num("instr", 10_000)?;
+    let tid = args.num("tid", 0)? as usize;
+    let threads = args.num("threads", 32)? as usize;
+    let seed = args.num("seed", 42)?;
+    let profile = bench.profile().with_instructions(instr);
+    let n = norush::workloads::record_to_file(path, ProfileStream::new(profile, tid, threads, seed))?;
+    println!("recorded {n} instructions of {bench} (thread {tid}/{threads}) to {path}");
+    Ok(())
+}
+
+fn cmd_replay(args: &Args) -> CliResult {
+    let path = args.positional.first().ok_or("usage: replay <file>")?;
+    let policy = args
+        .flags
+        .get("policy")
+        .map(String::as_str)
+        .unwrap_or("eager");
+    let exp = ExperimentConfig {
+        cores: 1,
+        instructions: 0,
+        seed: 0,
+        cycle_limit: 2_000_000_000,
+        paper_caches: true,
+    };
+    let mut sys = system_for(policy, &exp)?;
+    sys.cores = 1;
+    let stream: Box<dyn InstrStream> = Box::new(TraceFileStream::open(path)?);
+    let r = Machine::new(&sys, vec![stream])
+        .run(exp.cycle_limit)
+        .expect("replay drains");
+    println!("replayed {path} under {policy}: {} cycles, IPC {:.2}, {} atomics",
+        r.cycles, r.ipc(), r.total.atomics);
+    Ok(())
+}
+
+fn cmd_table1() -> CliResult {
+    let cfg = SystemConfig::alder_lake_32c();
+    println!("cores {}, widths {}/{}/{}, ROB {}, LQ {}, SB {}, AQ {}",
+        cfg.cores, cfg.core.fetch_width, cfg.core.issue_width, cfg.core.commit_width,
+        cfg.core.rob_entries, cfg.core.lq_entries, cfg.core.sb_entries, cfg.core.aq_entries);
+    println!("L1D {}KB/{}w/{}cyc, L2 {}KB/{}w/{}cyc, L3 {}KB/{}w/{}cyc per bank, mem {}cyc",
+        cfg.mem.l1d.size_bytes / 1024, cfg.mem.l1d.ways, cfg.mem.l1d.hit_latency,
+        cfg.mem.l2.size_bytes / 1024, cfg.mem.l2.ways, cfg.mem.l2.hit_latency,
+        cfg.mem.l3_bank.size_bytes / 1024, cfg.mem.l3_bank.ways, cfg.mem.l3_bank.hit_latency,
+        cfg.mem.mem_latency);
+    Ok(())
+}
+
+fn usage() -> CliResult {
+    println!("norush — Rush-or-Wait atomic-scheduling simulator");
+    println!();
+    println!("commands:");
+    println!("  list                               calibrated benchmark models");
+    println!("  table1                             Table I system parameters");
+    println!("  run <bench> [--policy P] [...]     one simulation with stats");
+    println!("  compare <bench> [...]              eager/lazy/row/row-fwd/far table");
+    println!("  microbench [--iters N] [--fenced]  Fig. 2 cycles/iteration");
+    println!("  record <bench> <file> [...]        capture a trace file");
+    println!("  replay <file> [--policy P]         replay a trace file");
+    println!();
+    println!("common flags: --cores N --instr N --seed S");
+    println!("policies: eager lazy row row-fwd far");
+    Ok(())
+}
+
+fn main() -> CliResult {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() {
+        return usage();
+    }
+    let cmd = raw.remove(0);
+    let args = parse_args(raw);
+    match cmd.as_str() {
+        "list" => cmd_list(),
+        "table1" => cmd_table1(),
+        "run" => cmd_run(&args),
+        "compare" => cmd_compare(&args),
+        "microbench" => cmd_microbench(&args),
+        "record" => cmd_record(&args),
+        "replay" => cmd_replay(&args),
+        "help" | "--help" | "-h" => usage(),
+        other => {
+            eprintln!("unknown command `{other}`\n");
+            usage()
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! x86-TSO behaviour tests.
+//!
+//! The simulator's functional value model is conservative — loads read the
+//! coherent word store at completion, so they can never observe a value that
+//! is *older* than TSO allows. These tests therefore check two things:
+//!
+//! 1. the classic *store-buffering* relaxation (the one reordering TSO
+//!    permits) is actually observable — the SB really delays stores past
+//!    younger loads; and
+//! 2. atomics order globally: the final state after concurrent RMWs is exact
+//!    and atomics never tear.
+
+use norush::common::ids::{Addr, Pc};
+use norush::cpu::instr::{Instr, InstrStream, Op, RmwKind, VecStream};
+use norush::sim::Machine;
+use norush::SystemConfig;
+
+const X: u64 = 0x1_0000;
+const Y: u64 = 0x2_0000;
+
+fn store(pc: u64, addr: u64, v: u64) -> Instr {
+    Instr::simple(
+        Pc::new(pc),
+        Op::Store {
+            addr: Addr::new(addr),
+            value: Some(v),
+        },
+    )
+}
+
+fn load(pc: u64, addr: u64) -> Instr {
+    Instr::simple(Pc::new(pc), Op::Load { addr: Addr::new(addr) })
+}
+
+/// The store-buffering litmus test (x86-TSO's signature relaxation):
+///
+/// ```text
+/// T0: x = 1; r0 = y        T1: y = 1; r1 = x
+/// ```
+///
+/// `r0 == 0 && r1 == 0` is allowed under TSO and must be observable here,
+/// because each load may complete while the older store still sits in the SB.
+#[test]
+fn store_buffering_relaxation_is_observable() {
+    let sys = SystemConfig::small(2);
+    // Warm the line each thread will load, so the final loads hit in ~5
+    // cycles while the (cold-miss) stores take hundreds to drain — the
+    // young-load-past-old-store window is then unambiguous.
+    let t0 = vec![store(0x10, X, 1), load(0x14, Y)];
+    let t1 = vec![store(0x20, Y, 1), load(0x24, X)];
+    let warm = |prog: Vec<Instr>, other: u64| {
+        let mut p = vec![load(0x08, other)];
+        p.extend(prog);
+        p
+    };
+    let mut m = Machine::new(
+        &sys,
+        vec![
+            Box::new(VecStream::new(warm(t0, Y))) as Box<dyn InstrStream>,
+            Box::new(VecStream::new(warm(t1, X))),
+        ],
+    );
+    m.core_mut(0).record_loads();
+    m.core_mut(1).record_loads();
+    m.run(1_000_000).expect("drains");
+    let r0 = m.core_mut(0).load_observations().last().unwrap().value;
+    let r1 = m.core_mut(1).load_observations().last().unwrap().value;
+    assert_eq!(
+        (r0, r1),
+        (0, 0),
+        "young loads must slip past buffered stores (TSO store buffering)"
+    );
+    // The stores do land eventually.
+    assert_eq!(m.memory().read_word(Addr::new(X)), 1);
+    assert_eq!(m.memory().read_word(Addr::new(Y)), 1);
+}
+
+/// With an `mfence` between the store and the load, the relaxed outcome must
+/// vanish: the load waits for the SB to drain.
+#[test]
+fn mfence_forbids_store_buffering() {
+    let sys = SystemConfig::small(2);
+    let t0 = vec![
+        store(0x10, X, 1),
+        Instr::simple(Pc::new(0x12), Op::Fence),
+        load(0x14, Y),
+    ];
+    let t1 = vec![
+        store(0x20, Y, 1),
+        Instr::simple(Pc::new(0x22), Op::Fence),
+        load(0x24, X),
+    ];
+    let mut m = Machine::new(
+        &sys,
+        vec![
+            Box::new(VecStream::new(t0)) as Box<dyn InstrStream>,
+            Box::new(VecStream::new(t1)),
+        ],
+    );
+    m.core_mut(0).record_loads();
+    m.core_mut(1).record_loads();
+    m.run(1_000_000).expect("drains");
+    let r0 = m.core_mut(0).load_observations()[0].value;
+    let r1 = m.core_mut(1).load_observations()[0].value;
+    assert!(
+        r0 == 1 || r1 == 1,
+        "fenced SB litmus must not observe (0, 0), got ({r0}, {r1})"
+    );
+}
+
+/// A same-thread load after a store to the same address must observe the
+/// store (forwarding), regardless of the SB.
+#[test]
+fn same_address_forwarding_preserves_program_order() {
+    let sys = SystemConfig::small(1);
+    let prog = vec![store(0x10, X, 7), load(0x14, X)];
+    let mut m = Machine::new(
+        &sys,
+        vec![Box::new(VecStream::new(prog)) as Box<dyn InstrStream>],
+    );
+    m.core_mut(0).record_loads();
+    m.run(1_000_000).expect("drains");
+    assert_eq!(m.core_mut(0).load_observations()[0].value, 7);
+}
+
+/// Atomics do not tear and have a global total order: interleaved CAS chains
+/// from two cores produce a value reachable only by serialized execution.
+#[test]
+fn atomic_swaps_serialize_globally() {
+    let sys = SystemConfig::small(2);
+    let mk = |v: u64| {
+        let prog: Vec<Instr> = (0..40)
+            .map(|_| {
+                Instr::simple(
+                    Pc::new(0x40),
+                    Op::Atomic {
+                        rmw: RmwKind::Swap(v),
+                        addr: Addr::new(X),
+                    },
+                )
+            })
+            .collect();
+        Box::new(VecStream::new(prog)) as Box<dyn InstrStream>
+    };
+    let mut m = Machine::new(&sys, vec![mk(11), mk(22)]);
+    m.run(10_000_000).expect("drains");
+    let v = m.memory().read_word(Addr::new(X));
+    assert!(v == 11 || v == 22, "a swap value must win whole: {v}");
+}
+
+/// An atomic RMW commits only after all older stores drained: the RMW's
+/// effect must incorporate the older store's value (same word).
+#[test]
+fn atomic_orders_after_older_store_to_same_word() {
+    let sys = SystemConfig::small(1);
+    let prog = vec![
+        store(0x10, X, 100),
+        Instr::simple(
+            Pc::new(0x14),
+            Op::Atomic {
+                rmw: RmwKind::Faa(1),
+                addr: Addr::new(X),
+            },
+        ),
+    ];
+    let mut m = Machine::new(
+        &sys,
+        vec![Box::new(VecStream::new(prog)) as Box<dyn InstrStream>],
+    );
+    m.run(1_000_000).expect("drains");
+    assert_eq!(m.memory().read_word(Addr::new(X)), 101);
+}
+
+/// Same test with store→atomic forwarding enabled: order must still hold.
+#[test]
+fn forwarding_does_not_break_store_atomic_order() {
+    let sys = SystemConfig::small(1).with_forward_to_atomics(true);
+    let prog = vec![
+        store(0x10, X, 100),
+        Instr::simple(
+            Pc::new(0x14),
+            Op::Atomic {
+                rmw: RmwKind::Faa(1),
+                addr: Addr::new(X),
+            },
+        ),
+        store(0x18, Y, 5),
+    ];
+    let mut m = Machine::new(
+        &sys,
+        vec![Box::new(VecStream::new(prog)) as Box<dyn InstrStream>],
+    );
+    m.run(1_000_000).expect("drains");
+    assert_eq!(m.memory().read_word(Addr::new(X)), 101);
+    assert_eq!(m.memory().read_word(Addr::new(Y)), 5);
+}
