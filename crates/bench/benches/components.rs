@@ -3,9 +3,11 @@
 //! These quantify the cost of the structures DESIGN.md calls out: the
 //! contention predictor (per-lookup/train cost), the three predictor update
 //! policies, the cache array, the mesh router, the TAGE predictor and the
-//! event wheel.
+//! event wheel. The harness is plain `std` (no external bench framework):
+//! each case runs a fixed number of operations and reports ns per op.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
 
 use row_common::config::{CacheConfig, NocConfig, PredictorKind};
 use row_common::ids::{LineAddr, Pc};
@@ -16,98 +18,77 @@ use row_cpu::branch::TageLite;
 use row_mem::array::CacheArray;
 use row_noc::{Mesh, MsgClass, NodeId};
 
-fn bench_predictor(c: &mut Criterion) {
-    let mut g = c.benchmark_group("row_predictor");
+const OPS: u64 = 200_000;
+
+fn bench<T>(name: &str, mut op: impl FnMut(u64) -> T) {
+    let t0 = Instant::now();
+    for i in 0..OPS {
+        black_box(op(i));
+    }
+    let ns = t0.elapsed().as_nanos() as f64 / OPS as f64;
+    println!("{name:<44} {ns:>8.1} ns/op   ({OPS} ops)");
+}
+
+fn bench_predictor() {
     for kind in [
         PredictorKind::UpDown,
         PredictorKind::SaturateOnContention,
         PredictorKind::TwoUpOneDown,
     ] {
-        g.bench_function(format!("train+predict/{kind:?}"), |b| {
-            let mut p = ContentionPredictor::new(kind, 64, 4, 1);
-            let mut i = 0u64;
-            b.iter(|| {
-                let pc = Pc::new(0x400 + (i % 97) * 4);
-                p.train(pc, i.is_multiple_of(3));
-                i += 1;
-                black_box(p.predict(pc))
-            })
+        let mut p = ContentionPredictor::new(kind, 64, 4, 1);
+        bench(&format!("predictor/train+predict/{kind:?}"), |i| {
+            let pc = Pc::new(0x400 + (i % 97) * 4);
+            p.train(pc, i.is_multiple_of(3));
+            p.predict(pc)
         });
     }
-    g.finish();
 }
 
-fn bench_cache_array(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cache_array");
-    g.bench_function("l1d_insert_touch", |b| {
-        let mut arr = CacheArray::new(CacheConfig {
-            size_bytes: 48 * 1024,
-            ways: 12,
-            hit_latency: 5,
-        });
-        let mut i = 0u64;
-        b.iter(|| {
-            let line = LineAddr::new(i % 4096);
-            i += 1;
-            arr.insert(line, |_| true);
-            black_box(arr.touch(line))
-        })
+fn bench_cache_array() {
+    let mut arr = CacheArray::new(CacheConfig {
+        size_bytes: 48 * 1024,
+        ways: 12,
+        hit_latency: 5,
     });
-    g.finish();
-}
-
-fn bench_mesh(c: &mut Criterion) {
-    let mut g = c.benchmark_group("noc_mesh");
-    g.bench_function("send_8x4", |b| {
-        let mut m = Mesh::new(NocConfig::mesh_8x4(), 32);
-        let mut i = 0u64;
-        b.iter(|| {
-            let s = NodeId::new((i % 32) as u16);
-            let d = NodeId::new(((i * 7) % 32) as u16);
-            i += 1;
-            black_box(m.send(s, d, MsgClass::Data, Cycle::new(i)))
-        })
+    bench("cache_array/l1d_insert_touch", |i| {
+        let line = LineAddr::new(i % 4096);
+        arr.insert(line, |_| true);
+        arr.touch(line)
     });
-    g.finish();
 }
 
-fn bench_tage(c: &mut Criterion) {
-    let mut g = c.benchmark_group("branch_predictor");
-    g.bench_function("tage_predict_update", |b| {
-        let mut bp = TageLite::new();
-        let mut i = 0u64;
-        b.iter(|| {
-            let pc = Pc::new(0x1000 + (i % 61) * 4);
-            let taken = !(i / 61).is_multiple_of(3);
-            let pred = bp.predict(pc);
-            bp.update(pc, taken, pred);
-            i += 1;
-            black_box(pred)
-        })
+fn bench_mesh() {
+    let mut m = Mesh::new(NocConfig::mesh_8x4(), 32);
+    bench("noc_mesh/send_8x4", |i| {
+        let s = NodeId::new((i % 32) as u16);
+        let d = NodeId::new(((i * 7) % 32) as u16);
+        m.send(s, d, MsgClass::Data, Cycle::new(i))
     });
-    g.finish();
 }
 
-fn bench_event_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("event_wheel");
-    g.bench_function("push_pop", |b| {
-        let mut q = EventQueue::new();
-        let mut i = 0u64;
-        b.iter(|| {
-            q.push(Cycle::new(i + (i * 31) % 100), i);
-            i += 1;
-            black_box(q.pop_ready(Cycle::new(i)))
-        })
+fn bench_tage() {
+    let mut bp = TageLite::new();
+    bench("branch_predictor/tage_predict_update", |i| {
+        let pc = Pc::new(0x1000 + (i % 61) * 4);
+        let taken = !(i / 61).is_multiple_of(3);
+        let pred = bp.predict(pc);
+        bp.update(pc, taken, pred);
+        pred
     });
-    g.finish();
 }
 
-criterion_group!(
-    components,
-    bench_predictor,
-    bench_cache_array,
-    bench_mesh,
-    bench_tage,
-    bench_event_queue,
-);
-criterion_main!(components);
+fn bench_event_queue() {
+    let mut q = EventQueue::new();
+    bench("event_wheel/push_pop", |i| {
+        q.push(Cycle::new(i + (i * 31) % 100), i);
+        q.pop_ready(Cycle::new(i + 1))
+    });
+}
+
+fn main() {
+    bench_predictor();
+    bench_cache_array();
+    bench_mesh();
+    bench_tage();
+    bench_event_queue();
+}

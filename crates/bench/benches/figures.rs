@@ -1,18 +1,43 @@
-//! Criterion benches: one group per paper table/figure.
+//! Figure benches: one timed group per paper table/figure.
 //!
 //! Each bench runs the figure's core measurement at a reduced, fixed scale
 //! (4 cores, short traces) so `cargo bench` finishes in minutes while still
 //! exercising the exact code paths the figure binaries use. Run the
 //! `src/bin/fig*` binaries for full-size, paper-shaped output.
+//!
+//! The harness is plain `std` (no external bench framework): each case runs
+//! a fixed number of iterations and reports mean and minimum wall time.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
 
-use row_common::config::{AtomicPolicy, DetectorKind, FenceModel, PredictorKind, RowConfig};
+use row_common::config::{
+    AtomicPolicy, CheckConfig, DetectorKind, FenceModel, PredictorKind, RowConfig,
+};
 use row_sim::{
     run_benchmark, run_eager, run_lazy, run_microbench, run_row, run_row_fwd, ExperimentConfig,
     RowVariant,
 };
 use row_workloads::{Benchmark, MicroRmw, MicroVariant};
+
+const ITERS: u32 = 3;
+
+fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    let mut best = u128::MAX;
+    let mut total = 0u128;
+    for _ in 0..ITERS {
+        let t0 = Instant::now();
+        black_box(f());
+        let dt = t0.elapsed().as_micros();
+        best = best.min(dt);
+        total += dt;
+    }
+    println!(
+        "{name:<44} mean {:>9} us   min {:>9} us   ({ITERS} iters)",
+        total / u128::from(ITERS),
+        best
+    );
+}
 
 fn tiny() -> ExperimentConfig {
     ExperimentConfig {
@@ -21,180 +46,127 @@ fn tiny() -> ExperimentConfig {
         seed: 42,
         cycle_limit: 50_000_000,
         paper_caches: false,
+        check: CheckConfig::default(),
     }
 }
 
-fn bench_fig01(c: &mut Criterion) {
-    let exp = tiny();
-    let mut g = c.benchmark_group("fig01_lazy_vs_eager");
-    g.sample_size(10);
+fn bench_fig01(exp: &ExperimentConfig) {
     for b in [Benchmark::Canneal, Benchmark::Pc] {
-        g.bench_function(format!("eager/{b}"), |x| {
-            x.iter(|| run_eager(b, &exp).expect("runs").cycles)
+        bench(&format!("fig01/eager/{b}"), || {
+            run_eager(b, exp).expect("runs").cycles
         });
-        g.bench_function(format!("lazy/{b}"), |x| {
-            x.iter(|| run_lazy(b, &exp).expect("runs").cycles)
+        bench(&format!("fig01/lazy/{b}"), || {
+            run_lazy(b, exp).expect("runs").cycles
         });
     }
-    g.finish();
 }
 
-fn bench_fig02(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig02_microbench");
-    g.sample_size(10);
+fn bench_fig02() {
     for (name, variant) in [
         ("plain", MicroVariant { atomic: false, mfence: false }),
         ("lock", MicroVariant { atomic: true, mfence: false }),
         ("lock+mfence", MicroVariant { atomic: true, mfence: true }),
     ] {
-        g.bench_function(format!("unfenced/{name}"), |x| {
-            x.iter(|| run_microbench(MicroRmw::Faa, variant, FenceModel::Unfenced, 200).expect("runs"))
+        bench(&format!("fig02/unfenced/{name}"), || {
+            run_microbench(MicroRmw::Faa, variant, FenceModel::Unfenced, 200).expect("runs")
         });
-        g.bench_function(format!("fenced/{name}"), |x| {
-            x.iter(|| run_microbench(MicroRmw::Faa, variant, FenceModel::Fenced, 200).expect("runs"))
+        bench(&format!("fig02/fenced/{name}"), || {
+            run_microbench(MicroRmw::Faa, variant, FenceModel::Fenced, 200).expect("runs")
         });
     }
-    g.finish();
 }
 
-fn bench_fig04(c: &mut Criterion) {
-    let exp = tiny();
-    let mut g = c.benchmark_group("fig04_independent_instrs");
-    g.sample_size(10);
-    g.bench_function("probes/tpcc", |x| {
-        x.iter(|| {
-            let e = run_eager(Benchmark::Tpcc, &exp).expect("runs");
-            let l = run_lazy(Benchmark::Tpcc, &exp).expect("runs");
-            (
-                e.total.older_unexecuted_at_issue.mean(),
-                l.total.younger_started_at_issue.mean(),
-            )
-        })
+fn bench_fig04(exp: &ExperimentConfig) {
+    bench("fig04/probes/tpcc", || {
+        let e = run_eager(Benchmark::Tpcc, exp).expect("runs");
+        let l = run_lazy(Benchmark::Tpcc, exp).expect("runs");
+        (
+            e.total.older_unexecuted_at_issue.mean(),
+            l.total.younger_started_at_issue.mean(),
+        )
     });
-    g.finish();
 }
 
-fn bench_fig05(c: &mut Criterion) {
-    let exp = tiny();
-    let mut g = c.benchmark_group("fig05_intensity_contention");
-    g.sample_size(10);
-    g.bench_function("eager/sps", |x| {
-        x.iter(|| {
-            let r = run_eager(Benchmark::Sps, &exp).expect("runs");
-            (r.total.atomics_per_10k(), r.total.contended_fraction())
-        })
+fn bench_fig05(exp: &ExperimentConfig) {
+    bench("fig05/eager/sps", || {
+        let r = run_eager(Benchmark::Sps, exp).expect("runs");
+        (r.total.atomics_per_10k(), r.total.contended_fraction())
     });
-    g.finish();
 }
 
-fn bench_fig06(c: &mut Criterion) {
-    let exp = tiny();
-    let mut g = c.benchmark_group("fig06_latency_breakdown");
-    g.sample_size(10);
-    g.bench_function("breakdown/pc", |x| {
-        x.iter(|| {
-            let e = run_eager(Benchmark::Pc, &exp).expect("runs");
-            e.total.breakdown.total_mean()
-        })
+fn bench_fig06(exp: &ExperimentConfig) {
+    bench("fig06/breakdown/pc", || {
+        let e = run_eager(Benchmark::Pc, exp).expect("runs");
+        e.total.breakdown.total_mean()
     });
-    g.finish();
 }
 
-fn bench_fig09(c: &mut Criterion) {
-    let exp = tiny();
-    let mut g = c.benchmark_group("fig09_row_variants");
-    g.sample_size(10);
+fn bench_fig09(exp: &ExperimentConfig) {
     for v in [RowVariant::EwUd, RowVariant::RwUd, RowVariant::RwDirUd, RowVariant::RwDirSat] {
-        g.bench_function(format!("{}/pc", v.name()), |x| {
-            x.iter(|| run_row(Benchmark::Pc, v, &exp).expect("runs").cycles)
+        bench(&format!("fig09/{}/pc", v.name()), || {
+            run_row(Benchmark::Pc, v, exp).expect("runs").cycles
         });
     }
-    g.finish();
 }
 
-fn bench_fig10(c: &mut Criterion) {
-    let exp = tiny();
-    let mut g = c.benchmark_group("fig10_threshold_sweep");
-    g.sample_size(10);
+fn bench_fig10(exp: &ExperimentConfig) {
     for t in [0u64, 400, 2_000] {
         let cfg = RowConfig::new(
             DetectorKind::ReadyWindowDir { latency_threshold: t },
             PredictorKind::UpDown,
         );
-        g.bench_function(format!("threshold_{t}/canneal"), |x| {
-            x.iter(|| {
-                run_benchmark(Benchmark::Canneal, AtomicPolicy::Row(cfg), false, &exp)
-                    .expect("runs")
-                    .cycles
-            })
+        bench(&format!("fig10/threshold_{t}/canneal"), || {
+            run_benchmark(Benchmark::Canneal, AtomicPolicy::Row(cfg), false, exp)
+                .expect("runs")
+                .cycles
         });
     }
-    g.finish();
 }
 
-fn bench_fig11(c: &mut Criterion) {
+fn bench_fig11(exp: &ExperimentConfig) {
+    bench("fig11/miss_latency/sps", || {
+        let e = run_eager(Benchmark::Sps, exp).expect("runs");
+        let l = run_lazy(Benchmark::Sps, exp).expect("runs");
+        (e.miss_latency.mean(), l.miss_latency.mean())
+    });
+}
+
+fn bench_fig12(exp: &ExperimentConfig) {
+    bench("fig12/accuracy/tpcc", || {
+        run_row(Benchmark::Tpcc, RowVariant::RwDirUd, exp)
+            .expect("runs")
+            .accuracy
+            .expect("row accuracy")
+            .accuracy()
+    });
+}
+
+fn bench_fig13(exp: &ExperimentConfig) {
+    bench("fig13/row_fwd/cq", || {
+        run_row_fwd(Benchmark::Cq, RowVariant::RwDirUd, exp).expect("runs").cycles
+    });
+    bench("fig13/row_nofwd/cq", || {
+        run_row(Benchmark::Cq, RowVariant::RwDirUd, exp).expect("runs").cycles
+    });
+}
+
+fn bench_table1() {
+    bench("table1/memory_system_construction", || {
+        row_mem::MemorySystem::new(&row_common::SystemConfig::alder_lake_32c())
+    });
+}
+
+fn main() {
     let exp = tiny();
-    let mut g = c.benchmark_group("fig11_miss_latency");
-    g.sample_size(10);
-    g.bench_function("miss_latency/sps", |x| {
-        x.iter(|| {
-            let e = run_eager(Benchmark::Sps, &exp).expect("runs");
-            let l = run_lazy(Benchmark::Sps, &exp).expect("runs");
-            (e.miss_latency.mean(), l.miss_latency.mean())
-        })
-    });
-    g.finish();
+    bench_table1();
+    bench_fig01(&exp);
+    bench_fig02();
+    bench_fig04(&exp);
+    bench_fig05(&exp);
+    bench_fig06(&exp);
+    bench_fig09(&exp);
+    bench_fig10(&exp);
+    bench_fig11(&exp);
+    bench_fig12(&exp);
+    bench_fig13(&exp);
 }
-
-fn bench_fig12(c: &mut Criterion) {
-    let exp = tiny();
-    let mut g = c.benchmark_group("fig12_accuracy");
-    g.sample_size(10);
-    g.bench_function("accuracy/tpcc", |x| {
-        x.iter(|| {
-            run_row(Benchmark::Tpcc, RowVariant::RwDirUd, &exp)
-                .expect("runs")
-                .accuracy
-                .expect("row accuracy")
-                .accuracy()
-        })
-    });
-    g.finish();
-}
-
-fn bench_fig13(c: &mut Criterion) {
-    let exp = tiny();
-    let mut g = c.benchmark_group("fig13_forwarding");
-    g.sample_size(10);
-    g.bench_function("row_fwd/cq", |x| {
-        x.iter(|| run_row_fwd(Benchmark::Cq, RowVariant::RwDirUd, &exp).expect("runs").cycles)
-    });
-    g.bench_function("row_nofwd/cq", |x| {
-        x.iter(|| run_row(Benchmark::Cq, RowVariant::RwDirUd, &exp).expect("runs").cycles)
-    });
-    g.finish();
-}
-
-fn bench_table1(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table1_system_build");
-    g.bench_function("memory_system_construction", |x| {
-        x.iter(|| row_mem::MemorySystem::new(&row_common::SystemConfig::alder_lake_32c()))
-    });
-    g.finish();
-}
-
-criterion_group!(
-    figures,
-    bench_table1,
-    bench_fig01,
-    bench_fig02,
-    bench_fig04,
-    bench_fig05,
-    bench_fig06,
-    bench_fig09,
-    bench_fig10,
-    bench_fig11,
-    bench_fig12,
-    bench_fig13,
-);
-criterion_main!(figures);

@@ -28,6 +28,7 @@ pub fn scale() -> ExperimentConfig {
             seed: 42,
             cycle_limit: 200_000_000,
             paper_caches: true,
+            check: Default::default(),
         },
         _ => {
             let mut e = ExperimentConfig::quick();

@@ -1,0 +1,37 @@
+//! Robustness layer: coherence invariant checking and stall diagnostics.
+//!
+//! The timed simulation is only as trustworthy as its coherence protocol.
+//! This crate provides two independent safety nets that run *against* a live
+//! [`MemorySystem`] without perturbing it:
+//!
+//! * [`check_coherence`] — a snapshot sweep of the whole memory system that
+//!   verifies the invariants the atomicity argument rests on: SWMR (at most
+//!   one private M/E owner per line), agreement between each home directory
+//!   entry and the private caches, boundedness of Blocked-entry wait queues,
+//!   and the cache-locking precondition (a locked line is held in M).
+//!   Violations surface as [`ProtocolError`]s, the same type the controllers
+//!   themselves raise.
+//! * [`StallReport`] — a structured snapshot of *why* the machine stopped
+//!   committing: per-core ROB/SB/AQ occupancy with the head instruction,
+//!   in-flight MSHRs and held locks, every Blocked directory entry with its
+//!   queued requesters, and the NoC's link-busy horizon. The simulation
+//!   loop's deadlock watchdog captures one when no core commits for a
+//!   configurable window.
+//!
+//! Both are deliberately *read-only* over the memory system so they can run
+//! every K cycles in debug/test builds and on demand from diagnostics code.
+//!
+//! [`MemorySystem`]: row_mem::MemorySystem
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod invariant;
+pub mod stall;
+
+pub use invariant::check_coherence;
+pub use stall::{BlockedDirInfo, CoreStallInfo, StallReport};
+
+// The violation type shared with the protocol controllers, re-exported for
+// downstream convenience.
+pub use row_mem::ProtocolError;

@@ -1,0 +1,222 @@
+//! Structured deadlock/livelock diagnostics.
+//!
+//! When the simulation loop's watchdog sees no core commit for a whole
+//! window, *something* is wedged — a lost message, a transaction stuck in a
+//! Blocked directory entry, a lock never released. A [`StallReport`]
+//! captures everything needed to tell those apart without a debugger:
+//! per-core pipeline occupancy and the head instruction each core is stuck
+//! on, the lines with in-flight misses or held locks, every Blocked
+//! directory entry with its queued requesters, and how far into the future
+//! the NoC's links are reserved.
+
+use row_common::ids::{CoreId, LineAddr};
+use row_common::Cycle;
+use row_cpu::Core;
+use row_mem::{BlockedEntrySnapshot, BlockedPhase, MemorySystem};
+
+/// Why one core is (or is not) making progress.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CoreStallInfo {
+    /// The core.
+    pub core: CoreId,
+    /// Instructions committed so far.
+    pub committed: u64,
+    /// Cycle of the most recent commit.
+    pub last_commit: Cycle,
+    /// Occupied ROB entries.
+    pub rob: usize,
+    /// Occupied store-buffer entries.
+    pub sb: usize,
+    /// Occupied atomic-queue entries.
+    pub aq: usize,
+    /// The ROB-head instruction the core is waiting on, if any.
+    pub head: Option<String>,
+    /// Lines with an in-flight miss at this core.
+    pub mshrs: Vec<LineAddr>,
+    /// Lines this core holds locked.
+    pub locked: Vec<LineAddr>,
+}
+
+/// A Blocked directory entry, tagged with its home bank.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BlockedDirInfo {
+    /// The home bank's tile.
+    pub tile: usize,
+    /// The entry snapshot (phase + queued requesters).
+    pub entry: BlockedEntrySnapshot,
+}
+
+/// A full diagnostic snapshot of a machine that stopped committing.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StallReport {
+    /// The cycle the snapshot was taken.
+    pub at: Cycle,
+    /// The watchdog window that expired, when the report was triggered by
+    /// the watchdog (`None` for on-demand or timeout snapshots).
+    pub window: Option<u64>,
+    /// Per-core progress and pipeline state.
+    pub cores: Vec<CoreStallInfo>,
+    /// Every Blocked directory entry across all banks.
+    pub blocked: Vec<BlockedDirInfo>,
+    /// The latest link `busy_until` across the mesh.
+    pub noc_busy_until: Cycle,
+}
+
+impl StallReport {
+    /// Captures a snapshot of `cores` and `mem` at cycle `at`.
+    pub fn capture(cores: &[Core], mem: &MemorySystem, at: Cycle, window: Option<u64>) -> Self {
+        let cores_info = cores
+            .iter()
+            .map(|c| {
+                let id = c.id();
+                CoreStallInfo {
+                    core: id,
+                    committed: c.stats().committed,
+                    last_commit: c.last_commit(),
+                    rob: c.rob_occupancy(),
+                    sb: c.sb_occupancy(),
+                    aq: c.aq_occupancy(),
+                    head: c.head_instr(),
+                    mshrs: mem.mshr_lines(id),
+                    locked: mem.locked_lines(id),
+                }
+            })
+            .collect();
+        let blocked = mem
+            .blocked_dir_entries()
+            .into_iter()
+            .map(|(tile, entry)| BlockedDirInfo { tile, entry })
+            .collect();
+        StallReport {
+            at,
+            window,
+            cores: cores_info,
+            blocked,
+            noc_busy_until: mem.noc_busy_horizon(),
+        }
+    }
+
+    /// The cores that have not committed within `window` cycles of the
+    /// snapshot (the stalled set the watchdog fired on).
+    pub fn stalled_cores(&self) -> Vec<CoreId> {
+        let Some(w) = self.window else {
+            return self.cores.iter().map(|c| c.core).collect();
+        };
+        self.cores
+            .iter()
+            .filter(|c| self.at.saturating_since(c.last_commit) >= w)
+            .map(|c| c.core)
+            .collect()
+    }
+}
+
+impl std::fmt::Display for StallReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.window {
+            Some(w) => writeln!(
+                f,
+                "stall report at cycle {}: no commit for {} cycles",
+                self.at, w
+            )?,
+            None => writeln!(f, "stall report at cycle {}", self.at)?,
+        }
+        for c in &self.cores {
+            writeln!(
+                f,
+                "  {}: committed {} (last at {}), rob {}, sb {}, aq {}",
+                c.core, c.committed, c.last_commit, c.rob, c.sb, c.aq
+            )?;
+            if let Some(head) = &c.head {
+                writeln!(f, "    head: {head}")?;
+            }
+            if !c.mshrs.is_empty() {
+                writeln!(f, "    mshrs: {:?}", c.mshrs)?;
+            }
+            if !c.locked.is_empty() {
+                writeln!(f, "    locked: {:?}", c.locked)?;
+            }
+        }
+        for b in &self.blocked {
+            let phase = match &b.entry.phase {
+                BlockedPhase::AwaitUnblock => "awaiting unblock".to_string(),
+                BlockedPhase::CollectingAcks { req, pending, far } => format!(
+                    "collecting {pending} acks for {req}{}",
+                    if *far { " (far atomic)" } else { "" }
+                ),
+            };
+            writeln!(
+                f,
+                "  dir bank {}: line {} blocked ({phase}), {} queued",
+                b.tile,
+                b.entry.line,
+                b.entry.queued.len()
+            )?;
+            for q in &b.entry.queued {
+                writeln!(f, "    queued: {q:?}")?;
+            }
+        }
+        write!(f, "  noc links busy until {}", self.noc_busy_until)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use row_common::config::SystemConfig;
+    use row_common::ids::{Addr, Pc};
+    use row_cpu::instr::{Instr, Op, VecStream};
+    use row_mem::{AccessKind, ReqMeta};
+
+    #[test]
+    fn capture_names_head_instructions_and_locks() {
+        let sys = SystemConfig::small(2);
+        let mut mem = MemorySystem::new(&sys);
+
+        // Give core 0 a locked line the report should surface.
+        let line = LineAddr::new(42);
+        mem.access(
+            CoreId::new(0),
+            line,
+            ReqMeta {
+                req_id: 1,
+                pc: None,
+                prefetch: false,
+                kind: AccessKind::Rmw,
+            },
+            Cycle::ZERO,
+        );
+        for c in 0..3000u64 {
+            let _ = mem.tick(Cycle::new(c));
+        }
+        assert!(mem.is_locked(CoreId::new(0), line));
+
+        // A core with one unexecuted load sitting at the ROB head.
+        let prog = vec![Instr::simple(
+            Pc::new(0x40),
+            Op::Load {
+                addr: Addr::new(0x5000),
+            },
+        )];
+        let mut core = Core::new(
+            CoreId::new(0),
+            sys.core,
+            sys.mem.l1d.hit_latency,
+            Box::new(VecStream::new(prog)),
+        );
+        core.cycle(Cycle::ZERO, &mut mem);
+        let report = StallReport::capture(
+            std::slice::from_ref(&core),
+            &mem,
+            Cycle::new(9000),
+            Some(100),
+        );
+        assert_eq!(report.cores.len(), 1);
+        assert_eq!(report.cores[0].locked, vec![line]);
+        assert_eq!(report.stalled_cores(), vec![CoreId::new(0)]);
+        let head = report.cores[0].head.as_deref().unwrap_or("");
+        assert!(head.contains("load"), "head was {head:?}");
+        let text = report.to_string();
+        assert!(text.contains("locked"), "{text}");
+        assert!(text.contains("stall report"), "{text}");
+    }
+}

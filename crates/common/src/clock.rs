@@ -9,7 +9,6 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
-use serde::{Deserialize, Serialize};
 
 /// Width, in bits, of the `request issued cycle` timestamp field each Atomic
 /// Queue entry carries in RoW (paper Section IV-C).
@@ -26,7 +25,7 @@ pub const TIMESTAMP_MODULUS: u64 = 1 << TIMESTAMP_BITS;
 /// assert_eq!(t.raw(), 160);
 /// assert_eq!(t - Cycle::new(100), 60);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct Cycle(u64);
 
 impl Cycle {

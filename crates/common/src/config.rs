@@ -7,10 +7,9 @@
 //! so the benchmark harness can regenerate each figure from configuration
 //! alone.
 
-use serde::{Deserialize, Serialize};
 
 /// How atomic RMW instructions are scheduled for execution.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 #[derive(Default)]
 pub enum AtomicPolicy {
     /// Execute as soon as operands are ready (Free Atomics baseline).
@@ -37,7 +36,7 @@ impl AtomicPolicy {
 
 /// Which contention-detection mechanism trains the predictor
 /// (paper Sections IV-A..IV-C).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum DetectorKind {
     /// Execution window: external requests hitting a *locked* line mark the
     /// matching atomic contended.
@@ -73,7 +72,7 @@ impl Default for DetectorKind {
 
 /// Saturating-counter update policy of the contention predictor
 /// (paper Section IV-D).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 #[derive(Default)]
 pub enum PredictorKind {
     /// +1 on contention, −1 otherwise; predict contended when counter >
@@ -95,7 +94,7 @@ pub enum PredictorKind {
 
 
 /// Configuration of the Rush-or-Wait mechanism.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct RowConfig {
     /// Contention-detection mechanism used to train the predictor.
     pub detector: DetectorKind,
@@ -165,7 +164,7 @@ impl Default for RowConfig {
 }
 
 /// Where atomic RMWs execute (the Section VII design alternative).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum AtomicPlacement {
     /// In the L1D under a cache lock (x86 style; the paper's subject).
     #[default]
@@ -181,7 +180,7 @@ pub enum AtomicPlacement {
 ///
 /// `Fenced` models pre-Coffee-Lake x86 parts (the Xeon X3210 of Fig. 2);
 /// `Unfenced` models current parts / Free Atomics.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 #[derive(Default)]
 pub enum FenceModel {
     /// Atomics drain the SB, wait to be the oldest instruction, and block all
@@ -195,7 +194,7 @@ pub enum FenceModel {
 
 
 /// Out-of-order core parameters (Table I, "Processor").
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct CoreConfig {
     /// Instructions fetched/renamed per cycle (6).
     pub fetch_width: usize,
@@ -255,7 +254,7 @@ impl Default for CoreConfig {
 }
 
 /// One cache level's geometry and latency.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: usize,
@@ -281,7 +280,7 @@ impl CacheConfig {
 }
 
 /// Memory hierarchy parameters (Table I, "Memory").
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct MemoryConfig {
     /// Private L1 data cache (48 KB, 12-way, 5-cycle).
     pub l1d: CacheConfig,
@@ -333,7 +332,7 @@ impl Default for MemoryConfig {
 }
 
 /// On-chip network parameters (GARNET-substitute mesh).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct NocConfig {
     /// Mesh width (columns). Height is derived from the core count.
     pub mesh_cols: usize,
@@ -364,8 +363,60 @@ impl Default for NocConfig {
     }
 }
 
+/// Deterministic fault injection ("chaos mode") for robustness testing.
+///
+/// When enabled, every message delivered through the memory system's network
+/// receives a bounded extra latency drawn from a [`SplitMix64`] stream seeded
+/// with `seed`. Messages between *different* endpoint pairs may thereby be
+/// reordered relative to the fault-free schedule; messages between the *same*
+/// source and destination keep their order, matching the guarantee the mesh
+/// itself provides (per-link serialization), so every perturbed schedule is
+/// one the protocol must already tolerate.
+///
+/// [`SplitMix64`]: crate::rng::SplitMix64
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FaultConfig {
+    /// Seed of the perturbation stream. Equal seeds give equal schedules.
+    pub seed: u64,
+    /// Maximum extra delivery latency, in cycles, added per message
+    /// (uniform in `[0, max_extra_latency]`).
+    pub max_extra_latency: u64,
+}
+
+impl FaultConfig {
+    /// A chaos configuration with the default perturbation bound.
+    pub fn with_seed(seed: u64) -> Self {
+        FaultConfig {
+            seed,
+            max_extra_latency: 40,
+        }
+    }
+}
+
+/// Robustness-layer knobs: invariant checking, the stall watchdog, and
+/// fault injection (`row-check`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CheckConfig {
+    /// Run the coherence invariant checker every this-many cycles during
+    /// [`Machine::run`]-style loops (`None` = never). Checks also run once
+    /// when a run drains successfully.
+    ///
+    /// [`Machine::run`]: ../row_sim/struct.Machine.html#method.run
+    pub invariant_every: Option<u64>,
+    /// Maximum tolerated depth of one Blocked directory entry's wait queue.
+    /// `0` selects an automatic bound of `3 * cores + 4` (each core can
+    /// contribute at most a request, a writeback, and a far atomic).
+    pub blocked_queue_bound: usize,
+    /// Declare the machine stalled when *no* core commits for this many
+    /// cycles (`None` = watchdog off). Must comfortably exceed the cores'
+    /// own deadlock-break threshold so the breaker gets to act first.
+    pub watchdog_window: Option<u64>,
+    /// Deterministic fault injection of message delivery (`None` = off).
+    pub chaos: Option<FaultConfig>,
+}
+
 /// The full simulated system: the paper's Table I.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct SystemConfig {
     /// Number of cores (= threads; 32 in the paper).
     pub cores: usize,
@@ -375,6 +426,8 @@ pub struct SystemConfig {
     pub mem: MemoryConfig,
     /// Interconnect parameters.
     pub noc: NocConfig,
+    /// Robustness-layer configuration (invariant checks, watchdog, chaos).
+    pub check: CheckConfig,
 }
 
 impl SystemConfig {
@@ -386,6 +439,7 @@ impl SystemConfig {
             core: CoreConfig::alder_lake(),
             mem: MemoryConfig::alder_lake(),
             noc: NocConfig::mesh_8x4(),
+            check: CheckConfig::default(),
         }
     }
 
@@ -416,6 +470,11 @@ impl SystemConfig {
             hit_latency: 35,
         };
         cfg.noc.mesh_cols = cores.clamp(1, 4);
+        // Test-sized runs double as protocol stress tests: sweep the
+        // coherence invariants periodically and watch for global stalls far
+        // beyond the cores' own deadlock-break threshold.
+        cfg.check.invariant_every = Some(2048);
+        cfg.check.watchdog_window = Some(2_000_000);
         cfg
     }
 
@@ -440,6 +499,18 @@ impl SystemConfig {
     /// Sets near/far atomic placement (builder-style).
     pub fn with_placement(mut self, placement: AtomicPlacement) -> Self {
         self.core.atomic_placement = placement;
+        self
+    }
+
+    /// Replaces the robustness-layer configuration (builder-style).
+    pub fn with_check(mut self, check: CheckConfig) -> Self {
+        self.check = check;
+        self
+    }
+
+    /// Enables deterministic fault injection with `seed` (builder-style).
+    pub fn with_chaos(mut self, seed: u64) -> Self {
+        self.check.chaos = Some(FaultConfig::with_seed(seed));
         self
     }
 
@@ -475,6 +546,12 @@ impl SystemConfig {
         }
         if self.noc.mesh_cols == 0 {
             return Err("mesh must have at least one column".into());
+        }
+        if self.check.invariant_every == Some(0) {
+            return Err("invariant_every must be at least one cycle".into());
+        }
+        if self.check.watchdog_window == Some(0) {
+            return Err("watchdog_window must be at least one cycle".into());
         }
         Ok(())
     }

@@ -5,7 +5,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// Size of a cache line in bytes (64 B, as in all modern x86 parts).
 pub const LINE_BYTES: u64 = 64;
@@ -21,7 +20,7 @@ pub const LINE_SHIFT: u32 = 6;
 /// let c = CoreId::new(3);
 /// assert_eq!(c.index(), 3);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct CoreId(u16);
 
 impl CoreId {
@@ -57,7 +56,7 @@ impl From<u16> for CoreId {
 /// assert_eq!(a.line(), LineAddr::new(0x1234 >> 6));
 /// assert_eq!(a.line_offset(), 0x34);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct Addr(u64);
 
 impl Addr {
@@ -109,7 +108,7 @@ impl From<u64> for Addr {
 ///
 /// Coherence, cache locking, and the Atomic Queue all operate at line
 /// granularity, so this type appears wherever the directory or the AQ does.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct LineAddr(u64);
 
 impl LineAddr {
@@ -149,7 +148,7 @@ impl From<Addr> for LineAddr {
 /// let pc = Pc::new(0x400123);
 /// assert_eq!(pc.raw(), 0x400123);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
 pub struct Pc(u64);
 
 impl Pc {

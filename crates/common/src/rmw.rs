@@ -5,10 +5,9 @@
 //! at the home directory — the §VII design alternative) apply these
 //! operations to the functional word store.
 
-use serde::{Deserialize, Serialize};
 
 /// The modify operation of an atomic RMW instruction.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum RmwKind {
     /// Fetch-and-add: `mem += delta` (x86 `lock xadd`).
     Faa(u64),

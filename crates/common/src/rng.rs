@@ -4,7 +4,6 @@
 //! workload generators use this self-contained [`SplitMix64`] generator
 //! (Steele, Lea & Flood, OOPSLA 2014) rather than a platform-seeded source.
 
-use serde::{Deserialize, Serialize};
 
 /// A SplitMix64 pseudo-random generator.
 ///
@@ -18,7 +17,7 @@ use serde::{Deserialize, Serialize};
 /// let mut b = SplitMix64::new(42);
 /// assert_eq!(a.next_u64(), b.next_u64()); // deterministic
 /// ```
-#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub struct SplitMix64 {
     state: u64,
 }

@@ -6,7 +6,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// An online mean over `u64` samples.
 ///
@@ -19,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(m.mean(), 15.0);
 /// assert_eq!(m.count(), 2);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct RunningMean {
     sum: u128,
     count: u64,
@@ -76,7 +75,7 @@ impl RunningMean {
 /// assert_eq!(h.count(), 2);
 /// assert!(h.percentile(0.5) <= 300);
 /// ```
-#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,
@@ -153,7 +152,7 @@ impl Histogram {
 
 /// The three-segment atomic latency breakdown of Fig. 6:
 /// dispatch→issue, issue→lock, lock→unlock.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct AtomicLatencyBreakdown {
     /// Cycles from dispatch until the atomic's memory request issues.
     pub dispatch_to_issue: RunningMean,
@@ -209,7 +208,7 @@ impl fmt::Display for AtomicLatencyBreakdown {
 ///
 /// A prediction is *correct* when the predicted class (contended or not)
 /// matches the detector's outcome for that atomic instance.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct AccuracyCounter {
     /// Predicted contended, detected contended.
     pub true_contended: u64,

@@ -255,6 +255,43 @@ impl Core {
             && self.sb.is_empty()
     }
 
+    /// Occupied ROB entries (stall diagnostics).
+    pub fn rob_occupancy(&self) -> usize {
+        self.rob.len()
+    }
+
+    /// Occupied store-buffer entries (stall diagnostics).
+    pub fn sb_occupancy(&self) -> usize {
+        self.sb.len()
+    }
+
+    /// Occupied atomic-queue entries (stall diagnostics).
+    pub fn aq_occupancy(&self) -> usize {
+        self.aq.len()
+    }
+
+    /// Cycle of the most recent commit (`Cycle::ZERO` before the first).
+    pub fn last_commit(&self) -> Cycle {
+        self.last_commit
+    }
+
+    /// A human-readable description of the ROB-head instruction, if any —
+    /// the instruction the core is stuck on when it stops committing.
+    pub fn head_instr(&self) -> Option<String> {
+        let uid = *self.rob.front()?;
+        let e = self.entries.get(&uid)?;
+        let i = &e.instr;
+        let what = match i.op {
+            Op::Alu { latency } => format!("alu(lat {latency})"),
+            Op::Load { addr } => format!("load {addr}"),
+            Op::Store { addr, .. } => format!("store {addr}"),
+            Op::Atomic { rmw, addr } => format!("atomic {rmw:?} {addr}"),
+            Op::Branch { taken } => format!("branch(taken {taken})"),
+            Op::Fence => "fence".to_string(),
+        };
+        Some(format!("#{} pc {} {}", e.order, i.pc, what))
+    }
+
     fn req_id(uid: u64, tag: u64) -> u64 {
         uid << 1 | tag
     }

@@ -1,0 +1,170 @@
+//! Structured protocol errors.
+//!
+//! The coherence controllers historically panicked (or hit `unreachable!`)
+//! when a message arrived that the protocol has no transition for. Those
+//! paths now surface a [`ProtocolError`] instead, which the simulation loop
+//! propagates as a first-class error — so a corrupted or mis-modelled
+//! protocol state is diagnosable rather than fatal, and robustness tests can
+//! assert on it. The same type carries the violations found by `row-check`'s
+//! coherence invariant sweep (SWMR, directory/private agreement, Blocked
+//! queue boundedness).
+
+use row_common::ids::{CoreId, LineAddr};
+
+use crate::directory::DirState;
+use crate::msg::Msg;
+use crate::private::PrivState;
+
+/// A coherence-protocol invariant was broken.
+///
+/// Every variant names the line and agent involved so a failing stress run
+/// points directly at the offending transition.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ProtocolError {
+    /// A request handler that must only see stable entries found the entry
+    /// Blocked (the caller is responsible for queueing against Blocked).
+    BlockedEntryReentered {
+        /// The directory bank.
+        tile: usize,
+        /// The offending message.
+        msg: Msg,
+    },
+    /// The directory received a message kind it has no transition for.
+    DirUnexpectedMessage {
+        /// The directory bank.
+        tile: usize,
+        /// The offending message.
+        msg: Msg,
+    },
+    /// A private cache received a message kind it has no transition for.
+    CacheUnexpectedMessage {
+        /// The receiving core.
+        core: CoreId,
+        /// The offending message.
+        msg: Msg,
+    },
+    /// Data arrived at a private cache with no matching MSHR.
+    DataWithoutMshr {
+        /// The receiving core.
+        core: CoreId,
+        /// The filled line.
+        line: LineAddr,
+    },
+    /// An unlock was issued for a line that is not locked.
+    UnlockOfUnlocked {
+        /// The unlocking core.
+        core: CoreId,
+        /// The line.
+        line: LineAddr,
+    },
+    /// SWMR violated: more than one private cache owns (M/E) the line.
+    MultipleOwners {
+        /// The line.
+        line: LineAddr,
+        /// Every core holding the line in M or E.
+        owners: Vec<CoreId>,
+    },
+    /// A private cache's state for a line disagrees with its home
+    /// directory entry.
+    DirectoryMismatch {
+        /// The line.
+        line: LineAddr,
+        /// The disagreeing core.
+        core: CoreId,
+        /// What the home directory believes.
+        dir: DirState,
+        /// What the private cache holds.
+        cache: Option<PrivState>,
+    },
+    /// A Blocked directory entry's wait queue exceeded its bound.
+    BlockedQueueOverflow {
+        /// The directory bank.
+        tile: usize,
+        /// The blocked line.
+        line: LineAddr,
+        /// Observed queue depth.
+        depth: usize,
+        /// The configured (or derived) bound.
+        bound: usize,
+    },
+    /// A line in the lock table is not held in M, so the "external requests
+    /// stall against locked lines" guarantee cannot hold.
+    LockedLineNotModified {
+        /// The locking core.
+        core: CoreId,
+        /// The line.
+        line: LineAddr,
+        /// The state actually held.
+        state: Option<PrivState>,
+    },
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::BlockedEntryReentered { tile, msg } => write!(
+                f,
+                "dir bank {tile}: request handler re-entered a Blocked entry with {msg:?}"
+            ),
+            ProtocolError::DirUnexpectedMessage { tile, msg } => {
+                write!(f, "dir bank {tile}: unexpected message {msg:?}")
+            }
+            ProtocolError::CacheUnexpectedMessage { core, msg } => {
+                write!(f, "core {core}: private cache received unexpected {msg:?}")
+            }
+            ProtocolError::DataWithoutMshr { core, line } => {
+                write!(f, "core {core}: Data for line {line} with no MSHR")
+            }
+            ProtocolError::UnlockOfUnlocked { core, line } => {
+                write!(f, "core {core}: unlock of unlocked line {line}")
+            }
+            ProtocolError::MultipleOwners { line, owners } => {
+                write!(f, "SWMR violated on line {line}: owners {owners:?}")
+            }
+            ProtocolError::DirectoryMismatch {
+                line,
+                core,
+                dir,
+                cache,
+            } => write!(
+                f,
+                "line {line}: directory says {dir:?} but core {core} holds {cache:?}"
+            ),
+            ProtocolError::BlockedQueueOverflow {
+                tile,
+                line,
+                depth,
+                bound,
+            } => write!(
+                f,
+                "dir bank {tile}: Blocked entry for {line} queues {depth} requests (bound {bound})"
+            ),
+            ProtocolError::LockedLineNotModified { core, line, state } => write!(
+                f,
+                "core {core}: locked line {line} held in {state:?}, not M"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_line_and_agents() {
+        let e = ProtocolError::MultipleOwners {
+            line: LineAddr::new(7),
+            owners: vec![CoreId::new(0), CoreId::new(3)],
+        };
+        let s = e.to_string();
+        assert!(s.contains("SWMR"), "{s}");
+        let e = ProtocolError::UnlockOfUnlocked {
+            core: CoreId::new(1),
+            line: LineAddr::new(9),
+        };
+        assert!(e.to_string().contains("unlock"));
+    }
+}

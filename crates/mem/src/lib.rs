@@ -37,12 +37,14 @@
 
 pub mod array;
 pub mod directory;
+pub mod error;
 pub mod msg;
 pub mod prefetch;
 pub mod private;
 pub mod system;
 
-pub use directory::{DirState, DirStats};
+pub use directory::{BlockedEntrySnapshot, BlockedPhase, DirState, DirStats};
+pub use error::ProtocolError;
 pub use msg::{AccessKind, FillSource, MemEvent, Msg, ReqMeta};
 pub use private::{PrivState, PrivStats};
 pub use system::{MemStats, MemorySystem};

@@ -21,6 +21,7 @@ use row_common::ids::{CoreId, LineAddr};
 use row_common::Cycle;
 
 use crate::array::{CacheArray, Insert};
+use crate::error::ProtocolError;
 use crate::msg::{AccessKind, Endpoint, FillSource, MemEvent, Msg, ReqMeta};
 use crate::prefetch::IpStridePrefetcher;
 
@@ -203,6 +204,40 @@ impl PrivateCache {
     /// Number of in-flight misses.
     pub fn outstanding_misses(&self) -> usize {
         self.mshrs.len()
+    }
+
+    /// Every line with a coherence state in this private domain (iteration
+    /// order is unspecified).
+    pub fn lines(&self) -> impl Iterator<Item = (LineAddr, PrivState)> + '_ {
+        self.coh.iter().map(|(&l, &s)| (l, s))
+    }
+
+    /// Lines with an in-flight miss (an allocated MSHR).
+    pub fn mshr_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.mshrs.keys().copied()
+    }
+
+    /// Lines currently held locked by the core's AQ.
+    pub fn locked_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.locked
+            .iter()
+            .filter(|(_, c)| **c > 0)
+            .map(|(&l, _)| l)
+    }
+
+    /// Overwrites the coherence state of `line`, bypassing the protocol.
+    /// **Robustness-testing instrumentation only**: used to verify the
+    /// invariant checker catches corrupted cache state. `None` removes the
+    /// line.
+    pub fn corrupt_state_for_test(&mut self, line: LineAddr, state: Option<PrivState>) {
+        match state {
+            Some(s) => {
+                self.coh.insert(line, s);
+            }
+            None => {
+                self.coh.remove(&line);
+            }
+        }
     }
 
     fn dir(&self, line: LineAddr) -> Endpoint {
@@ -451,25 +486,38 @@ impl PrivateCache {
 
     /// Unlocks `line` (AQ `store_unlock` wrote). When the last lock drops,
     /// stalled external requests are answered in arrival order.
-    pub fn unlock(&mut self, line: LineAddr, now: Cycle, actions: &mut Vec<CacheAction>) {
-        let c = self
-            .locked
-            .get_mut(&line)
-            .unwrap_or_else(|| panic!("unlock of unlocked line {line}"));
+    pub fn unlock(
+        &mut self,
+        line: LineAddr,
+        now: Cycle,
+        actions: &mut Vec<CacheAction>,
+    ) -> Result<(), ProtocolError> {
+        let Some(c) = self.locked.get_mut(&line) else {
+            return Err(ProtocolError::UnlockOfUnlocked {
+                core: self.id,
+                line,
+            });
+        };
         *c -= 1;
         if *c > 0 {
-            return;
+            return Ok(());
         }
         self.locked.remove(&line);
         if let Some(q) = self.stalled_ext.remove(&line) {
             for msg in q {
-                self.apply_external(msg, now + self.l1_lat, actions);
+                self.apply_external(msg, now + self.l1_lat, actions)?;
             }
         }
+        Ok(())
     }
 
     /// Handles a protocol message addressed to this controller.
-    pub fn handle_msg(&mut self, msg: Msg, now: Cycle, actions: &mut Vec<CacheAction>) {
+    pub fn handle_msg(
+        &mut self,
+        msg: Msg,
+        now: Cycle,
+        actions: &mut Vec<CacheAction>,
+    ) -> Result<(), ProtocolError> {
         match msg {
             Msg::Inv { line } | Msg::FwdGetS { line, .. } | Msg::FwdGetX { line, .. } => {
                 self.stats.ext_seen += 1;
@@ -484,7 +532,7 @@ impl PrivateCache {
                     self.stats.ext_stalled += 1;
                     self.stalled_ext.entry(line).or_default().push_back(msg);
                 } else {
-                    self.apply_external(msg, now, actions);
+                    self.apply_external(msg, now, actions)?;
                 }
             }
             Msg::Data {
@@ -492,7 +540,7 @@ impl PrivateCache {
                 excl,
                 from_private,
                 ..
-            } => self.handle_data(line, excl, from_private, now, actions),
+            } => self.handle_data(line, excl, from_private, now, actions)?,
             Msg::WbAck { line } | Msg::WbStale { line } => {
                 if self.coh.get(&line) == Some(&PrivState::Evicting) {
                     self.coh.remove(&line);
@@ -507,11 +555,22 @@ impl PrivateCache {
                     at: now,
                 }));
             }
-            other => panic!("private cache received unexpected message {other:?}"),
+            other => {
+                return Err(ProtocolError::CacheUnexpectedMessage {
+                    core: self.id,
+                    msg: other,
+                })
+            }
         }
+        Ok(())
     }
 
-    fn apply_external(&mut self, msg: Msg, now: Cycle, actions: &mut Vec<CacheAction>) {
+    fn apply_external(
+        &mut self,
+        msg: Msg,
+        now: Cycle,
+        actions: &mut Vec<CacheAction>,
+    ) -> Result<(), ProtocolError> {
         match msg {
             Msg::Inv { line } => {
                 self.drop_line(line);
@@ -565,8 +624,14 @@ impl PrivateCache {
                     self.drop_line(line);
                 }
             }
-            other => panic!("apply_external on non-external message {other:?}"),
+            other => {
+                return Err(ProtocolError::CacheUnexpectedMessage {
+                    core: self.id,
+                    msg: other,
+                })
+            }
         }
+        Ok(())
     }
 
     fn drop_line(&mut self, line: LineAddr) {
@@ -582,11 +647,13 @@ impl PrivateCache {
         from_private: bool,
         now: Cycle,
         actions: &mut Vec<CacheAction>,
-    ) {
-        let mshr = self
-            .mshrs
-            .remove(&line)
-            .unwrap_or_else(|| panic!("Data for line {line} with no MSHR"));
+    ) -> Result<(), ProtocolError> {
+        let Some(mshr) = self.mshrs.remove(&line) else {
+            return Err(ProtocolError::DataWithoutMshr {
+                core: self.id,
+                line,
+            });
+        };
         let state = if mshr.excl {
             PrivState::M
         } else if excl {
@@ -637,6 +704,7 @@ impl PrivateCache {
             m.waiters.extend(it);
         }
         self.promote_pending(now, actions);
+        Ok(())
     }
 
     fn install(&mut self, line: LineAddr, now: Cycle, actions: &mut Vec<CacheAction>) {
@@ -719,7 +787,7 @@ mod tests {
             },
             now,
             &mut acts,
-        );
+        ).unwrap();
         acts
     }
 
@@ -842,7 +910,7 @@ mod tests {
         c.access(meta(1, AccessKind::Read), line, Cycle::ZERO, &mut acts);
         fill(&mut c, line, false, Cycle::new(50));
         let mut acts = Vec::new();
-        c.handle_msg(Msg::Inv { line }, Cycle::new(60), &mut acts);
+        c.handle_msg(Msg::Inv { line }, Cycle::new(60), &mut acts).unwrap();
         assert!(acts.iter().any(|a| matches!(
             a,
             CacheAction::Emit(MemEvent::ExternalObserved { stalled: false, .. })
@@ -870,7 +938,7 @@ mod tests {
             },
             Cycle::new(60),
             &mut acts,
-        );
+        ).unwrap();
         assert!(acts.iter().any(|a| matches!(
             a,
             CacheAction::Emit(MemEvent::ExternalObserved { stalled: true, .. })
@@ -882,7 +950,7 @@ mod tests {
         assert_eq!(c.stats().ext_stalled, 1);
 
         let mut acts = Vec::new();
-        c.unlock(line, Cycle::new(200), &mut acts);
+        c.unlock(line, Cycle::new(200), &mut acts).unwrap();
         let served = acts.iter().find_map(|a| match a {
             CacheAction::Send {
                 msg: Msg::Data { from_private, excl, .. },
@@ -913,7 +981,7 @@ mod tests {
             },
             Cycle::new(60),
             &mut acts,
-        );
+        ).unwrap();
         assert_eq!(c.state(line), Some(PrivState::S));
         assert!(acts.iter().any(|a| matches!(
             a,
@@ -946,7 +1014,7 @@ mod tests {
         }
         assert_eq!(c.state(lines[0]), Some(PrivState::Evicting));
         let mut acts = Vec::new();
-        c.handle_msg(Msg::WbAck { line: lines[0] }, Cycle::new(100), &mut acts);
+        c.handle_msg(Msg::WbAck { line: lines[0] }, Cycle::new(100), &mut acts).unwrap();
         assert_eq!(c.state(lines[0]), None);
     }
 
@@ -1016,9 +1084,9 @@ mod tests {
         fill(&mut c, line, true, Cycle::new(10)); // lock count 1
         c.lock(line); // a second in-flight atomic to the same line
         let mut acts = Vec::new();
-        c.unlock(line, Cycle::new(20), &mut acts);
+        c.unlock(line, Cycle::new(20), &mut acts).unwrap();
         assert!(c.is_locked(line));
-        c.unlock(line, Cycle::new(30), &mut acts);
+        c.unlock(line, Cycle::new(30), &mut acts).unwrap();
         assert!(!c.is_locked(line));
     }
 
@@ -1092,7 +1160,7 @@ mod race_tests {
             },
             Cycle::new(10),
             &mut acts,
-        );
+        ).unwrap();
     }
 
     #[test]
@@ -1115,7 +1183,7 @@ mod race_tests {
             },
             Cycle::new(50),
             &mut acts,
-        );
+        ).unwrap();
         assert!(
             acts.iter().any(|a| matches!(
                 a,
@@ -1125,7 +1193,7 @@ mod race_tests {
         );
         // Our stale PutM is rejected; the entry finally drops.
         let mut acts = Vec::new();
-        c.handle_msg(Msg::WbStale { line: victim }, Cycle::new(80), &mut acts);
+        c.handle_msg(Msg::WbStale { line: victim }, Cycle::new(80), &mut acts).unwrap();
         assert_eq!(c.state(victim), None);
     }
 
@@ -1134,7 +1202,7 @@ mod race_tests {
         let mut c = cache();
         let line = LineAddr::new(99);
         let mut acts = Vec::new();
-        c.handle_msg(Msg::Inv { line }, Cycle::new(5), &mut acts);
+        c.handle_msg(Msg::Inv { line }, Cycle::new(5), &mut acts).unwrap();
         assert!(acts.iter().any(|a| matches!(
             a,
             CacheAction::Send { msg: Msg::InvAck { .. }, .. }
@@ -1162,7 +1230,7 @@ mod race_tests {
             },
             Cycle::new(10),
             &mut acts,
-        ); // auto-locked
+        ).unwrap(); // auto-locked
         let mut acts = Vec::new();
         c.handle_msg(
             Msg::FwdGetS {
@@ -1171,10 +1239,10 @@ mod race_tests {
             },
             Cycle::new(20),
             &mut acts,
-        );
+        ).unwrap();
         assert_eq!(c.stats().ext_stalled, 1);
         let mut acts = Vec::new();
-        c.unlock(line, Cycle::new(100), &mut acts);
+        c.unlock(line, Cycle::new(100), &mut acts).unwrap();
         let served: Vec<CoreId> = acts
             .iter()
             .filter_map(|a| match a {
@@ -1199,7 +1267,7 @@ mod race_tests {
             },
             Cycle::new(9),
             &mut acts,
-        );
+        ).unwrap();
         assert!(matches!(
             acts[0],
             CacheAction::Emit(MemEvent::FarDone { req_id: 44, .. })

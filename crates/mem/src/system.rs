@@ -21,13 +21,15 @@
 
 use std::collections::HashMap;
 
-use row_common::config::SystemConfig;
+use row_common::config::{FaultConfig, SystemConfig};
 use row_common::ids::{Addr, CoreId, LineAddr};
+use row_common::rng::SplitMix64;
 use row_common::sched::EventQueue;
 use row_common::stats::RunningMean;
 use row_common::Cycle;
 
-use crate::directory::{DirBank, DirState};
+use crate::directory::{BlockedEntrySnapshot, DirBank, DirState};
+use crate::error::ProtocolError;
 use crate::msg::{Endpoint, MemEvent, Msg, ReqMeta};
 use crate::private::{AccessOutcome, CacheAction, PrivState, PrivateCache};
 use row_noc::{Mesh, MsgClass, NodeId};
@@ -49,6 +51,50 @@ pub struct MemStats {
     pub home_fills: u64,
 }
 
+/// Deterministic delivery-perturbation state (chaos mode).
+///
+/// Adds a seeded, bounded extra latency to every message delivery. Because
+/// the mesh serializes each link (a data message occupies a link for its
+/// full flit count), messages between the same (src, dst) pair can never
+/// reorder natively — so the perturbation preserves per-pair delivery order
+/// and only reorders messages across distinct pairs, which the protocol must
+/// already tolerate.
+#[derive(Clone, Debug)]
+struct FaultState {
+    rng: SplitMix64,
+    max_extra: u64,
+    /// Last perturbed delivery cycle per (src, dst) node pair.
+    last: HashMap<(usize, usize), Cycle>,
+}
+
+impl FaultState {
+    fn new(cfg: FaultConfig) -> Self {
+        FaultState {
+            rng: SplitMix64::new(cfg.seed),
+            max_extra: cfg.max_extra_latency,
+            last: HashMap::new(),
+        }
+    }
+
+    /// Perturbs a delivery cycle, keeping same-pair messages in order.
+    fn perturb(&mut self, src: NodeId, dst: NodeId, deliver: Cycle) -> Cycle {
+        let jitter = if self.max_extra == 0 {
+            0
+        } else {
+            self.rng.below(self.max_extra + 1)
+        };
+        let key = (src.index(), dst.index());
+        let mut at = deliver + jitter;
+        if let Some(&prev) = self.last.get(&key) {
+            if at <= prev {
+                at = prev + 1;
+            }
+        }
+        self.last.insert(key, at);
+        at
+    }
+}
+
 /// The simulated memory hierarchy shared by all cores.
 #[derive(Clone, Debug)]
 pub struct MemorySystem {
@@ -61,6 +107,10 @@ pub struct MemorySystem {
     words: HashMap<u64, u64>,
     starts: HashMap<(CoreId, u64), Cycle>,
     stats: MemStats,
+    fault: Option<FaultState>,
+    /// First protocol error observed; sticky so the simulation loop can
+    /// surface it even though core-facing entry points stay infallible.
+    err: Option<ProtocolError>,
 }
 
 impl MemorySystem {
@@ -90,6 +140,8 @@ impl MemorySystem {
                 miss_latency: vec![RunningMean::new(); tiles],
                 ..MemStats::default()
             },
+            fault: cfg.check.chaos.map(FaultState::new),
+            err: None,
         }
     }
 
@@ -155,9 +207,13 @@ impl MemorySystem {
     }
 
     /// Unlocks `line`; stalled external requests are then served.
+    ///
+    /// An unlock of an unlocked line records a [`ProtocolError`] (see
+    /// [`MemorySystem::protocol_error`]) instead of panicking.
     pub fn unlock(&mut self, core: CoreId, line: LineAddr, now: Cycle) {
         let mut actions = Vec::new();
-        self.caches[core.index()].unlock(line, now, &mut actions);
+        let r = self.caches[core.index()].unlock(line, now, &mut actions);
+        self.absorb(r);
         self.run_actions(Endpoint::Core(core), actions);
     }
 
@@ -183,15 +239,18 @@ impl MemorySystem {
 
     /// Advances the message network to `now` and returns all events produced
     /// since the last tick (fills, external-request observations).
+    ///
+    /// Protocol errors raised by the controllers are recorded (sticky; see
+    /// [`MemorySystem::protocol_error`]) rather than panicking, so the
+    /// simulation loop can surface them as first-class failures.
     pub fn tick(&mut self, now: Cycle) -> Vec<MemEvent> {
         while let Some((to, msg)) = self.net.pop_ready(now) {
             let mut actions = Vec::new();
-            match to {
-                Endpoint::Core(c) => {
-                    self.caches[c.index()].handle_msg(msg, now, &mut actions)
-                }
+            let r = match to {
+                Endpoint::Core(c) => self.caches[c.index()].handle_msg(msg, now, &mut actions),
                 Endpoint::Dir(t) => self.dirs[t].handle_msg(msg, now, &mut actions),
-            }
+            };
+            self.absorb(r);
             self.run_actions(to, actions);
         }
         for i in 0..self.caches.len() {
@@ -200,6 +259,25 @@ impl MemorySystem {
             self.run_actions(Endpoint::Core(CoreId::new(i as u16)), actions);
         }
         std::mem::take(&mut self.out)
+    }
+
+    /// The first protocol error observed, if any. Once set it stays set: the
+    /// system's state is no longer trustworthy past this point.
+    pub fn protocol_error(&self) -> Option<&ProtocolError> {
+        self.err.as_ref()
+    }
+
+    /// Records a protocol error for later injection (used by `row-check`'s
+    /// invariant sweep, which borrows the system immutably and reports
+    /// through the same channel).
+    pub fn record_protocol_error(&mut self, e: ProtocolError) {
+        self.absorb(Err(e));
+    }
+
+    fn absorb(&mut self, r: Result<(), ProtocolError>) {
+        if let Err(e) = r {
+            self.err.get_or_insert(e);
+        }
     }
 
     /// Earliest cycle at which a pending message wants to be delivered.
@@ -218,7 +296,10 @@ impl MemorySystem {
                     } else {
                         MsgClass::Control
                     };
-                    let deliver = self.mesh.send(src, dst, class, at);
+                    let mut deliver = self.mesh.send(src, dst, class, at);
+                    if let Some(f) = self.fault.as_mut() {
+                        deliver = f.perturb(src, dst, deliver);
+                    }
                     self.net.push(deliver, (to, msg));
                 }
                 CacheAction::ApplyRmw {
@@ -237,7 +318,10 @@ impl MemorySystem {
                     }
                     let src = self.node_of(from);
                     let dst = self.node_of(Endpoint::Core(req));
-                    let deliver = self.mesh.send(src, dst, MsgClass::Control, at);
+                    let mut deliver = self.mesh.send(src, dst, MsgClass::Control, at);
+                    if let Some(f) = self.fault.as_mut() {
+                        deliver = f.perturb(src, dst, deliver);
+                    }
                     self.net.push(
                         deliver,
                         (
@@ -303,6 +387,66 @@ impl MemorySystem {
     /// Per-core private-cache statistics.
     pub fn cache_stats(&self, core: CoreId) -> &crate::private::PrivStats {
         self.caches[core.index()].stats()
+    }
+
+    /// Number of cores (= tiles) in the system.
+    pub fn cores(&self) -> usize {
+        self.tiles
+    }
+
+    /// Every line `core` holds, with its coherence state (order unspecified).
+    pub fn private_lines(&self, core: CoreId) -> Vec<(LineAddr, PrivState)> {
+        self.caches[core.index()].lines().collect()
+    }
+
+    /// Lines with an in-flight miss at `core`.
+    pub fn mshr_lines(&self, core: CoreId) -> Vec<LineAddr> {
+        self.caches[core.index()].mshr_lines().collect()
+    }
+
+    /// Lines `core` currently holds locked.
+    pub fn locked_lines(&self, core: CoreId) -> Vec<LineAddr> {
+        self.caches[core.index()].locked_lines().collect()
+    }
+
+    /// Every line tracked by any directory bank, with its externally
+    /// visible state (order unspecified).
+    pub fn dir_lines(&self) -> Vec<(LineAddr, DirState)> {
+        self.dirs.iter().flat_map(|d| d.lines()).collect()
+    }
+
+    /// Snapshots of all Blocked directory entries across banks, tagged with
+    /// their bank's tile, sorted by line address.
+    pub fn blocked_dir_entries(&self) -> Vec<(usize, BlockedEntrySnapshot)> {
+        let mut out: Vec<(usize, BlockedEntrySnapshot)> = self
+            .dirs
+            .iter()
+            .flat_map(|d| d.blocked_entries().into_iter().map(move |s| (d.tile(), s)))
+            .collect();
+        out.sort_by_key(|(_, s)| s.line.raw());
+        out
+    }
+
+    /// The mesh's latest link `busy_until` horizon (stall diagnostics).
+    pub fn noc_busy_horizon(&self) -> Cycle {
+        self.mesh.busy_horizon()
+    }
+
+    /// Corrupts the private-cache state of `line` at `core`, bypassing the
+    /// protocol. **Robustness-testing instrumentation only.**
+    pub fn corrupt_private_state_for_test(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        state: Option<PrivState>,
+    ) {
+        self.caches[core.index()].corrupt_state_for_test(line, state);
+    }
+
+    /// Corrupts the home-directory entry of `line`, bypassing the protocol.
+    /// **Robustness-testing instrumentation only.**
+    pub fn corrupt_dir_state_for_test(&mut self, line: LineAddr, state: DirState) {
+        self.dirs[home_of(line, self.tiles)].corrupt_entry_for_test(line, state);
     }
 
     /// Interconnect statistics.

@@ -115,6 +115,13 @@ impl Mesh {
     pub fn stats(&self) -> &NocStats {
         &self.stats
     }
+
+    /// The latest `busy_until` horizon across all links: the cycle after
+    /// which the whole mesh is guaranteed idle given no further traffic.
+    /// Diagnostic input for stall reports.
+    pub fn busy_horizon(&self) -> Cycle {
+        self.link_free.iter().copied().max().unwrap_or(Cycle::ZERO)
+    }
 }
 
 #[cfg(test)]

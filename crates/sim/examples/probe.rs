@@ -5,7 +5,7 @@ use row_workloads::Benchmark;
 fn main() {
     let cores: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
     let instr: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(6_000);
-    let exp = ExperimentConfig { cores, instructions: instr, seed: 42, cycle_limit: 400_000_000, paper_caches: cores > 8 };
+    let exp = ExperimentConfig { cores, instructions: instr, seed: 42, cycle_limit: 400_000_000, paper_caches: cores > 8, check: Default::default() };
     println!("{:14} {:>6} {:>7} {:>7} {:>7} {:>5}", "bench", "lazy", "rowUD", "rowSat", "rowUD+F", "cont%");
     for b in Benchmark::all() {
         let e = run_eager(*b, &exp).unwrap();

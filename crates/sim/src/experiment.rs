@@ -6,7 +6,7 @@
 //! (32 cores, Table I caches) fidelity.
 
 use row_common::config::{
-    AtomicPlacement, AtomicPolicy, DetectorKind, FenceModel, PredictorKind, RowConfig,
+    AtomicPlacement, AtomicPolicy, CheckConfig, DetectorKind, FenceModel, PredictorKind, RowConfig,
 };
 use row_common::SystemConfig;
 use row_cpu::instr::InstrStream;
@@ -14,7 +14,7 @@ use row_workloads::{
     Benchmark, MicroRmw, MicroVariant, MicrobenchConfig, MicrobenchStream, ProfileStream,
 };
 
-use crate::machine::{Machine, RunResult, SimTimeout};
+use crate::machine::{Machine, RunResult, SimError};
 
 /// Scale of an experiment run.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -29,6 +29,8 @@ pub struct ExperimentConfig {
     pub cycle_limit: u64,
     /// Use the full Table I cache hierarchy (vs the scaled-down one).
     pub paper_caches: bool,
+    /// Robustness-layer configuration (invariant sweep, watchdog, chaos).
+    pub check: CheckConfig,
 }
 
 impl ExperimentConfig {
@@ -40,6 +42,12 @@ impl ExperimentConfig {
             seed: 42,
             cycle_limit: 40_000_000,
             paper_caches: false,
+            check: CheckConfig {
+                invariant_every: Some(4096),
+                blocked_queue_bound: 0,
+                watchdog_window: Some(5_000_000),
+                chaos: None,
+            },
         }
     }
 
@@ -51,6 +59,7 @@ impl ExperimentConfig {
             seed: 42,
             cycle_limit: 200_000_000,
             paper_caches: true,
+            check: CheckConfig::default(),
         }
     }
 
@@ -62,6 +71,7 @@ impl ExperimentConfig {
             SystemConfig::small(self.cores)
         };
         cfg.cores = self.cores;
+        cfg.check = self.check;
         cfg
     }
 }
@@ -128,13 +138,13 @@ impl RowVariant {
 /// Runs `bench` under `policy`, with or without store→atomic forwarding.
 ///
 /// # Errors
-/// Propagates [`SimTimeout`] if the cycle budget is exhausted.
+/// Propagates any [`SimError`] (cycle-budget timeout, watchdog stall, or protocol violation).
 pub fn run_benchmark(
     bench: Benchmark,
     policy: AtomicPolicy,
     forwarding: bool,
     exp: &ExperimentConfig,
-) -> Result<RunResult, SimTimeout> {
+) -> Result<RunResult, SimError> {
     let sys = exp
         .system()
         .with_policy(policy)
@@ -151,13 +161,13 @@ pub fn run_benchmark(
 /// Runs one Fig. 2 microbenchmark cell and returns cycles per iteration.
 ///
 /// # Errors
-/// Propagates [`SimTimeout`] if the cycle budget is exhausted.
+/// Propagates any [`SimError`] (cycle-budget timeout, watchdog stall, or protocol violation).
 pub fn run_microbench(
     rmw: MicroRmw,
     variant: MicroVariant,
     fence_model: FenceModel,
     iterations: u64,
-) -> Result<f64, SimTimeout> {
+) -> Result<f64, SimError> {
     let sys = SystemConfig::small(1).with_fence_model(fence_model);
     let cfg = MicrobenchConfig::paper_like(rmw, variant, iterations);
     let stream: Box<dyn InstrStream> = Box::new(MicrobenchStream::new(cfg));
@@ -169,8 +179,8 @@ pub fn run_microbench(
 /// the home directory bank.
 ///
 /// # Errors
-/// Propagates [`SimTimeout`] if the cycle budget is exhausted.
-pub fn run_far(bench: Benchmark, exp: &ExperimentConfig) -> Result<RunResult, SimTimeout> {
+/// Propagates any [`SimError`] (cycle-budget timeout, watchdog stall, or protocol violation).
+pub fn run_far(bench: Benchmark, exp: &ExperimentConfig) -> Result<RunResult, SimError> {
     let sys = exp
         .system()
         .with_policy(AtomicPolicy::Eager)
@@ -185,12 +195,12 @@ pub fn run_far(bench: Benchmark, exp: &ExperimentConfig) -> Result<RunResult, Si
 }
 
 /// Convenience: eager baseline for normalization.
-pub fn run_eager(bench: Benchmark, exp: &ExperimentConfig) -> Result<RunResult, SimTimeout> {
+pub fn run_eager(bench: Benchmark, exp: &ExperimentConfig) -> Result<RunResult, SimError> {
     run_benchmark(bench, AtomicPolicy::Eager, false, exp)
 }
 
 /// Convenience: lazy execution.
-pub fn run_lazy(bench: Benchmark, exp: &ExperimentConfig) -> Result<RunResult, SimTimeout> {
+pub fn run_lazy(bench: Benchmark, exp: &ExperimentConfig) -> Result<RunResult, SimError> {
     run_benchmark(bench, AtomicPolicy::Lazy, false, exp)
 }
 
@@ -199,7 +209,7 @@ pub fn run_row(
     bench: Benchmark,
     variant: RowVariant,
     exp: &ExperimentConfig,
-) -> Result<RunResult, SimTimeout> {
+) -> Result<RunResult, SimError> {
     run_benchmark(bench, AtomicPolicy::Row(variant.config()), false, exp)
 }
 
@@ -208,7 +218,7 @@ pub fn run_row_fwd(
     bench: Benchmark,
     variant: RowVariant,
     exp: &ExperimentConfig,
-) -> Result<RunResult, SimTimeout> {
+) -> Result<RunResult, SimError> {
     let cfg = variant.config().with_locality_override(true);
     run_benchmark(bench, AtomicPolicy::Row(cfg), true, exp)
 }
@@ -224,6 +234,7 @@ mod tests {
             seed: 7,
             cycle_limit: 20_000_000,
             paper_caches: false,
+            check: CheckConfig::default(),
         }
     }
 
@@ -314,6 +325,7 @@ mod far_tests {
             seed: 7,
             cycle_limit: 50_000_000,
             paper_caches: false,
+            check: CheckConfig::default(),
         }
     }
 

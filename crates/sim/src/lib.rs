@@ -17,7 +17,7 @@
 //! let eager = run_eager(Benchmark::Pc, &exp)?;
 //! let lazy = run_lazy(Benchmark::Pc, &exp)?;
 //! println!("pc: lazy/eager = {:.2}", lazy.cycles as f64 / eager.cycles as f64);
-//! # Ok::<(), row_sim::SimTimeout>(())
+//! # Ok::<(), row_sim::SimError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -30,4 +30,4 @@ pub use experiment::{
     run_benchmark, run_eager, run_far, run_lazy, run_microbench, run_row, run_row_fwd,
     ExperimentConfig, RowVariant,
 };
-pub use machine::{Machine, RunResult, SimTimeout};
+pub use machine::{Machine, RunResult, SimError, SimTimeout};

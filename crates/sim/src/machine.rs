@@ -1,11 +1,13 @@
 //! The multicore machine: N cores + the shared memory system, stepped in
 //! lockstep until every thread's parallel phase drains.
 
+use row_check::{check_coherence, StallReport};
+use row_common::config::CheckConfig;
 use row_common::stats::{AccuracyCounter, RunningMean};
 use row_common::{Cycle, SystemConfig};
 use row_cpu::instr::InstrStream;
 use row_cpu::{Core, CoreStats};
-use row_mem::MemorySystem;
+use row_mem::{MemorySystem, ProtocolError};
 use row_common::ids::CoreId;
 
 /// Error returned when a simulation exceeds its cycle budget.
@@ -15,19 +17,52 @@ pub struct SimTimeout {
     pub limit: u64,
     /// Cores that had not drained.
     pub unfinished: Vec<u16>,
+    /// Per-core committed-instruction counts at the timeout.
+    pub committed: Vec<u64>,
+    /// Per-core cycle of the most recent commit.
+    pub last_commit: Vec<Cycle>,
+    /// Full diagnostic snapshot of the wedged machine.
+    pub report: StallReport,
 }
 
 impl std::fmt::Display for SimTimeout {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "simulation exceeded {} cycles; unfinished cores: {:?}",
-            self.limit, self.unfinished
+            "simulation exceeded {} cycles; unfinished cores: {:?}; committed {:?}\n{}",
+            self.limit, self.unfinished, self.committed, self.report
         )
     }
 }
 
 impl std::error::Error for SimTimeout {}
+
+/// Any way a simulation run can fail.
+///
+/// The diagnostic payloads are boxed: they carry full per-core snapshots,
+/// and `Result<RunResult, SimError>` is on every experiment's hot path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The cycle budget ran out before every core drained.
+    Timeout(Box<SimTimeout>),
+    /// The deadlock watchdog fired: no core committed for a whole window.
+    Stall(Box<StallReport>),
+    /// A coherence-protocol invariant was violated (raised by a controller
+    /// or found by the periodic invariant sweep).
+    Protocol(ProtocolError),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Timeout(t) => t.fmt(f),
+            SimError::Stall(r) => write!(f, "deadlock watchdog fired\n{r}"),
+            SimError::Protocol(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// Results of one full simulation run.
 #[derive(Clone, Debug)]
@@ -63,6 +98,7 @@ impl RunResult {
 pub struct Machine {
     mem: MemorySystem,
     cores: Vec<Core>,
+    check: CheckConfig,
 }
 
 impl Machine {
@@ -83,7 +119,11 @@ impl Machine {
             .enumerate()
             .map(|(i, s)| Core::new(CoreId::new(i as u16), cfg.core, cfg.mem.l1d.hit_latency, s))
             .collect();
-        Machine { mem, cores }
+        Machine {
+            mem,
+            cores,
+            check: cfg.check,
+        }
     }
 
     /// Read access to a core (e.g. to enable load recording before running).
@@ -101,12 +141,32 @@ impl Machine {
         &mut self.mem
     }
 
+    /// Takes a diagnostic snapshot of the machine right now (on-demand
+    /// stall/progress report).
+    pub fn stall_report(&self, now: Cycle) -> StallReport {
+        StallReport::capture(&self.cores, &self.mem, now, None)
+    }
+
+    /// Runs the coherence invariant sweep against the current state.
+    pub fn check_invariants(&self) -> Result<(), ProtocolError> {
+        check_coherence(&self.mem, &self.check)
+    }
+
     /// Runs until every core drains or `limit` cycles elapse.
     ///
+    /// Robustness hooks from [`CheckConfig`] run inside the loop: the
+    /// coherence invariant sweep every `invariant_every` cycles (and once on
+    /// drain), and a deadlock watchdog that fires when no core commits for
+    /// `watchdog_window` cycles.
+    ///
     /// # Errors
-    /// Returns [`SimTimeout`] when the budget is exhausted — usually a sign
-    /// of a deadlocked workload or an undersized limit.
-    pub fn run(&mut self, limit: u64) -> Result<RunResult, SimTimeout> {
+    /// [`SimError::Timeout`] when the budget is exhausted (the error carries
+    /// per-core progress counters and a full [`StallReport`]),
+    /// [`SimError::Stall`] when the watchdog fires, and
+    /// [`SimError::Protocol`] when a coherence invariant is violated.
+    pub fn run(&mut self, limit: u64) -> Result<RunResult, SimError> {
+        let every = self.check.invariant_every;
+        let window = self.check.watchdog_window;
         let mut now = Cycle::ZERO;
         while now.raw() < limit {
             if self.cores.iter().all(|c| c.finished()) {
@@ -125,10 +185,36 @@ impl Machine {
                     c.cycle(now, &mut self.mem);
                 }
             }
+            if let Some(e) = self.mem.protocol_error() {
+                return Err(SimError::Protocol(e.clone()));
+            }
+            if let Some(k) = every {
+                if now.raw().is_multiple_of(k) {
+                    check_coherence(&self.mem, &self.check).map_err(SimError::Protocol)?;
+                }
+            }
+            if let Some(w) = window {
+                if now.raw() >= w {
+                    let latest = self
+                        .cores
+                        .iter()
+                        .filter(|c| !c.finished())
+                        .map(|c| c.last_commit())
+                        .max();
+                    if latest.is_some_and(|t| now.saturating_since(t) >= w) {
+                        return Err(SimError::Stall(Box::new(StallReport::capture(
+                            &self.cores,
+                            &self.mem,
+                            now,
+                            Some(w),
+                        ))));
+                    }
+                }
+            }
             now += 1;
         }
         if !self.cores.iter().all(|c| c.finished()) {
-            return Err(SimTimeout {
+            return Err(SimError::Timeout(Box::new(SimTimeout {
                 limit,
                 unfinished: self
                     .cores
@@ -136,7 +222,13 @@ impl Machine {
                     .filter(|c| !c.finished())
                     .map(|c| c.id().index() as u16)
                     .collect(),
-            });
+                committed: self.cores.iter().map(|c| c.stats().committed).collect(),
+                last_commit: self.cores.iter().map(|c| c.last_commit()).collect(),
+                report: StallReport::capture(&self.cores, &self.mem, now, None),
+            })));
+        }
+        if every.is_some() {
+            check_coherence(&self.mem, &self.check).map_err(SimError::Protocol)?;
         }
         Ok(self.collect())
     }
@@ -210,15 +302,101 @@ mod tests {
     }
 
     #[test]
-    fn timeout_is_reported() {
+    fn timeout_is_reported_with_progress_and_stall_report() {
         let cfg = SystemConfig::small(2);
         let streams: Vec<Box<dyn InstrStream>> =
             (0..2).map(|_| faa_prog(50, 0xddd000)).collect();
         let mut m = Machine::new(&cfg, streams);
         let err = m.run(10).expect_err("cannot finish in 10 cycles");
-        assert_eq!(err.limit, 10);
-        assert!(!err.unfinished.is_empty());
-        assert!(!err.to_string().is_empty());
+        let SimError::Timeout(t) = err else {
+            panic!("expected a timeout, got {err}");
+        };
+        assert_eq!(t.limit, 10);
+        assert!(!t.unfinished.is_empty());
+        assert_eq!(t.committed.len(), 2);
+        assert_eq!(t.last_commit.len(), 2);
+        assert_eq!(t.report.cores.len(), 2);
+        assert!(!t.to_string().is_empty());
+    }
+
+    /// A contended-lock run that exhausts its budget must name the stalled
+    /// cores' head instructions in the diagnostic report.
+    #[test]
+    fn exhausted_contended_run_names_head_instructions() {
+        let cfg = SystemConfig::small(4);
+        let streams: Vec<Box<dyn InstrStream>> =
+            (0..4).map(|_| faa_prog(200, 0xccc000)).collect();
+        let mut m = Machine::new(&cfg, streams);
+        // Far too small a budget for 800 contended atomics: the machine is
+        // wedged mid-handoff when the budget runs out.
+        let err = m.run(2_000).expect_err("budget too small");
+        let SimError::Timeout(t) = err else {
+            panic!("expected a timeout, got {err}");
+        };
+        // A lucky core can stream its atomics while holding the lock, so
+        // only require that several cores are still wedged.
+        assert!(t.unfinished.len() >= 2, "unfinished: {:?}", t.unfinished);
+        let heads = t.report.cores.iter().filter(|c| c.head.is_some()).count();
+        assert!(heads > 0, "no head instruction captured:\n{}", t.report);
+        let text = t.report.to_string();
+        assert!(text.contains("atomic"), "heads should name atomics:\n{text}");
+    }
+
+    /// With a tiny watchdog window, a single long-latency miss trips the
+    /// stall detector before any commit happens.
+    #[test]
+    fn watchdog_fires_on_tiny_window() {
+        let mut cfg = SystemConfig::small(2);
+        cfg.check.watchdog_window = Some(50);
+        let streams: Vec<Box<dyn InstrStream>> =
+            (0..2).map(|_| faa_prog(5, 0xeee000)).collect();
+        let mut m = Machine::new(&cfg, streams);
+        // The first memory-latency miss (> 50 cycles) exceeds the window.
+        let err = m.run(1_000_000).expect_err("window far below miss latency");
+        let SimError::Stall(report) = err else {
+            panic!("expected a stall, got {err}");
+        };
+        assert_eq!(report.window, Some(50));
+        assert_eq!(report.stalled_cores().len(), 2);
+    }
+
+    /// A corrupted second Modified owner surfaces from `run` as a protocol
+    /// error, not a panic or a silent miscount.
+    #[test]
+    fn injected_dual_owner_surfaces_as_protocol_error() {
+        let cfg = SystemConfig::small(2);
+        let streams: Vec<Box<dyn InstrStream>> =
+            (0..2).map(|_| faa_prog(40, 0xabc040)).collect();
+        let mut m = Machine::new(&cfg, streams);
+        m.memory_mut().corrupt_private_state_for_test(
+            CoreId::new(0),
+            row_common::ids::LineAddr::new(0xabc080 >> 6),
+            Some(row_mem::PrivState::M),
+        );
+        m.memory_mut().corrupt_private_state_for_test(
+            CoreId::new(1),
+            row_common::ids::LineAddr::new(0xabc080 >> 6),
+            Some(row_mem::PrivState::M),
+        );
+        let err = m.run(3_000_000).expect_err("corruption must be caught");
+        assert!(
+            matches!(err, SimError::Protocol(ProtocolError::MultipleOwners { .. })),
+            "got {err}"
+        );
+    }
+
+    /// An on-demand snapshot works on a healthy machine too.
+    #[test]
+    fn on_demand_report_and_invariant_check() {
+        let cfg = SystemConfig::small(2);
+        let streams: Vec<Box<dyn InstrStream>> =
+            (0..2).map(|_| faa_prog(3, 0xaaa000)).collect();
+        let mut m = Machine::new(&cfg, streams);
+        m.run(3_000_000).expect("drains");
+        m.check_invariants().expect("clean machine");
+        let r = m.stall_report(Cycle::new(123));
+        assert_eq!(r.cores.len(), 2);
+        assert!(r.window.is_none());
     }
 
     #[test]

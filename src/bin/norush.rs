@@ -4,6 +4,7 @@
 //! norush list
 //! norush table1
 //! norush run <benchmark> [--cores N] [--instr N] [--seed S] [--policy P]
+//!            [--check [K]] [--chaos SEED]
 //! norush compare <benchmark> [--cores N] [--instr N] [--seed S]
 //! norush microbench [--iters N] [--fenced]
 //! norush record <benchmark> <file> [--instr N] [--tid T] [--threads N]
@@ -12,7 +13,7 @@
 //!
 //! Policies: `eager` (default), `lazy`, `row`, `row-fwd`, `far`.
 
-use norush::common::config::{AtomicPlacement, AtomicPolicy, FenceModel, RowConfig};
+use norush::common::config::{AtomicPlacement, AtomicPolicy, FaultConfig, FenceModel, RowConfig};
 use norush::cpu::instr::InstrStream;
 use norush::sim::{run_microbench, ExperimentConfig, Machine, RunResult};
 use norush::workloads::{
@@ -103,7 +104,10 @@ fn run_with(sys: &SystemConfig, bench: Benchmark, exp: &ExperimentConfig) -> Run
         .collect();
     Machine::new(sys, streams)
         .run(exp.cycle_limit)
-        .expect("simulation drains")
+        .unwrap_or_else(|e| {
+            eprintln!("simulation failed:\n{e}");
+            std::process::exit(1);
+        })
 }
 
 fn summarize(name: &str, r: &RunResult, baseline: Option<u64>) {
@@ -124,7 +128,23 @@ fn exp_from(args: &Args) -> Result<ExperimentConfig, Box<dyn std::error::Error>>
     exp.cores = args.num("cores", 8)? as usize;
     exp.instructions = args.num("instr", 6_000)?;
     exp.seed = args.num("seed", 42)?;
+    exp.cycle_limit = args.num("cycles", exp.cycle_limit)?;
     exp.paper_caches = exp.cores > 8;
+    // Robustness layer: `--check` (or `--check K`) runs the coherence
+    // invariant sweep every K cycles plus the deadlock watchdog; `--chaos S`
+    // turns on seeded delivery perturbation.
+    if args.switches.contains("check") {
+        exp.check.invariant_every = Some(2_048);
+        exp.check.watchdog_window = Some(5_000_000);
+    } else if args.flags.contains_key("check") {
+        exp.check.invariant_every = Some(args.num("check", 2_048)?.max(1));
+        exp.check.watchdog_window = Some(5_000_000);
+    }
+    if args.switches.contains("chaos") {
+        exp.check.chaos = Some(FaultConfig::with_seed(1));
+    } else if args.flags.contains_key("chaos") {
+        exp.check.chaos = Some(FaultConfig::with_seed(args.num("chaos", 1)?));
+    }
     Ok(exp)
 }
 
@@ -239,6 +259,7 @@ fn cmd_replay(args: &Args) -> CliResult {
         seed: 0,
         cycle_limit: 2_000_000_000,
         paper_caches: true,
+        check: norush::common::config::CheckConfig::default(),
     };
     let mut sys = system_for(policy, &exp)?;
     sys.cores = 1;
@@ -276,7 +297,9 @@ fn usage() -> CliResult {
     println!("  record <bench> <file> [...]        capture a trace file");
     println!("  replay <file> [--policy P]         replay a trace file");
     println!();
-    println!("common flags: --cores N --instr N --seed S");
+    println!("common flags: --cores N --instr N --seed S --cycles LIMIT");
+    println!("robustness:   --check [K]   invariant sweep every K cycles + deadlock watchdog");
+    println!("              --chaos SEED  seeded message-delivery perturbation");
     println!("policies: eager lazy row row-fwd far");
     Ok(())
 }

@@ -18,6 +18,7 @@
 //! | [`core_row`] | `row-core` | **the contribution**: contention detectors + predictor |
 //! | [`workloads`] | `row-workloads` | benchmark models + the Fig. 2 microbenchmark |
 //! | [`sim`] | `row-sim` | the multicore machine and per-figure experiment runner |
+//! | [`check`] | `row-check` | robustness layer: invariant sweep + stall diagnostics |
 //!
 //! # Quickstart
 //!
@@ -42,10 +43,11 @@ pub use row_core as core_row;
 pub use row_cpu as cpu;
 pub use row_mem as mem;
 pub use row_noc as noc;
+pub use row_check as check;
 pub use row_sim as sim;
 pub use row_workloads as workloads;
 
 pub use row_common::{Cycle, SystemConfig};
 pub use row_core::{ExecMode, RowEngine};
-pub use row_sim::{ExperimentConfig, Machine, RowVariant, RunResult};
+pub use row_sim::{ExperimentConfig, Machine, RowVariant, RunResult, SimError};
 pub use row_workloads::Benchmark;

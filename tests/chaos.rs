@@ -1,0 +1,140 @@
+//! Deterministic fault injection ("chaos mode") must not change *what* the
+//! machine computes — only *when*. The injector jitters memory-system
+//! message delivery within protocol-legal bounds (per-link order is
+//! preserved; cross-link reordering and extra latency are fair game), so
+//! every functional property — exact atomic sums, linearizability, the
+//! coherence invariant sweep — must hold for every seed.
+
+use norush::common::config::{AtomicPolicy, CheckConfig, RowConfig};
+use norush::common::ids::{Addr, Pc};
+use norush::cpu::instr::{Instr, InstrStream, Op, RmwKind, VecStream};
+use norush::sim::Machine;
+use norush::SystemConfig;
+
+fn faa_program(n: u64, addrs: &[u64], seed: u64) -> Vec<Instr> {
+    let mut rng = norush::common::rng::SplitMix64::new(seed);
+    (0..n)
+        .map(|_| {
+            let a = addrs[rng.below(addrs.len() as u64) as usize];
+            Instr::simple(
+                Pc::new(0x40 + (a % 7) * 4),
+                Op::Atomic {
+                    rmw: RmwKind::Faa(1),
+                    addr: Addr::new(a),
+                },
+            )
+        })
+        .collect()
+}
+
+fn streams(cores: usize, per_core: u64, addrs: &[u64]) -> Vec<Box<dyn InstrStream>> {
+    (0..cores)
+        .map(|t| {
+            Box::new(VecStream::new(faa_program(per_core, addrs, t as u64 + 1)))
+                as Box<dyn InstrStream>
+        })
+        .collect()
+}
+
+/// Runs `cores` cores of FAA traffic under chaos seed `seed` and returns
+/// (total sum over `addrs`, parallel-phase cycles).
+fn chaos_run(
+    policy: AtomicPolicy,
+    cores: usize,
+    per_core: u64,
+    addrs: &[u64],
+    seed: u64,
+) -> (u64, u64) {
+    let sys = SystemConfig::small(cores).with_policy(policy).with_chaos(seed);
+    assert!(sys.check.chaos.is_some());
+    let mut m = Machine::new(&sys, streams(cores, per_core, addrs));
+    let r = m.run(50_000_000).unwrap_or_else(|e| panic!("chaos seed {seed} failed:\n{e}"));
+    assert_eq!(r.total.atomics, cores as u64 * per_core);
+    // The periodic sweep ran during the run (SystemConfig::small enables
+    // it); do a final explicit one too.
+    m.check_invariants().expect("final invariant sweep");
+    let sum = addrs.iter().map(|&a| m.memory().read_word(Addr::new(a))).sum();
+    (sum, r.cycles)
+}
+
+/// Acceptance criterion: a 4-core FAA run sums exactly under at least three
+/// different chaos seeds, with the invariant sweep enabled throughout.
+#[test]
+fn faa_sums_exactly_under_three_chaos_seeds() {
+    for seed in [1u64, 0xdead_beef, 0x5eed_0003] {
+        let (sum, _) = chaos_run(AtomicPolicy::Eager, 4, 50, &[0xf000], seed);
+        assert_eq!(sum, 200, "seed {seed}");
+    }
+}
+
+/// Chaos must also leave the lazy and RoW policies functionally intact on a
+/// multi-line hot set.
+#[test]
+fn lazy_and_row_sum_exactly_under_chaos() {
+    let addrs = [0xf000, 0xf040, 0xf080];
+    let (sum, _) = chaos_run(AtomicPolicy::Lazy, 4, 40, &addrs, 7);
+    assert_eq!(sum, 160);
+    let (sum, _) = chaos_run(AtomicPolicy::Row(RowConfig::best()), 4, 40, &addrs, 8);
+    assert_eq!(sum, 160);
+}
+
+/// The injector is deterministic: the same seed must reproduce the same
+/// timing cycle-for-cycle, and different seeds must still agree on the
+/// functional result.
+#[test]
+fn same_seed_reproduces_timing_exactly() {
+    let addrs = [0xaa00, 0xab40];
+    let a = chaos_run(AtomicPolicy::Eager, 2, 30, &addrs, 42);
+    let b = chaos_run(AtomicPolicy::Eager, 2, 30, &addrs, 42);
+    assert_eq!(a, b, "same chaos seed must be bit-identical");
+    let c = chaos_run(AtomicPolicy::Eager, 2, 30, &addrs, 43);
+    assert_eq!(c.0, a.0, "different seed, same functional result");
+}
+
+/// Chaos jitter actually perturbs timing (otherwise these tests test
+/// nothing): an unfaulted run and a faulted run of the same program should
+/// disagree on cycles.
+#[test]
+fn chaos_changes_timing_but_not_results() {
+    let addrs = [0xf000];
+    let sys = SystemConfig::small(2).with_policy(AtomicPolicy::Eager);
+    let mut m = Machine::new(&sys, streams(2, 40, &addrs));
+    let clean = m.run(50_000_000).expect("clean run drains");
+    let clean_sum: u64 = addrs.iter().map(|&a| m.memory().read_word(Addr::new(a))).sum();
+
+    let (sum, cycles) = chaos_run(AtomicPolicy::Eager, 2, 40, &addrs, 9);
+    assert_eq!(sum, clean_sum);
+    assert_ne!(cycles, clean.cycles, "jitter should shift the schedule");
+}
+
+/// Randomized mixes (random hot sets, random per-core counts, random
+/// policies) stay linearizable under chaos across many seeds.
+#[test]
+fn random_atomic_mixes_are_linearizable_under_chaos() {
+    let mut g = norush::common::rng::SplitMix64::new(0xc4a0_0001);
+    for case in 0..8 {
+        let cores = 2 + (g.below(3) as usize); // 2..=4
+        let per_core = 10 + g.below(40);
+        let n_addrs = 1 + g.below(3) as usize;
+        let addrs: Vec<u64> = (0..n_addrs).map(|i| 0xe000 + (i as u64) * 64).collect();
+        let policy = match g.below(3) {
+            0 => AtomicPolicy::Eager,
+            1 => AtomicPolicy::Lazy,
+            _ => AtomicPolicy::Row(RowConfig::best()),
+        };
+        let seed = g.next_u64();
+        let (sum, _) = chaos_run(policy, cores, per_core, &addrs, seed);
+        assert_eq!(sum, cores as u64 * per_core, "case {case} seed {seed}");
+    }
+}
+
+/// `CheckConfig::default()` leaves chaos off; `with_chaos` turns it on
+/// without disturbing the other robustness knobs.
+#[test]
+fn with_chaos_composes_with_check_config() {
+    assert!(CheckConfig::default().chaos.is_none());
+    let sys = SystemConfig::small(4).with_chaos(5);
+    assert!(sys.check.invariant_every.is_some());
+    assert!(sys.check.watchdog_window.is_some());
+    assert_eq!(sys.check.chaos.unwrap().seed, 5);
+}

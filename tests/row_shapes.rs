@@ -16,6 +16,7 @@ fn exp() -> ExperimentConfig {
         seed: 42,
         cycle_limit: 100_000_000,
         paper_caches: false,
+        check: norush::common::config::CheckConfig::default(),
     }
 }
 
