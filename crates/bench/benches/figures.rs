@@ -63,9 +63,27 @@ fn bench_fig01(exp: &ExperimentConfig) {
 
 fn bench_fig02() {
     for (name, variant) in [
-        ("plain", MicroVariant { atomic: false, mfence: false }),
-        ("lock", MicroVariant { atomic: true, mfence: false }),
-        ("lock+mfence", MicroVariant { atomic: true, mfence: true }),
+        (
+            "plain",
+            MicroVariant {
+                atomic: false,
+                mfence: false,
+            },
+        ),
+        (
+            "lock",
+            MicroVariant {
+                atomic: true,
+                mfence: false,
+            },
+        ),
+        (
+            "lock+mfence",
+            MicroVariant {
+                atomic: true,
+                mfence: true,
+            },
+        ),
     ] {
         bench(&format!("fig02/unfenced/{name}"), || {
             run_microbench(MicroRmw::Faa, variant, FenceModel::Unfenced, 200).expect("runs")
@@ -102,7 +120,12 @@ fn bench_fig06(exp: &ExperimentConfig) {
 }
 
 fn bench_fig09(exp: &ExperimentConfig) {
-    for v in [RowVariant::EwUd, RowVariant::RwUd, RowVariant::RwDirUd, RowVariant::RwDirSat] {
+    for v in [
+        RowVariant::EwUd,
+        RowVariant::RwUd,
+        RowVariant::RwDirUd,
+        RowVariant::RwDirSat,
+    ] {
         bench(&format!("fig09/{}/pc", v.name()), || {
             run_row(Benchmark::Pc, v, exp).expect("runs").cycles
         });
@@ -112,7 +135,9 @@ fn bench_fig09(exp: &ExperimentConfig) {
 fn bench_fig10(exp: &ExperimentConfig) {
     for t in [0u64, 400, 2_000] {
         let cfg = RowConfig::new(
-            DetectorKind::ReadyWindowDir { latency_threshold: t },
+            DetectorKind::ReadyWindowDir {
+                latency_threshold: t,
+            },
             PredictorKind::UpDown,
         );
         bench(&format!("fig10/threshold_{t}/canneal"), || {
@@ -143,10 +168,14 @@ fn bench_fig12(exp: &ExperimentConfig) {
 
 fn bench_fig13(exp: &ExperimentConfig) {
     bench("fig13/row_fwd/cq", || {
-        run_row_fwd(Benchmark::Cq, RowVariant::RwDirUd, exp).expect("runs").cycles
+        run_row_fwd(Benchmark::Cq, RowVariant::RwDirUd, exp)
+            .expect("runs")
+            .cycles
     });
     bench("fig13/row_nofwd/cq", || {
-        run_row(Benchmark::Cq, RowVariant::RwDirUd, exp).expect("runs").cycles
+        run_row(Benchmark::Cq, RowVariant::RwDirUd, exp)
+            .expect("runs")
+            .cycles
     });
 }
 

@@ -21,7 +21,10 @@ fn main() {
     let rows = parallel_map(benches.to_vec(), |&b| {
         let e = run_eager(b, &exp).expect("eager").cycles as f64;
         let l = run_lazy(b, &exp).expect("lazy").cycles as f64 / e;
-        let row = run_row_fwd(b, RowVariant::RwDirUd, &exp).expect("row").cycles as f64 / e;
+        let row = run_row_fwd(b, RowVariant::RwDirUd, &exp)
+            .expect("row")
+            .cycles as f64
+            / e;
         let far = run_far(b, &exp).expect("far").cycles as f64 / e;
         (b, l, row, far)
     });
@@ -30,7 +33,14 @@ fn main() {
         "benchmark", "eager", "lazy", "RoW+Fwd", "far"
     );
     for (b, l, row, far) in rows {
-        println!("{:15} {:>8.3} {:>8.3} {:>8.3} {:>8.3}", b.name(), 1.0, l, row, far);
+        println!(
+            "{:15} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            b.name(),
+            1.0,
+            l,
+            row,
+            far
+        );
     }
     println!("\nfar avoids lock-holding on hot lines but pays a round trip per");
     println!("atomic and loses locality — the paper's reason to stay near + RoW.");

@@ -17,7 +17,12 @@ fn history_row(exp: &row_sim::ExperimentConfig) {
     println!("\nhistory ablation (64 entries, normalized to eager):");
     println!("{:15} {:>8} {:>8}", "benchmark", "U/D", "History");
     let rows = parallel_map(
-        vec![Benchmark::Canneal, Benchmark::Tpcc, Benchmark::Sps, Benchmark::Pc],
+        vec![
+            Benchmark::Canneal,
+            Benchmark::Tpcc,
+            Benchmark::Sps,
+            Benchmark::Pc,
+        ],
         |&b| {
             let e = run_eager(b, exp).expect("eager").cycles as f64;
             let mk = |pred| {
@@ -38,7 +43,13 @@ fn history_row(exp: &row_sim::ExperimentConfig) {
 fn main() {
     banner("Ablation", "predictor table entries (RW+Dir, U/D)");
     let exp = scale();
-    let benches = [Benchmark::Canneal, Benchmark::Cq, Benchmark::Tpcc, Benchmark::Sps, Benchmark::Pc];
+    let benches = [
+        Benchmark::Canneal,
+        Benchmark::Cq,
+        Benchmark::Tpcc,
+        Benchmark::Sps,
+        Benchmark::Pc,
+    ];
     let rows = parallel_map(benches.to_vec(), |&b| {
         let e = run_eager(b, &exp).expect("eager").cycles as f64;
         let vs: Vec<f64> = ENTRIES

@@ -15,7 +15,13 @@ fn main() {
     });
     println!("{:15} {:>12}", "benchmark", "lazy/eager");
     for (b, r) in &rows {
-        let tag = if *r > 1.02 { "eager wins" } else if *r < 0.98 { "lazy wins" } else { "tie" };
+        let tag = if *r > 1.02 {
+            "eager wins"
+        } else if *r < 0.98 {
+            "lazy wins"
+        } else {
+            "tie"
+        };
         println!("{:15} {:>12.3}  {}", b.name(), r, tag);
     }
     let gm = row_common::stats::geomean(&rows.iter().map(|(_, r)| *r).collect::<Vec<_>>());

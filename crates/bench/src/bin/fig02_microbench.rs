@@ -17,7 +17,10 @@ fn main() {
         ("Intel Xeon X3210-like (fenced)", FenceModel::Fenced),
     ] {
         println!("{label}:");
-        println!("{:6} {:>9} {:>14} {:>9} {:>13}", "", "plain", "plain+mfence", "lock", "lock+mfence");
+        println!(
+            "{:6} {:>9} {:>14} {:>9} {:>13}",
+            "", "plain", "plain+mfence", "lock", "lock+mfence"
+        );
         let cells: Vec<(MicroRmw, MicroVariant)> = MicroRmw::ALL
             .into_iter()
             .flat_map(|r| MicroVariant::ALL.into_iter().map(move |v| (r, v)))

@@ -10,9 +10,16 @@ fn main() {
     let exp = scale();
     let rows = parallel_map(Benchmark::all().to_vec(), |&b| {
         let e = run_eager(b, &exp).expect("eager run");
-        (b, e.total.atomics_per_10k(), 100.0 * e.total.contended_fraction())
+        (
+            b,
+            e.total.atomics_per_10k(),
+            100.0 * e.total.contended_fraction(),
+        )
     });
-    println!("{:15} {:>15} {:>14}", "benchmark", "atomics/10k", "contended %");
+    println!(
+        "{:15} {:>15} {:>14}",
+        "benchmark", "atomics/10k", "contended %"
+    );
     for (b, apk, cont) in rows {
         println!("{:15} {:>15.1} {:>13.0}%", b.name(), apk, cont);
     }

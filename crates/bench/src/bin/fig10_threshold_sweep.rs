@@ -18,7 +18,9 @@ fn main() {
             .iter()
             .map(|&t| {
                 let cfg = RowConfig::new(
-                    DetectorKind::ReadyWindowDir { latency_threshold: t },
+                    DetectorKind::ReadyWindowDir {
+                        latency_threshold: t,
+                    },
                     PredictorKind::UpDown,
                 );
                 run_benchmark(b, AtomicPolicy::Row(cfg), false, &exp)

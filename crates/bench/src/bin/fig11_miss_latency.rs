@@ -26,7 +26,14 @@ fn main() {
         "benchmark", "eager", "lazy", "RW+Dir_U/D", "RW+Dir_Sat"
     );
     for (b, e, l, ud, sat) in rows {
-        println!("{:15} {:>9.0} {:>9.0} {:>12.0} {:>12.0}", b.name(), e, l, ud, sat);
+        println!(
+            "{:15} {:>9.0} {:>9.0} {:>12.0} {:>12.0}",
+            b.name(),
+            e,
+            l,
+            ud,
+            sat
+        );
     }
     println!("\npaper: eager nearly doubles lazy's miss latency on pc/sps/tpcc;");
     println!("RoW tracks lazy there and stays flat on non-contended apps.");

@@ -13,11 +13,25 @@ fn main() {
     let rows = parallel_map(Benchmark::atomic_intensive(), |&b| {
         let e = run_eager(b, &exp).expect("eager").cycles as f64;
         let l = run_lazy(b, &exp).expect("lazy").cycles as f64 / e;
-        let ef = run_benchmark(b, AtomicPolicy::Eager, true, &exp).expect("eager fwd").cycles as f64 / e;
+        let ef = run_benchmark(b, AtomicPolicy::Eager, true, &exp)
+            .expect("eager fwd")
+            .cycles as f64
+            / e;
         let ud = run_row(b, RowVariant::RwDirUd, &exp).expect("ud").cycles as f64 / e;
         let udf = run_row_fwd(b, RowVariant::RwDirUd, &exp).expect("ud fwd");
-        let satf = run_row_fwd(b, RowVariant::RwDirSat, &exp).expect("sat fwd").cycles as f64 / e;
-        (b, l, ef, ud, udf.cycles as f64 / e, satf, udf.total.locality_overrides)
+        let satf = run_row_fwd(b, RowVariant::RwDirSat, &exp)
+            .expect("sat fwd")
+            .cycles as f64
+            / e;
+        (
+            b,
+            l,
+            ef,
+            ud,
+            udf.cycles as f64 / e,
+            satf,
+            udf.total.locality_overrides,
+        )
     });
     println!(
         "{:15} {:>7} {:>10} {:>9} {:>12} {:>13} {:>10}",
@@ -28,7 +42,13 @@ fn main() {
     for (b, l, ef, ud, udf, satf, ov) in &rows {
         println!(
             "{:15} {:>7.3} {:>10.3} {:>9.3} {:>12.3} {:>13.3} {:>10}",
-            b.name(), l, ef, ud, udf, satf, ov
+            b.name(),
+            l,
+            ef,
+            ud,
+            udf,
+            satf,
+            ov
         );
         for (s, v) in sums.iter_mut().zip([l, ef, ud, udf, satf]) {
             *s += v.ln();

@@ -15,17 +15,34 @@ fn main() {
         "  ROB / LQ / SB                {} / {} / {} entries",
         cfg.core.rob_entries, cfg.core.lq_entries, cfg.core.sb_entries
     );
-    println!("  Atomic queue                 {} entries", cfg.core.aq_entries);
+    println!(
+        "  Atomic queue                 {} entries",
+        cfg.core.aq_entries
+    );
     println!("  Branch predictor             TAGE-lite (TAGE-SC-L substitute)");
     println!("  Mem. dep. predictor          StoreSet");
     println!("Memory");
     let c = |x: row_common::config::CacheConfig| {
-        format!("{}KB, {} ways, {} hit cycles", x.size_bytes / 1024, x.ways, x.hit_latency)
+        format!(
+            "{}KB, {} ways, {} hit cycles",
+            x.size_bytes / 1024,
+            x.ways,
+            x.hit_latency
+        )
     };
-    println!("  Private L1D cache            {}, IP-stride prefetcher", c(cfg.mem.l1d));
+    println!(
+        "  Private L1D cache            {}, IP-stride prefetcher",
+        c(cfg.mem.l1d)
+    );
     println!("  Private L2 cache             {}", c(cfg.mem.l2));
-    println!("  Shared L3 cache              {} per bank", c(cfg.mem.l3_bank));
-    println!("  Memory access time           {} cycles", cfg.mem.mem_latency);
+    println!(
+        "  Shared L3 cache              {} per bank",
+        c(cfg.mem.l3_bank)
+    );
+    println!(
+        "  Memory access time           {} cycles",
+        cfg.mem.mem_latency
+    );
     println!("NoC");
     println!(
         "  Mesh                         {}x{}, {}-cycle links, {}-cycle routers",
@@ -34,5 +51,6 @@ fn main() {
         cfg.noc.link_latency,
         cfg.noc.router_latency
     );
-    cfg.validate().expect("Table I configuration is self-consistent");
+    cfg.validate()
+        .expect("Table I configuration is self-consistent");
 }

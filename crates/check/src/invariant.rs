@@ -229,7 +229,12 @@ mod tests {
         let mut mem = MemorySystem::new(&sys);
         let line = LineAddr::new(7);
         // Legitimately give core 0 the line in M.
-        mem.access(CoreId::new(0), line, meta(1, AccessKind::Write), Cycle::ZERO);
+        mem.access(
+            CoreId::new(0),
+            line,
+            meta(1, AccessKind::Write),
+            Cycle::ZERO,
+        );
         for c in 0..3000u64 {
             let _ = mem.tick(Cycle::new(c));
         }
@@ -254,7 +259,12 @@ mod tests {
         let sys = SystemConfig::small(2);
         let mut mem = MemorySystem::new(&sys);
         let line = LineAddr::new(9);
-        mem.access(CoreId::new(0), line, meta(1, AccessKind::Write), Cycle::ZERO);
+        mem.access(
+            CoreId::new(0),
+            line,
+            meta(1, AccessKind::Write),
+            Cycle::ZERO,
+        );
         for c in 0..3000u64 {
             let _ = mem.tick(Cycle::new(c));
         }
@@ -264,7 +274,12 @@ mod tests {
         mem.corrupt_dir_state_for_test(line, DirState::Uncached);
         let err = check_coherence(&mem, &sys.check).unwrap_err();
         match err {
-            ProtocolError::DirectoryMismatch { line: l, core, dir, cache } => {
+            ProtocolError::DirectoryMismatch {
+                line: l,
+                core,
+                dir,
+                cache,
+            } => {
                 assert_eq!(l, line);
                 assert_eq!(core, CoreId::new(0));
                 assert_eq!(dir, DirState::Uncached);

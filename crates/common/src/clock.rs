@@ -9,7 +9,6 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
-
 /// Width, in bits, of the `request issued cycle` timestamp field each Atomic
 /// Queue entry carries in RoW (paper Section IV-C).
 pub const TIMESTAMP_BITS: u32 = 14;

@@ -7,10 +7,8 @@
 //! so the benchmark harness can regenerate each figure from configuration
 //! alone.
 
-
 /// How atomic RMW instructions are scheduled for execution.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-#[derive(Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum AtomicPolicy {
     /// Execute as soon as operands are ready (Free Atomics baseline).
     #[default]
@@ -32,7 +30,6 @@ impl AtomicPolicy {
         }
     }
 }
-
 
 /// Which contention-detection mechanism trains the predictor
 /// (paper Sections IV-A..IV-C).
@@ -72,8 +69,7 @@ impl Default for DetectorKind {
 
 /// Saturating-counter update policy of the contention predictor
 /// (paper Section IV-D).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-#[derive(Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum PredictorKind {
     /// +1 on contention, −1 otherwise; predict contended when counter >
     /// threshold (threshold = 1 in the paper).
@@ -91,7 +87,6 @@ pub enum PredictorKind {
     /// to demonstrate that claim.
     History,
 }
-
 
 /// Configuration of the Rush-or-Wait mechanism.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -180,8 +175,7 @@ pub enum AtomicPlacement {
 ///
 /// `Fenced` models pre-Coffee-Lake x86 parts (the Xeon X3210 of Fig. 2);
 /// `Unfenced` models current parts / Free Atomics.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-#[derive(Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum FenceModel {
     /// Atomics drain the SB, wait to be the oldest instruction, and block all
     /// younger memory operations until they complete.
@@ -191,7 +185,6 @@ pub enum FenceModel {
     #[default]
     Unfenced,
 }
-
 
 /// Out-of-order core parameters (Table I, "Processor").
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -411,6 +404,11 @@ pub struct CheckConfig {
     /// cycles (`None` = watchdog off). Must comfortably exceed the cores'
     /// own deadlock-break threshold so the breaker gets to act first.
     pub watchdog_window: Option<u64>,
+    /// Keep an in-memory checkpoint every this-many cycles and, when the
+    /// invariant sweep or the watchdog fires, rewind to the last checkpoint
+    /// and replay with per-cycle checking to pinpoint the *first* offending
+    /// cycle (`None` = report the end state only, as before).
+    pub rewind_every: Option<u64>,
     /// Deterministic fault injection of message delivery (`None` = off).
     pub chaos: Option<FaultConfig>,
 }
@@ -523,8 +521,7 @@ impl SystemConfig {
         if self.cores == 0 {
             return Err("system must have at least one core".into());
         }
-        if self.core.fetch_width == 0 || self.core.issue_width == 0 || self.core.commit_width == 0
-        {
+        if self.core.fetch_width == 0 || self.core.issue_width == 0 || self.core.commit_width == 0 {
             return Err("pipeline widths must be non-zero".into());
         }
         if self.core.rob_entries == 0
@@ -552,6 +549,9 @@ impl SystemConfig {
         }
         if self.check.watchdog_window == Some(0) {
             return Err("watchdog_window must be at least one cycle".into());
+        }
+        if self.check.rewind_every == Some(0) {
+            return Err("rewind_every must be at least one cycle".into());
         }
         Ok(())
     }

@@ -5,7 +5,6 @@
 
 use std::fmt;
 
-
 /// Size of a cache line in bytes (64 B, as in all modern x86 parts).
 pub const LINE_BYTES: u64 = 64;
 /// log2 of [`LINE_BYTES`].

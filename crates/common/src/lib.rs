@@ -12,6 +12,9 @@
 //! * [`stats`] — counters, histograms and latency-breakdown accumulators used
 //!   to regenerate the paper's figures.
 //! * [`sched`] — a generic cycle-keyed event wheel used by the memory system.
+//! * [`persist`] — the versioned binary snapshot codec
+//!   ([`Codec`][persist::Codec]/[`Persist`][persist::Persist]) behind
+//!   deterministic checkpoint/restore.
 //!
 //! # Example
 //!
@@ -29,6 +32,7 @@
 pub mod clock;
 pub mod config;
 pub mod ids;
+pub mod persist;
 pub mod rmw;
 pub mod rng;
 pub mod sched;

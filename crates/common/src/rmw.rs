@@ -5,7 +5,6 @@
 //! at the home directory — the §VII design alternative) apply these
 //! operations to the functional word store.
 
-
 /// The modify operation of an atomic RMW instruction.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum RmwKind {
@@ -54,8 +53,22 @@ mod tests {
     fn semantics() {
         assert_eq!(RmwKind::Faa(1).apply(41), (42, true));
         assert_eq!(RmwKind::Swap(5).apply(3), (5, true));
-        assert_eq!(RmwKind::Cas { expected: 3, new: 7 }.apply(3), (7, true));
-        assert_eq!(RmwKind::Cas { expected: 3, new: 7 }.apply(4), (4, false));
+        assert_eq!(
+            RmwKind::Cas {
+                expected: 3,
+                new: 7
+            }
+            .apply(3),
+            (7, true)
+        );
+        assert_eq!(
+            RmwKind::Cas {
+                expected: 3,
+                new: 7
+            }
+            .apply(4),
+            (4, false)
+        );
         assert_eq!(RmwKind::Faa(1).apply(u64::MAX), (0, true), "wrapping");
     }
 }

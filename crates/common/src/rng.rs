@@ -4,7 +4,6 @@
 //! workload generators use this self-contained [`SplitMix64`] generator
 //! (Steele, Lea & Flood, OOPSLA 2014) rather than a platform-seeded source.
 
-
 /// A SplitMix64 pseudo-random generator.
 ///
 /// Fast, tiny state, passes BigCrush when used as a 64-bit stream; more than
@@ -84,6 +83,17 @@ impl SplitMix64 {
     /// Derives an independent child generator (for per-thread streams).
     pub fn split(&mut self) -> SplitMix64 {
         SplitMix64::new(self.next_u64())
+    }
+}
+
+impl crate::persist::Codec for SplitMix64 {
+    fn encode(&self, w: &mut crate::persist::Writer) {
+        w.put_u64(self.state);
+    }
+    fn decode(r: &mut crate::persist::Reader<'_>) -> Result<Self, crate::persist::PersistError> {
+        Ok(SplitMix64 {
+            state: r.get_u64()?,
+        })
     }
 }
 

@@ -8,6 +8,7 @@
 use std::collections::BinaryHeap;
 
 use crate::clock::Cycle;
+use crate::persist::{Codec, PersistError, Reader, Writer};
 
 /// An event queue delivering items in (cycle, insertion-order) order.
 ///
@@ -104,6 +105,31 @@ impl<T> Default for EventQueue<T> {
     }
 }
 
+impl<T: Codec> Codec for EventQueue<T> {
+    fn encode(&self, w: &mut Writer) {
+        // Encode in delivery order: (cycle, insertion-seq). Re-pushing in
+        // this order on decode assigns fresh seq numbers that preserve the
+        // exact FIFO-within-cycle delivery sequence.
+        let mut entries: Vec<&Entry<T>> = self.heap.iter().collect();
+        entries.sort_by(|a, b| a.at.cmp(&b.at).then_with(|| a.seq.cmp(&b.seq)));
+        w.put_len(entries.len());
+        for e in entries {
+            e.at.encode(w);
+            e.item.encode(w);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let n = r.get_len()?;
+        let mut q = EventQueue::new();
+        for _ in 0..n {
+            let at = Cycle::decode(r)?;
+            let item = T::decode(r)?;
+            q.push(at, item);
+        }
+        Ok(q)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,6 +164,29 @@ mod tests {
         assert_eq!(q.next_cycle(), Some(Cycle::new(10)));
         assert_eq!(q.pop_ready(Cycle::new(10)), Some("x"));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn codec_round_trip_preserves_delivery_order() {
+        let mut q = EventQueue::new();
+        q.push(Cycle::new(10), 1u64);
+        q.push(Cycle::new(5), 2);
+        q.push(Cycle::new(10), 3);
+        q.push(Cycle::new(5), 4);
+        let mut w = Writer::new();
+        q.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored: EventQueue<u64> = Codec::decode(&mut Reader::new(&bytes)).unwrap();
+        let mut orig = Vec::new();
+        let mut rest = Vec::new();
+        while let Some(v) = q.pop_ready(Cycle::new(100)) {
+            orig.push(v);
+        }
+        while let Some(v) = restored.pop_ready(Cycle::new(100)) {
+            rest.push(v);
+        }
+        assert_eq!(orig, rest);
+        assert_eq!(orig, vec![2, 4, 1, 3]);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 
 use std::fmt;
 
+use crate::persist::{Codec, PersistError, Reader, Writer};
 
 /// An online mean over `u64` samples.
 ///
@@ -266,10 +267,76 @@ impl AccuracyCounter {
     }
 }
 
+impl Codec for RunningMean {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u128(self.sum);
+        w.put_u64(self.count);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(RunningMean {
+            sum: r.get_u128()?,
+            count: r.get_u64()?,
+        })
+    }
+}
+
+impl Codec for Histogram {
+    fn encode(&self, w: &mut Writer) {
+        self.buckets.encode(w);
+        w.put_u64(self.count);
+        w.put_u128(self.sum);
+        w.put_u64(self.max);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(Histogram {
+            buckets: Vec::<u64>::decode(r)?,
+            count: r.get_u64()?,
+            sum: r.get_u128()?,
+            max: r.get_u64()?,
+        })
+    }
+}
+
+impl Codec for AtomicLatencyBreakdown {
+    fn encode(&self, w: &mut Writer) {
+        self.dispatch_to_issue.encode(w);
+        self.issue_to_lock.encode(w);
+        self.lock_to_unlock.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(AtomicLatencyBreakdown {
+            dispatch_to_issue: RunningMean::decode(r)?,
+            issue_to_lock: RunningMean::decode(r)?,
+            lock_to_unlock: RunningMean::decode(r)?,
+        })
+    }
+}
+
+impl Codec for AccuracyCounter {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.true_contended);
+        w.put_u64(self.true_uncontended);
+        w.put_u64(self.false_contended);
+        w.put_u64(self.false_uncontended);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(AccuracyCounter {
+            true_contended: r.get_u64()?,
+            true_uncontended: r.get_u64()?,
+            false_contended: r.get_u64()?,
+            false_uncontended: r.get_u64()?,
+        })
+    }
+}
+
 /// Geometric mean of a slice of ratios, ignoring non-positive entries.
 /// Returns 1.0 for an empty slice.
 pub fn geomean(values: &[f64]) -> f64 {
-    let logs: Vec<f64> = values.iter().filter(|v| **v > 0.0).map(|v| v.ln()).collect();
+    let logs: Vec<f64> = values
+        .iter()
+        .filter(|v| **v > 0.0)
+        .map(|v| v.ln())
+        .collect();
     if logs.is_empty() {
         1.0
     } else {

@@ -18,9 +18,7 @@ use row_common::config::DetectorKind;
 pub fn marks_on_external(kind: DetectorKind, address_known: bool, locked: bool) -> bool {
     match kind {
         DetectorKind::ExecutionWindow => locked,
-        DetectorKind::ReadyWindow | DetectorKind::ReadyWindowDir { .. } => {
-            address_known || locked
-        }
+        DetectorKind::ReadyWindow | DetectorKind::ReadyWindowDir { .. } => address_known || locked,
     }
 }
 
@@ -95,15 +93,35 @@ mod tests {
     #[test]
     fn dir_heuristic_respects_threshold() {
         let issue = Cycle::new(100);
-        assert!(!marks_on_fill(RWD, true, issue.timestamp14(), Cycle::new(500))); // 400, not >
-        assert!(marks_on_fill(RWD, true, issue.timestamp14(), Cycle::new(501)));
+        assert!(!marks_on_fill(
+            RWD,
+            true,
+            issue.timestamp14(),
+            Cycle::new(500)
+        )); // 400, not >
+        assert!(marks_on_fill(
+            RWD,
+            true,
+            issue.timestamp14(),
+            Cycle::new(501)
+        ));
     }
 
     #[test]
     fn plain_windows_never_mark_on_fill() {
         let issue = Cycle::new(0);
-        assert!(!marks_on_fill(EW, true, issue.timestamp14(), Cycle::new(10_000)));
-        assert!(!marks_on_fill(RW, true, issue.timestamp14(), Cycle::new(10_000)));
+        assert!(!marks_on_fill(
+            EW,
+            true,
+            issue.timestamp14(),
+            Cycle::new(10_000)
+        ));
+        assert!(!marks_on_fill(
+            RW,
+            true,
+            issue.timestamp14(),
+            Cycle::new(10_000)
+        ));
     }
 
     #[test]
@@ -121,7 +139,12 @@ mod tests {
             latency_threshold: u64::MAX,
         };
         let issue = Cycle::new(0);
-        assert!(!marks_on_fill(k, true, issue.timestamp14(), Cycle::new(1 << 20)));
+        assert!(!marks_on_fill(
+            k,
+            true,
+            issue.timestamp14(),
+            Cycle::new(1 << 20)
+        ));
     }
 
     #[test]

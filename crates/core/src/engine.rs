@@ -7,6 +7,7 @@
 
 use row_common::config::{DetectorKind, RowConfig};
 use row_common::ids::Pc;
+use row_common::persist::{Codec, Persist, PersistError, Reader, Writer};
 use row_common::stats::AccuracyCounter;
 
 use crate::predictor::ContentionPredictor;
@@ -90,7 +91,8 @@ impl RowEngine {
     /// Reports a completed atomic: trains the predictor with the detector
     /// outcome and records prediction accuracy.
     pub fn complete(&mut self, pc: Pc, predicted_contended: bool, detected_contended: bool) {
-        self.accuracy.record(predicted_contended, detected_contended);
+        self.accuracy
+            .record(predicted_contended, detected_contended);
         self.predictor.train(pc, detected_contended);
     }
 
@@ -103,6 +105,39 @@ impl RowEngine {
     /// AQ depth (predictor table + per-AQ-entry detector fields).
     pub fn storage_bits(&self, aq_entries: usize) -> usize {
         self.cfg.storage_bits(aq_entries)
+    }
+}
+
+impl Codec for ExecMode {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            ExecMode::Eager => 0,
+            ExecMode::Lazy => 1,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(match r.get_u8()? {
+            0 => ExecMode::Eager,
+            1 => ExecMode::Lazy,
+            tag => {
+                return Err(PersistError::BadTag {
+                    what: "ExecMode",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl Persist for RowEngine {
+    fn persist(&self, w: &mut Writer) {
+        self.predictor.persist(w);
+        self.accuracy.encode(w);
+    }
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), PersistError> {
+        self.predictor.restore(r)?;
+        self.accuracy = AccuracyCounter::decode(r)?;
+        Ok(())
     }
 }
 

@@ -8,6 +8,7 @@
 
 use row_common::config::PredictorKind;
 use row_common::ids::Pc;
+use row_common::persist::{Codec, Persist, PersistError, Reader, Writer};
 
 /// An N-bit saturating counter.
 ///
@@ -161,8 +162,38 @@ impl ContentionPredictor {
 
     /// Storage cost of the table in bits.
     pub fn storage_bits(&self) -> usize {
-        self.table.len()
-            * (8 - self.table.first().map_or(0, |c| c.max().leading_zeros()) as usize)
+        self.table.len() * (8 - self.table.first().map_or(0, |c| c.max().leading_zeros()) as usize)
+    }
+}
+
+impl Codec for SaturatingCounter {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(self.value);
+        w.put_u8(self.max);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(SaturatingCounter {
+            value: r.get_u8()?,
+            max: r.get_u8()?,
+        })
+    }
+}
+
+impl Persist for ContentionPredictor {
+    // Kind, threshold, and index width are config-derived; the counters and
+    // global history are training state.
+    fn persist(&self, w: &mut Writer) {
+        self.table.encode(w);
+        w.put_u64(self.ghr);
+    }
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), PersistError> {
+        let table = Vec::<SaturatingCounter>::decode(r)?;
+        if table.len() != self.table.len() {
+            return Err(PersistError::Corrupt("predictor table size mismatch"));
+        }
+        self.table = table;
+        self.ghr = r.get_u64()?;
+        Ok(())
     }
 }
 
@@ -253,7 +284,10 @@ mod tests {
         assert_eq!(p.index(a), p.index(b));
         p.train(a, true);
         p.train(a, true);
-        assert!(p.predict(b), "aliased entry is shared — the Fig. 9 pathology");
+        assert!(
+            p.predict(b),
+            "aliased entry is shared — the Fig. 9 pathology"
+        );
     }
 
     #[test]

@@ -75,7 +75,11 @@ fn rw_window_contains_ew() {
     for addr_known in [false, true] {
         for locked in [false, true] {
             if marks_on_external(DetectorKind::ExecutionWindow, addr_known, locked) {
-                assert!(marks_on_external(DetectorKind::ReadyWindow, addr_known, locked));
+                assert!(marks_on_external(
+                    DetectorKind::ReadyWindow,
+                    addr_known,
+                    locked
+                ));
             }
         }
     }

@@ -7,6 +7,7 @@
 //! standard provider/altpred, useful-bit, and allocation-on-mispredict rules.
 
 use row_common::ids::Pc;
+use row_common::persist::{Codec, Persist, PersistError, Reader, Writer};
 
 const BIMODAL_BITS: usize = 12; // 4096 entries
 const TAGGED_ENTRIES_BITS: usize = 10; // 1024 entries per table
@@ -213,6 +214,65 @@ impl TageLite {
 impl Default for TageLite {
     fn default() -> Self {
         TageLite::new()
+    }
+}
+
+impl Codec for TaggedEntry {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u16(self.tag);
+        self.ctr.encode(w);
+        w.put_u8(self.useful);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(TaggedEntry {
+            tag: r.get_u16()?,
+            ctr: i8::decode(r)?,
+            useful: r.get_u8()?,
+        })
+    }
+}
+
+impl Codec for BranchStats {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.predictions);
+        w.put_u64(self.mispredictions);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(BranchStats {
+            predictions: r.get_u64()?,
+            mispredictions: r.get_u64()?,
+        })
+    }
+}
+
+impl Persist for TageLite {
+    fn persist(&self, w: &mut Writer) {
+        self.bimodal.encode(w);
+        self.tables.encode(w);
+        w.put_u128(self.hist.bits);
+        w.put_u32(self.lfsr);
+        self.stats.encode(w);
+    }
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), PersistError> {
+        let bimodal = Vec::<i8>::decode(r)?;
+        let tables = Vec::<Vec<TaggedEntry>>::decode(r)?;
+        if bimodal.len() != self.bimodal.len()
+            || tables.len() != self.tables.len()
+            || tables
+                .iter()
+                .zip(&self.tables)
+                .any(|(a, b)| a.len() != b.len())
+        {
+            return Err(PersistError::Corrupt("branch predictor geometry mismatch"));
+        }
+        self.bimodal = bimodal;
+        self.tables = tables;
+        self.hist = History {
+            bits: r.get_u128()?,
+        };
+        self.lfsr = r.get_u32()?;
+        self.stats = BranchStats::decode(r)?;
+        Ok(())
     }
 }
 

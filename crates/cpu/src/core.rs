@@ -27,6 +27,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 use row_common::config::{AtomicPlacement, AtomicPolicy, CoreConfig, DetectorKind, FenceModel};
 use row_common::ids::{Addr, CoreId, LineAddr, Pc};
+use row_common::persist::{Codec, Persist, PersistError, Reader, Writer};
 use row_common::sched::EventQueue;
 use row_common::Cycle;
 
@@ -484,10 +485,7 @@ impl Core {
                 // whose address is still unknown.
                 if let Some(dep) = self.ss.dependence_for_load(pc) {
                     if let Some(se) = self.entries.get(&dep) {
-                        let addr_unknown = self
-                            .sb
-                            .iter()
-                            .any(|s| s.uid == dep && s.addr.is_none());
+                        let addr_unknown = self.sb.iter().any(|s| s.uid == dep && s.addr.is_none());
                         if se.order < e.order && addr_unknown {
                             self.waiting_on_store.entry(dep).or_default().push(uid);
                             return;
@@ -540,7 +538,10 @@ impl Core {
             return;
         }
         let pc = self.entries[&uid].instr.pc;
-        self.entries.get_mut(&uid).expect("live load").mem_outstanding = true;
+        self.entries
+            .get_mut(&uid)
+            .expect("live load")
+            .mem_outstanding = true;
         mem.access(
             self.id,
             addr.line(),
@@ -1345,5 +1346,220 @@ impl std::fmt::Debug for Core {
             .field("aq", &self.aq.len())
             .field("committed", &self.stats.committed)
             .finish()
+    }
+}
+
+impl Codec for Comp {
+    fn encode(&self, w: &mut Writer) {
+        match *self {
+            Comp::Exec => w.put_u8(0),
+            Comp::AddrCalc => w.put_u8(1),
+            Comp::AtomicAddrOnly => w.put_u8(2),
+            Comp::LoadDone { forwarded } => {
+                w.put_u8(3);
+                w.put_bool(forwarded);
+            }
+            Comp::AtomicValue => w.put_u8(4),
+            Comp::SbWrite => w.put_u8(5),
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(match r.get_u8()? {
+            0 => Comp::Exec,
+            1 => Comp::AddrCalc,
+            2 => Comp::AtomicAddrOnly,
+            3 => Comp::LoadDone {
+                forwarded: r.get_bool()?,
+            },
+            4 => Comp::AtomicValue,
+            5 => Comp::SbWrite,
+            tag => return Err(PersistError::BadTag { what: "Comp", tag }),
+        })
+    }
+}
+
+impl Codec for RobEntry {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.order);
+        self.instr.encode(w);
+        w.put_u32(self.pending_deps);
+        w.put_bool(self.in_iq);
+        self.issued_at.encode(w);
+        self.completed_at.encode(w);
+        self.forwarded_from.encode(w);
+        w.put_bool(self.mem_outstanding);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(RobEntry {
+            order: r.get_u64()?,
+            instr: Instr::decode(r)?,
+            pending_deps: r.get_u32()?,
+            in_iq: r.get_bool()?,
+            issued_at: Option::<Cycle>::decode(r)?,
+            completed_at: Option::<Cycle>::decode(r)?,
+            forwarded_from: Option::<(u64, u64)>::decode(r)?,
+            mem_outstanding: r.get_bool()?,
+        })
+    }
+}
+
+impl Codec for SbEntry {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.uid);
+        w.put_u64(self.order);
+        self.pc.encode(w);
+        self.addr.encode(w);
+        self.value.encode(w);
+        w.put_bool(self.atomic);
+        w.put_bool(self.committed);
+        w.put_bool(self.inflight);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(SbEntry {
+            uid: r.get_u64()?,
+            order: r.get_u64()?,
+            pc: Pc::decode(r)?,
+            addr: Option::<Addr>::decode(r)?,
+            value: Option::<u64>::decode(r)?,
+            atomic: r.get_bool()?,
+            committed: r.get_bool()?,
+            inflight: r.get_bool()?,
+        })
+    }
+}
+
+impl Codec for AqEntry {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.uid);
+        w.put_u64(self.order);
+        self.pc.encode(w);
+        self.rmw.encode(w);
+        self.addr.encode(w);
+        w.put_bool(self.addr_known);
+        w.put_bool(self.locked);
+        w.put_bool(self.fill_pending);
+        w.put_bool(self.contended);
+        w.put_bool(self.predicted_contended);
+        self.mode.encode(w);
+        self.dispatched_at.encode(w);
+        self.mem_issued_at.encode(w);
+        self.locked_at.encode(w);
+        w.put_u16(self.issued14);
+        w.put_bool(self.forwarded);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(AqEntry {
+            uid: r.get_u64()?,
+            order: r.get_u64()?,
+            pc: Pc::decode(r)?,
+            rmw: RmwKind::decode(r)?,
+            addr: Addr::decode(r)?,
+            addr_known: r.get_bool()?,
+            locked: r.get_bool()?,
+            fill_pending: r.get_bool()?,
+            contended: r.get_bool()?,
+            predicted_contended: r.get_bool()?,
+            mode: ExecMode::decode(r)?,
+            dispatched_at: Cycle::decode(r)?,
+            mem_issued_at: Option::<Cycle>::decode(r)?,
+            locked_at: Option::<Cycle>::decode(r)?,
+            issued14: r.get_u16()?,
+            forwarded: r.get_bool()?,
+        })
+    }
+}
+
+impl Codec for LoadObservation {
+    fn encode(&self, w: &mut Writer) {
+        self.pc.encode(w);
+        self.addr.encode(w);
+        w.put_u64(self.value);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(LoadObservation {
+            pc: Pc::decode(r)?,
+            addr: Addr::decode(r)?,
+            value: r.get_u64()?,
+        })
+    }
+}
+
+impl Persist for Core {
+    // `id`, `cfg`, `l1_lat`, and `stats_detector` are construction parameters
+    // and stay; the instruction stream persists only its own mutable state
+    // (the program itself is reconstructed from the config/seed).
+    fn persist(&self, w: &mut Writer) {
+        self.stream.save_state(w);
+        w.put_bool(self.stream_done);
+        self.peeked.encode(w);
+        self.replay.encode(w);
+        w.put_u64(self.next_order);
+        w.put_u64(self.next_uid);
+        self.rob.encode(w);
+        self.entries.encode(w);
+        self.rename.encode(w);
+        self.waiters.encode(w);
+        self.ready.encode(w);
+        self.lazy_wait.encode(w);
+        self.waiting_on_store.encode(w);
+        self.iq_used.encode(w);
+        self.lq.encode(w);
+        self.sb.encode(w);
+        self.aq.encode(w);
+        self.barriers.encode(w);
+        self.exec_done.encode(w);
+        w.put_bool(self.sb_miss_inflight);
+        self.branch_stall.encode(w);
+        self.fetch_resume_at.encode(w);
+        self.bp.persist(w);
+        self.ss.persist(w);
+        match &self.row {
+            None => w.put_u8(0),
+            Some(r) => {
+                w.put_u8(1);
+                r.persist(w);
+            }
+        }
+        self.force_lazy.encode(w);
+        self.last_commit.encode(w);
+        self.stats.encode(w);
+        self.load_log.encode(w);
+    }
+
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), PersistError> {
+        self.stream.load_state(r)?;
+        self.stream_done = r.get_bool()?;
+        self.peeked = Option::<Instr>::decode(r)?;
+        self.replay = VecDeque::<(u64, Instr)>::decode(r)?;
+        self.next_order = r.get_u64()?;
+        self.next_uid = r.get_u64()?;
+        self.rob = VecDeque::<u64>::decode(r)?;
+        self.entries = HashMap::<u64, RobEntry>::decode(r)?;
+        self.rename = <[Option<u64>; NUM_REGS]>::decode(r)?;
+        self.waiters = HashMap::<u64, Vec<u64>>::decode(r)?;
+        self.ready = BTreeMap::<u64, u64>::decode(r)?;
+        self.lazy_wait = BTreeMap::<u64, u64>::decode(r)?;
+        self.waiting_on_store = HashMap::<u64, Vec<u64>>::decode(r)?;
+        self.iq_used = usize::decode(r)?;
+        self.lq = BTreeMap::<u64, u64>::decode(r)?;
+        self.sb = VecDeque::<SbEntry>::decode(r)?;
+        self.aq = VecDeque::<AqEntry>::decode(r)?;
+        self.barriers = BTreeSet::<u64>::decode(r)?;
+        self.exec_done = EventQueue::<(u64, Comp)>::decode(r)?;
+        self.sb_miss_inflight = r.get_bool()?;
+        self.branch_stall = Option::<u64>::decode(r)?;
+        self.fetch_resume_at = Cycle::decode(r)?;
+        self.bp.restore(r)?;
+        self.ss.restore(r)?;
+        match (r.get_u8()?, self.row.as_mut()) {
+            (1, Some(row)) => row.restore(r)?,
+            (0, None) => {}
+            _ => return Err(PersistError::Corrupt("RoW engine presence mismatch")),
+        }
+        self.force_lazy = BTreeSet::<u64>::decode(r)?;
+        self.last_commit = Cycle::decode(r)?;
+        self.stats = CoreStats::decode(r)?;
+        self.load_log = Option::<Vec<LoadObservation>>::decode(r)?;
+        Ok(())
     }
 }

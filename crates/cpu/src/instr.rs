@@ -8,6 +8,7 @@
 //! (`load_lock` / ALU / `store_unlock`) internally.
 
 use row_common::ids::{Addr, Pc};
+use row_common::persist::{Codec, PersistError, Reader, Writer};
 
 /// An architectural register index (the traces use `0..NUM_REGS`).
 pub type Reg = u8;
@@ -129,6 +130,23 @@ pub trait InstrStream: Send {
     /// The next instruction in program order, or `None` when the thread's
     /// parallel phase is complete.
     fn next_instr(&mut self) -> Option<Instr>;
+
+    /// Appends the stream's mutable state (generator position, RNG, queued
+    /// instructions) to `w` for checkpointing. The default is a no-op, which
+    /// is only correct for genuinely stateless streams; every stream that
+    /// advances must override this together with [`InstrStream::load_state`]
+    /// or checkpoint/restore will replay it from the beginning.
+    fn save_state(&self, w: &mut Writer) {
+        let _ = w;
+    }
+
+    /// Restores the stream's mutable state written by
+    /// [`InstrStream::save_state`]. The stream must have been constructed
+    /// identically (same program/seed) to the one that was saved.
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), PersistError> {
+        let _ = r;
+        Ok(())
+    }
 }
 
 /// A trivial stream over a vector (tests and microbenchmarks).
@@ -151,6 +169,85 @@ impl InstrStream for VecStream {
         self.pos += 1;
         i
     }
+
+    fn save_state(&self, w: &mut Writer) {
+        w.put_u64(self.pos as u64);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), PersistError> {
+        self.pos = r.get_u64()? as usize;
+        Ok(())
+    }
+}
+
+impl Codec for Op {
+    fn encode(&self, w: &mut Writer) {
+        match *self {
+            Op::Alu { latency } => {
+                w.put_u8(0);
+                w.put_u8(latency);
+            }
+            Op::Load { addr } => {
+                w.put_u8(1);
+                addr.encode(w);
+            }
+            Op::Store { addr, value } => {
+                w.put_u8(2);
+                addr.encode(w);
+                value.encode(w);
+            }
+            Op::Atomic { rmw, addr } => {
+                w.put_u8(3);
+                rmw.encode(w);
+                addr.encode(w);
+            }
+            Op::Branch { taken } => {
+                w.put_u8(4);
+                w.put_bool(taken);
+            }
+            Op::Fence => w.put_u8(5),
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(match r.get_u8()? {
+            0 => Op::Alu {
+                latency: r.get_u8()?,
+            },
+            1 => Op::Load {
+                addr: Addr::decode(r)?,
+            },
+            2 => Op::Store {
+                addr: Addr::decode(r)?,
+                value: Option::<u64>::decode(r)?,
+            },
+            3 => Op::Atomic {
+                rmw: RmwKind::decode(r)?,
+                addr: Addr::decode(r)?,
+            },
+            4 => Op::Branch {
+                taken: r.get_bool()?,
+            },
+            5 => Op::Fence,
+            tag => return Err(PersistError::BadTag { what: "Op", tag }),
+        })
+    }
+}
+
+impl Codec for Instr {
+    fn encode(&self, w: &mut Writer) {
+        self.pc.encode(w);
+        self.op.encode(w);
+        self.srcs.encode(w);
+        self.dst.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(Instr {
+            pc: Pc::decode(r)?,
+            op: Op::decode(r)?,
+            srcs: <[Option<Reg>; 2]>::decode(r)?,
+            dst: Option::<Reg>::decode(r)?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -161,16 +258,36 @@ mod tests {
     fn rmw_semantics() {
         assert_eq!(RmwKind::Faa(1).apply(41), (42, true));
         assert_eq!(RmwKind::Swap(5).apply(3), (5, true));
-        assert_eq!(RmwKind::Cas { expected: 3, new: 7 }.apply(3), (7, true));
-        assert_eq!(RmwKind::Cas { expected: 3, new: 7 }.apply(4), (4, false));
+        assert_eq!(
+            RmwKind::Cas {
+                expected: 3,
+                new: 7
+            }
+            .apply(3),
+            (7, true)
+        );
+        assert_eq!(
+            RmwKind::Cas {
+                expected: 3,
+                new: 7
+            }
+            .apply(4),
+            (4, false)
+        );
         assert_eq!(RmwKind::Faa(1).apply(u64::MAX), (0, true), "wrapping add");
     }
 
     #[test]
     fn queue_usage() {
         let l = Op::Load { addr: Addr::new(8) };
-        let s = Op::Store { addr: Addr::new(8), value: None };
-        let a = Op::Atomic { rmw: RmwKind::Faa(1), addr: Addr::new(8) };
+        let s = Op::Store {
+            addr: Addr::new(8),
+            value: None,
+        };
+        let a = Op::Atomic {
+            rmw: RmwKind::Faa(1),
+            addr: Addr::new(8),
+        };
         assert!(l.uses_lq() && !l.uses_sb());
         assert!(!s.uses_lq() && s.uses_sb());
         assert!(a.uses_lq() && a.uses_sb() && a.is_atomic());
@@ -179,7 +296,13 @@ mod tests {
 
     #[test]
     fn addr_extraction() {
-        assert_eq!(Op::Load { addr: Addr::new(64) }.addr(), Some(Addr::new(64)));
+        assert_eq!(
+            Op::Load {
+                addr: Addr::new(64)
+            }
+            .addr(),
+            Some(Addr::new(64))
+        );
         assert_eq!(Op::Alu { latency: 1 }.addr(), None);
     }
 

@@ -1,5 +1,6 @@
 //! Per-core statistics: everything the paper's figures need.
 
+use row_common::persist::{Codec, PersistError, Reader, Writer};
 use row_common::stats::{AtomicLatencyBreakdown, RunningMean};
 use row_common::Cycle;
 
@@ -86,6 +87,47 @@ impl CoreStats {
             (Some(a), Some(b)) => Some(a.max(b)),
             (a, b) => a.or(b),
         };
+    }
+}
+
+impl Codec for CoreStats {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.committed);
+        w.put_u64(self.atomics);
+        w.put_u64(self.contended_atomics);
+        w.put_u64(self.atomics_eager);
+        w.put_u64(self.atomics_lazy);
+        w.put_u64(self.atomics_forwarded);
+        w.put_u64(self.locality_overrides);
+        w.put_u64(self.loads_forwarded);
+        w.put_u64(self.violations);
+        w.put_u64(self.inv_squashes);
+        w.put_u64(self.deadlock_breaks);
+        w.put_u64(self.lock_reacquires);
+        self.breakdown.encode(w);
+        self.older_unexecuted_at_issue.encode(w);
+        self.younger_started_at_issue.encode(w);
+        self.finished_at.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(CoreStats {
+            committed: r.get_u64()?,
+            atomics: r.get_u64()?,
+            contended_atomics: r.get_u64()?,
+            atomics_eager: r.get_u64()?,
+            atomics_lazy: r.get_u64()?,
+            atomics_forwarded: r.get_u64()?,
+            locality_overrides: r.get_u64()?,
+            loads_forwarded: r.get_u64()?,
+            violations: r.get_u64()?,
+            inv_squashes: r.get_u64()?,
+            deadlock_breaks: r.get_u64()?,
+            lock_reacquires: r.get_u64()?,
+            breakdown: AtomicLatencyBreakdown::decode(r)?,
+            older_unexecuted_at_issue: RunningMean::decode(r)?,
+            younger_started_at_issue: RunningMean::decode(r)?,
+            finished_at: Option::<Cycle>::decode(r)?,
+        })
     }
 }
 

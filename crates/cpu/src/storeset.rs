@@ -9,6 +9,7 @@
 //! id to the most recently dispatched in-flight store of that set.
 
 use row_common::ids::Pc;
+use row_common::persist::{Codec, Persist, PersistError, Reader, Writer};
 
 const SSIT_BITS: usize = 10; // 1024 entries
 const MAX_SETS: usize = 256;
@@ -109,6 +110,25 @@ impl StoreSets {
 impl Default for StoreSets {
     fn default() -> Self {
         StoreSets::new()
+    }
+}
+
+impl Persist for StoreSets {
+    fn persist(&self, w: &mut Writer) {
+        self.ssit.encode(w);
+        self.lfst.encode(w);
+        w.put_u16(self.next_set);
+    }
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), PersistError> {
+        let ssit = Vec::<Option<u16>>::decode(r)?;
+        let lfst = Vec::<Option<u64>>::decode(r)?;
+        if ssit.len() != self.ssit.len() || lfst.len() != self.lfst.len() {
+            return Err(PersistError::Corrupt("store-set table size mismatch"));
+        }
+        self.ssit = ssit;
+        self.lfst = lfst;
+        self.next_set = r.get_u16()?;
+        Ok(())
     }
 }
 

@@ -73,7 +73,12 @@ fn alu(pc: u64) -> Instr {
 }
 
 fn load(pc: u64, addr: u64) -> Instr {
-    Instr::simple(Pc::new(pc), Op::Load { addr: Addr::new(addr) })
+    Instr::simple(
+        Pc::new(pc),
+        Op::Load {
+            addr: Addr::new(addr),
+        },
+    )
 }
 
 fn store(pc: u64, addr: u64, v: u64) -> Instr {
@@ -123,11 +128,7 @@ fn dependent_alu_chain_is_serialized() {
 #[test]
 fn stores_write_functionally_in_order() {
     let cfg = SystemConfig::small(1);
-    let prog = vec![
-        store(0, 0x100, 1),
-        store(4, 0x100, 2),
-        store(8, 0x200, 9),
-    ];
+    let prog = vec![store(0, 0x100, 1), store(4, 0x100, 2), store(8, 0x200, 9)];
     let (_, mem, _) = run_single(&cfg, prog);
     assert_eq!(mem.read_word(Addr::new(0x100)), 2);
     assert_eq!(mem.read_word(Addr::new(0x200)), 9);
@@ -193,14 +194,20 @@ fn cas_success_and_failure() {
         Instr::simple(
             Pc::new(0),
             Op::Atomic {
-                rmw: RmwKind::Cas { expected: 0, new: 7 },
+                rmw: RmwKind::Cas {
+                    expected: 0,
+                    new: 7,
+                },
                 addr: Addr::new(0x2000),
             },
         ),
         Instr::simple(
             Pc::new(4),
             Op::Atomic {
-                rmw: RmwKind::Cas { expected: 0, new: 9 },
+                rmw: RmwKind::Cas {
+                    expected: 0,
+                    new: 9,
+                },
                 addr: Addr::new(0x2000),
             },
         ),
@@ -329,15 +336,17 @@ fn row_learns_to_run_contended_atomics_lazy() {
     let (cores, mem, _) = run_pair(&cfg, [prog.clone(), prog]);
     assert_eq!(mem.read_word(Addr::new(0xdead00)), 120);
     let lazy: u64 = cores.iter().map(|c| c.stats().atomics_lazy).sum();
-    assert!(lazy >= 20, "RoW should shift contended atomics lazy, got {lazy}");
+    assert!(
+        lazy >= 20,
+        "RoW should shift contended atomics lazy, got {lazy}"
+    );
     let acc = cores[0].row_accuracy().expect("RoW runs track accuracy");
     assert!(acc.total() > 0);
 }
 
 #[test]
 fn row_keeps_private_atomics_eager() {
-    let cfg =
-        SystemConfig::small(2).with_policy(AtomicPolicy::Row(RowConfig::best()));
+    let cfg = SystemConfig::small(2).with_policy(AtomicPolicy::Row(RowConfig::best()));
     // Each core pounds its own line: no contention, everything stays eager.
     let prog0: Vec<Instr> = (0..40).map(|_| faa(0x80, 0x111100, 1)).collect();
     let prog1: Vec<Instr> = (0..40).map(|_| faa(0x84, 0x222200, 1)).collect();
@@ -430,15 +439,15 @@ fn invalidation_squashes_speculative_load() {
     // a chain of dependent cold misses then blocks core0's commit for ~600+
     // cycles, leaving a wide window for core1's invalidation to land.
     let p0 = vec![
-        load(0x08, x).with_dst(2), // warm (will commit)
+        load(0x08, x).with_dst(2),          // warm (will commit)
         load(0x10, 0x444_0000).with_dst(3), // cold miss
         load(0x12, 0x445_0000).with_srcs(Some(3), None).with_dst(4), // chained cold miss
         load(0x13, 0x446_0000).with_srcs(Some(4), None).with_dst(5), // chained cold miss
-        load(0x14, x), // speculative hit behind the misses
+        load(0x14, x),                      // speculative hit behind the misses
         alu(0x18),
     ];
     let p1 = vec![
-        store(0x24, x, 9), // drains after its GetX (~300 cycles in)
+        store(0x24, x, 9),        // drains after its GetX (~300 cycles in)
         faa(0x28, 0x666_0000, 1), // padding to keep the core busy
     ];
     let (cores, _, _) = run_pair(&cfg, [p0, p1]);
@@ -489,11 +498,7 @@ fn store_set_violation_squashes_and_learns() {
         let base = round * 0x100;
         // Long ALU chain feeding the store's address operand.
         for k in 0..12 {
-            prog.push(
-                alu(base + k * 4)
-                    .with_srcs(Some(1), None)
-                    .with_dst(1),
-            );
+            prog.push(alu(base + k * 4).with_srcs(Some(1), None).with_dst(1));
         }
         prog.push(
             Instr::simple(
@@ -510,7 +515,11 @@ fn store_set_violation_squashes_and_learns() {
     }
     let cfg = SystemConfig::small(1);
     let (core, mem, _) = run_single(&cfg, prog);
-    assert_eq!(mem.read_word(Addr::new(0x999_0000)), 5, "last round's value");
+    assert_eq!(
+        mem.read_word(Addr::new(0x999_0000)),
+        5,
+        "last round's value"
+    );
     assert!(
         core.stats().violations >= 1,
         "the first speculation must violate"

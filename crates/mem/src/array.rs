@@ -7,6 +7,7 @@
 
 use row_common::config::CacheConfig;
 use row_common::ids::LineAddr;
+use row_common::persist::{Codec, Persist, PersistError, Reader, Writer};
 
 /// Outcome of inserting a line into a [`CacheArray`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -58,13 +59,7 @@ impl CacheArray {
         CacheArray {
             sets,
             ways: cfg.ways,
-            data: vec![
-                Way {
-                    tag: None,
-                    lru: 0
-                };
-                sets * cfg.ways
-            ],
+            data: vec![Way { tag: None, lru: 0 }; sets * cfg.ways],
             tick: 0,
         }
     }
@@ -164,6 +159,36 @@ impl CacheArray {
     /// Number of resident lines (O(capacity); for tests/stats).
     pub fn occupancy(&self) -> usize {
         self.data.iter().filter(|w| w.tag.is_some()).count()
+    }
+}
+
+impl Codec for Way {
+    fn encode(&self, w: &mut Writer) {
+        self.tag.encode(w);
+        w.put_u64(self.lru);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(Way {
+            tag: Option::<LineAddr>::decode(r)?,
+            lru: r.get_u64()?,
+        })
+    }
+}
+
+impl Persist for CacheArray {
+    // Geometry (sets/ways) is config-derived; tags and LRU state are mutable.
+    fn persist(&self, w: &mut Writer) {
+        self.data.encode(w);
+        w.put_u64(self.tick);
+    }
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), PersistError> {
+        let data = Vec::<Way>::decode(r)?;
+        if data.len() != self.data.len() {
+            return Err(PersistError::Corrupt("cache array geometry mismatch"));
+        }
+        self.data = data;
+        self.tick = r.get_u64()?;
+        Ok(())
     }
 }
 

@@ -12,6 +12,7 @@ use std::collections::{BTreeSet, HashMap, VecDeque};
 
 use row_common::config::CacheConfig;
 use row_common::ids::{CoreId, LineAddr};
+use row_common::persist::{Codec, Persist, PersistError, Reader, Writer};
 use row_common::rmw::RmwKind;
 use row_common::Cycle;
 
@@ -268,9 +269,12 @@ impl DirBank {
                 self.handle_putm(from, line, now, actions);
                 Ok(())
             }
-            Msg::AtomicFar { req, line, rmw, req_id } => {
-                self.handle_far(req, line, rmw, req_id, now, actions)
-            }
+            Msg::AtomicFar {
+                req,
+                line,
+                rmw,
+                req_id,
+            } => self.handle_far(req, line, rmw, req_id, now, actions),
             Msg::Unblock { .. } => {
                 // Unblock for an already-stable entry: ignore (idempotent).
                 Ok(())
@@ -676,6 +680,148 @@ impl DirBank {
     }
 }
 
+impl Codec for Entry2 {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Entry2::Shared(s) => {
+                w.put_u8(0);
+                s.encode(w);
+            }
+            Entry2::Exclusive(c) => {
+                w.put_u8(1);
+                c.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(match r.get_u8()? {
+            0 => Entry2::Shared(BTreeSet::decode(r)?),
+            1 => Entry2::Exclusive(CoreId::decode(r)?),
+            tag => {
+                return Err(PersistError::BadTag {
+                    what: "Entry2",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl Codec for Phase {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Phase::AwaitUnblock => w.put_u8(0),
+            Phase::CollectingAcks { req, pending, far } => {
+                w.put_u8(1);
+                req.encode(w);
+                pending.encode(w);
+                match far {
+                    None => w.put_bool(false),
+                    Some((rmw, req_id)) => {
+                        w.put_bool(true);
+                        rmw.encode(w);
+                        w.put_u64(*req_id);
+                    }
+                }
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(match r.get_u8()? {
+            0 => Phase::AwaitUnblock,
+            1 => Phase::CollectingAcks {
+                req: CoreId::decode(r)?,
+                pending: usize::decode(r)?,
+                far: if r.get_bool()? {
+                    Some((RmwKind::decode(r)?, r.get_u64()?))
+                } else {
+                    None
+                },
+            },
+            tag => return Err(PersistError::BadTag { what: "Phase", tag }),
+        })
+    }
+}
+
+impl Codec for Entry {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            Entry::Shared(s) => {
+                w.put_u8(0);
+                s.encode(w);
+            }
+            Entry::Exclusive(c) => {
+                w.put_u8(1);
+                c.encode(w);
+            }
+            Entry::Blocked(b) => {
+                w.put_u8(2);
+                b.next.encode(w);
+                b.phase.encode(w);
+                b.queue.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(match r.get_u8()? {
+            0 => Entry::Shared(BTreeSet::decode(r)?),
+            1 => Entry::Exclusive(CoreId::decode(r)?),
+            2 => Entry::Blocked(Box::new(BlockInfo {
+                next: Entry2::decode(r)?,
+                phase: Phase::decode(r)?,
+                queue: VecDeque::decode(r)?,
+            })),
+            tag => return Err(PersistError::BadTag { what: "Entry", tag }),
+        })
+    }
+}
+
+impl Codec for DirStats {
+    fn encode(&self, w: &mut Writer) {
+        for v in [
+            self.gets,
+            self.getx,
+            self.forwards,
+            self.invalidations,
+            self.queued,
+            self.l3_misses,
+            self.writebacks,
+            self.far_atomics,
+        ] {
+            w.put_u64(v);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(DirStats {
+            gets: r.get_u64()?,
+            getx: r.get_u64()?,
+            forwards: r.get_u64()?,
+            invalidations: r.get_u64()?,
+            queued: r.get_u64()?,
+            l3_misses: r.get_u64()?,
+            writebacks: r.get_u64()?,
+            far_atomics: r.get_u64()?,
+        })
+    }
+}
+
+impl Persist for DirBank {
+    // Tile index and latencies are config-derived; the L3 tag array, the
+    // directory entries (including Blocked transactions and their queued
+    // requesters), and the counters are mutable state.
+    fn persist(&self, w: &mut Writer) {
+        self.l3.persist(w);
+        self.entries.encode(w);
+        self.stats.encode(w);
+    }
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), PersistError> {
+        self.l3.restore(r)?;
+        self.entries = HashMap::decode(r)?;
+        self.stats = DirStats::decode(r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -692,7 +838,8 @@ mod tests {
 
     fn unblock(d: &mut DirBank, from: CoreId, line: LineAddr, now: Cycle) -> Vec<CacheAction> {
         let mut a = Vec::new();
-        d.handle_msg(Msg::Unblock { from, line }, now, &mut a).unwrap();
+        d.handle_msg(Msg::Unblock { from, line }, now, &mut a)
+            .unwrap();
         a
     }
 
@@ -701,10 +848,18 @@ mod tests {
         let mut d = bank();
         let line = LineAddr::new(1);
         let mut a = Vec::new();
-        d.handle_msg(Msg::GetS { req: c(0), line }, Cycle::ZERO, &mut a).unwrap();
+        d.handle_msg(Msg::GetS { req: c(0), line }, Cycle::ZERO, &mut a)
+            .unwrap();
         assert!(matches!(
             a[0],
-            CacheAction::Send { msg: Msg::Data { excl: true, from_private: false, .. }, .. }
+            CacheAction::Send {
+                msg: Msg::Data {
+                    excl: true,
+                    from_private: false,
+                    ..
+                },
+                ..
+            }
         ));
         assert_eq!(d.state(line), DirState::Blocked);
         unblock(&mut d, c(0), line, Cycle::new(50));
@@ -716,16 +871,23 @@ mod tests {
         let mut d = bank();
         let line = LineAddr::new(2);
         let mut a = Vec::new();
-        d.handle_msg(Msg::GetS { req: c(0), line }, Cycle::ZERO, &mut a).unwrap();
-        let CacheAction::Send { at: first, .. } = a[0] else { panic!() };
+        d.handle_msg(Msg::GetS { req: c(0), line }, Cycle::ZERO, &mut a)
+            .unwrap();
+        let CacheAction::Send { at: first, .. } = a[0] else {
+            panic!()
+        };
         assert!(first.raw() >= 35 + 160);
         unblock(&mut d, c(0), line, Cycle::new(400));
         // Writeback returns the line home; next access hits L3.
         let mut a = Vec::new();
-        d.handle_msg(Msg::PutM { from: c(0), line }, Cycle::new(500), &mut a).unwrap();
+        d.handle_msg(Msg::PutM { from: c(0), line }, Cycle::new(500), &mut a)
+            .unwrap();
         let mut a = Vec::new();
-        d.handle_msg(Msg::GetS { req: c(1), line }, Cycle::new(600), &mut a).unwrap();
-        let CacheAction::Send { at: second, .. } = a[0] else { panic!() };
+        d.handle_msg(Msg::GetS { req: c(1), line }, Cycle::new(600), &mut a)
+            .unwrap();
+        let CacheAction::Send { at: second, .. } = a[0] else {
+            panic!()
+        };
         assert_eq!(second.raw(), 600 + 35);
     }
 
@@ -734,26 +896,36 @@ mod tests {
         let mut d = bank();
         let line = LineAddr::new(3);
         let mut a = Vec::new();
-        d.handle_msg(Msg::GetS { req: c(0), line }, Cycle::ZERO, &mut a).unwrap();
+        d.handle_msg(Msg::GetS { req: c(0), line }, Cycle::ZERO, &mut a)
+            .unwrap();
         unblock(&mut d, c(0), line, Cycle::new(10));
         // Downgrade path: second reader forwards to owner.
         let mut a = Vec::new();
-        d.handle_msg(Msg::GetS { req: c(1), line }, Cycle::new(20), &mut a).unwrap();
+        d.handle_msg(Msg::GetS { req: c(1), line }, Cycle::new(20), &mut a)
+            .unwrap();
         assert!(matches!(
             a[0],
             CacheAction::Send { to: Endpoint::Core(o), msg: Msg::FwdGetS { .. }, .. } if o == c(0)
         ));
         unblock(&mut d, c(1), line, Cycle::new(30));
-        let DirState::Shared(s) = d.state(line) else { panic!() };
+        let DirState::Shared(s) = d.state(line) else {
+            panic!()
+        };
         assert_eq!(s.len(), 2);
         // Third reader: served directly, stays Shared, no blocking.
         let mut a = Vec::new();
-        d.handle_msg(Msg::GetS { req: c(2), line }, Cycle::new(40), &mut a).unwrap();
+        d.handle_msg(Msg::GetS { req: c(2), line }, Cycle::new(40), &mut a)
+            .unwrap();
         assert!(matches!(
             a[0],
-            CacheAction::Send { msg: Msg::Data { excl: false, .. }, .. }
+            CacheAction::Send {
+                msg: Msg::Data { excl: false, .. },
+                ..
+            }
         ));
-        let DirState::Shared(s) = d.state(line) else { panic!() };
+        let DirState::Shared(s) = d.state(line) else {
+            panic!()
+        };
         assert_eq!(s.len(), 3);
     }
 
@@ -763,33 +935,58 @@ mod tests {
         let line = LineAddr::new(4);
         // Three sharers: 0, 1, 2.
         let mut a = Vec::new();
-        d.handle_msg(Msg::GetS { req: c(0), line }, Cycle::ZERO, &mut a).unwrap();
+        d.handle_msg(Msg::GetS { req: c(0), line }, Cycle::ZERO, &mut a)
+            .unwrap();
         unblock(&mut d, c(0), line, Cycle::new(10));
-        d.handle_msg(Msg::GetS { req: c(1), line }, Cycle::new(20), &mut a).unwrap();
+        d.handle_msg(Msg::GetS { req: c(1), line }, Cycle::new(20), &mut a)
+            .unwrap();
         unblock(&mut d, c(1), line, Cycle::new(30));
-        let DirState::Shared(_) = d.state(line) else { panic!() };
+        let DirState::Shared(_) = d.state(line) else {
+            panic!()
+        };
         let mut a = Vec::new();
-        d.handle_msg(Msg::GetS { req: c(2), line }, Cycle::new(40), &mut a).unwrap();
+        d.handle_msg(Msg::GetS { req: c(2), line }, Cycle::new(40), &mut a)
+            .unwrap();
 
         let mut a = Vec::new();
-        d.handle_msg(Msg::GetX { req: c(2), line }, Cycle::new(50), &mut a).unwrap();
+        d.handle_msg(Msg::GetX { req: c(2), line }, Cycle::new(50), &mut a)
+            .unwrap();
         let invs: Vec<CoreId> = a
             .iter()
             .filter_map(|x| match x {
-                CacheAction::Send { to: Endpoint::Core(cc), msg: Msg::Inv { .. }, .. } => Some(*cc),
+                CacheAction::Send {
+                    to: Endpoint::Core(cc),
+                    msg: Msg::Inv { .. },
+                    ..
+                } => Some(*cc),
                 _ => None,
             })
             .collect();
-        assert_eq!(invs, vec![c(0), c(1)], "requester itself is not invalidated");
+        assert_eq!(
+            invs,
+            vec![c(0), c(1)],
+            "requester itself is not invalidated"
+        );
         // No data until all acks arrive.
-        assert!(!a.iter().any(|x| matches!(x, CacheAction::Send { msg: Msg::Data { .. }, .. })));
+        assert!(!a.iter().any(|x| matches!(
+            x,
+            CacheAction::Send {
+                msg: Msg::Data { .. },
+                ..
+            }
+        )));
         let mut a = Vec::new();
-        d.handle_msg(Msg::InvAck { from: c(0), line }, Cycle::new(60), &mut a).unwrap();
+        d.handle_msg(Msg::InvAck { from: c(0), line }, Cycle::new(60), &mut a)
+            .unwrap();
         assert!(a.is_empty());
-        d.handle_msg(Msg::InvAck { from: c(1), line }, Cycle::new(70), &mut a).unwrap();
+        d.handle_msg(Msg::InvAck { from: c(1), line }, Cycle::new(70), &mut a)
+            .unwrap();
         assert!(matches!(
             a[0],
-            CacheAction::Send { msg: Msg::Data { excl: true, .. }, .. }
+            CacheAction::Send {
+                msg: Msg::Data { excl: true, .. },
+                ..
+            }
         ));
         unblock(&mut d, c(2), line, Cycle::new(90));
         assert_eq!(d.state(line), DirState::Exclusive(c(2)));
@@ -800,10 +997,12 @@ mod tests {
         let mut d = bank();
         let line = LineAddr::new(5);
         let mut a = Vec::new();
-        d.handle_msg(Msg::GetX { req: c(0), line }, Cycle::ZERO, &mut a).unwrap();
+        d.handle_msg(Msg::GetX { req: c(0), line }, Cycle::ZERO, &mut a)
+            .unwrap();
         unblock(&mut d, c(0), line, Cycle::new(10));
         let mut a = Vec::new();
-        d.handle_msg(Msg::GetX { req: c(1), line }, Cycle::new(20), &mut a).unwrap();
+        d.handle_msg(Msg::GetX { req: c(1), line }, Cycle::new(20), &mut a)
+            .unwrap();
         assert!(matches!(
             a[0],
             CacheAction::Send { to: Endpoint::Core(o), msg: Msg::FwdGetX { .. }, .. } if o == c(0)
@@ -817,11 +1016,14 @@ mod tests {
         let mut d = bank();
         let line = LineAddr::new(6);
         let mut a = Vec::new();
-        d.handle_msg(Msg::GetX { req: c(0), line }, Cycle::ZERO, &mut a).unwrap();
+        d.handle_msg(Msg::GetX { req: c(0), line }, Cycle::ZERO, &mut a)
+            .unwrap();
         // Two more requesters pile up before core0 unblocks (Fig. 8's [T1]).
         let mut a = Vec::new();
-        d.handle_msg(Msg::GetX { req: c(1), line }, Cycle::new(5), &mut a).unwrap();
-        d.handle_msg(Msg::GetX { req: c(2), line }, Cycle::new(6), &mut a).unwrap();
+        d.handle_msg(Msg::GetX { req: c(1), line }, Cycle::new(5), &mut a)
+            .unwrap();
+        d.handle_msg(Msg::GetX { req: c(2), line }, Cycle::new(6), &mut a)
+            .unwrap();
         assert!(a.is_empty(), "queued requests produce no actions yet");
         assert_eq!(d.stats().queued, 2);
 
@@ -830,9 +1032,11 @@ mod tests {
         let fwd: Vec<(CoreId, CoreId)> = a
             .iter()
             .filter_map(|x| match x {
-                CacheAction::Send { to: Endpoint::Core(owner), msg: Msg::FwdGetX { req, .. }, .. } => {
-                    Some((*owner, *req))
-                }
+                CacheAction::Send {
+                    to: Endpoint::Core(owner),
+                    msg: Msg::FwdGetX { req, .. },
+                    ..
+                } => Some((*owner, *req)),
                 _ => None,
             })
             .collect();
@@ -843,9 +1047,11 @@ mod tests {
         let fwd: Vec<(CoreId, CoreId)> = a
             .iter()
             .filter_map(|x| match x {
-                CacheAction::Send { to: Endpoint::Core(owner), msg: Msg::FwdGetX { req, .. }, .. } => {
-                    Some((*owner, *req))
-                }
+                CacheAction::Send {
+                    to: Endpoint::Core(owner),
+                    msg: Msg::FwdGetX { req, .. },
+                    ..
+                } => Some((*owner, *req)),
                 _ => None,
             })
             .collect();
@@ -857,15 +1063,30 @@ mod tests {
         let mut d = bank();
         let line = LineAddr::new(7);
         let mut a = Vec::new();
-        d.handle_msg(Msg::GetX { req: c(0), line }, Cycle::ZERO, &mut a).unwrap();
+        d.handle_msg(Msg::GetX { req: c(0), line }, Cycle::ZERO, &mut a)
+            .unwrap();
         unblock(&mut d, c(0), line, Cycle::new(10));
         let mut a = Vec::new();
-        d.handle_msg(Msg::PutM { from: c(1), line }, Cycle::new(20), &mut a).unwrap();
-        assert!(matches!(a[0], CacheAction::Send { msg: Msg::WbStale { .. }, .. }));
+        d.handle_msg(Msg::PutM { from: c(1), line }, Cycle::new(20), &mut a)
+            .unwrap();
+        assert!(matches!(
+            a[0],
+            CacheAction::Send {
+                msg: Msg::WbStale { .. },
+                ..
+            }
+        ));
         assert_eq!(d.state(line), DirState::Exclusive(c(0)));
         let mut a = Vec::new();
-        d.handle_msg(Msg::PutM { from: c(0), line }, Cycle::new(30), &mut a).unwrap();
-        assert!(matches!(a[0], CacheAction::Send { msg: Msg::WbAck { .. }, .. }));
+        d.handle_msg(Msg::PutM { from: c(0), line }, Cycle::new(30), &mut a)
+            .unwrap();
+        assert!(matches!(
+            a[0],
+            CacheAction::Send {
+                msg: Msg::WbAck { .. },
+                ..
+            }
+        ));
         assert_eq!(d.state(line), DirState::Uncached);
     }
 
@@ -874,14 +1095,17 @@ mod tests {
         let mut d = bank();
         let line = LineAddr::new(8);
         let mut a = Vec::new();
-        d.handle_msg(Msg::GetX { req: c(0), line }, Cycle::ZERO, &mut a).unwrap();
+        d.handle_msg(Msg::GetX { req: c(0), line }, Cycle::ZERO, &mut a)
+            .unwrap();
         unblock(&mut d, c(0), line, Cycle::new(10));
         // core1 wants the line; dir forwards to core0 and blocks.
         let mut a = Vec::new();
-        d.handle_msg(Msg::GetX { req: c(1), line }, Cycle::new(20), &mut a).unwrap();
+        d.handle_msg(Msg::GetX { req: c(1), line }, Cycle::new(20), &mut a)
+            .unwrap();
         // core0's eviction PutM arrives while blocked: queues.
         let mut a = Vec::new();
-        d.handle_msg(Msg::PutM { from: c(0), line }, Cycle::new(25), &mut a).unwrap();
+        d.handle_msg(Msg::PutM { from: c(0), line }, Cycle::new(25), &mut a)
+            .unwrap();
         assert!(a.is_empty());
         // core0 served the forward anyway; core1 unblocks; queued PutM
         // replays and is now stale (owner is core1).
@@ -900,27 +1124,33 @@ mod tests {
         // Make the entry Shared with only core0 (via the fwd path would give
         // two sharers, so build Shared directly through E-grant + downgrade).
         let mut a = Vec::new();
-        d.handle_msg(Msg::GetS { req: c(0), line }, Cycle::ZERO, &mut a).unwrap();
+        d.handle_msg(Msg::GetS { req: c(0), line }, Cycle::ZERO, &mut a)
+            .unwrap();
         unblock(&mut d, c(0), line, Cycle::new(10));
         // Owner core0 upgrades: dir forwards? No — Exclusive(core0) + GetX
         // from core0 cannot happen (it already owns). Instead check Shared:
         let mut a = Vec::new();
-        d.handle_msg(Msg::GetS { req: c(1), line }, Cycle::new(20), &mut a).unwrap();
+        d.handle_msg(Msg::GetS { req: c(1), line }, Cycle::new(20), &mut a)
+            .unwrap();
         unblock(&mut d, c(1), line, Cycle::new(30));
         // Invalidate core0 via core1's upgrade, leaving Shared{core1}... —
         // exercise the sole-sharer fast path directly:
         let mut a = Vec::new();
-        d.handle_msg(Msg::GetX { req: c(1), line }, Cycle::new(40), &mut a).unwrap();
+        d.handle_msg(Msg::GetX { req: c(1), line }, Cycle::new(40), &mut a)
+            .unwrap();
         let mut acks = Vec::new();
-        d.handle_msg(Msg::InvAck { from: c(0), line }, Cycle::new(50), &mut acks).unwrap();
+        d.handle_msg(Msg::InvAck { from: c(0), line }, Cycle::new(50), &mut acks)
+            .unwrap();
         unblock(&mut d, c(1), line, Cycle::new(60));
         assert_eq!(d.state(line), DirState::Exclusive(c(1)));
         // Now Shared set was consumed; re-share with just core1, then GetX
         // from core1 goes through the no-invalidation path.
         let mut a = Vec::new();
-        d.handle_msg(Msg::PutM { from: c(1), line }, Cycle::new(70), &mut a).unwrap();
+        d.handle_msg(Msg::PutM { from: c(1), line }, Cycle::new(70), &mut a)
+            .unwrap();
         let mut a = Vec::new();
-        d.handle_msg(Msg::GetS { req: c(1), line }, Cycle::new(80), &mut a).unwrap();
+        d.handle_msg(Msg::GetS { req: c(1), line }, Cycle::new(80), &mut a)
+            .unwrap();
         unblock(&mut d, c(1), line, Cycle::new(90));
         // Downgrade E->S is silent in the dir? The dir records Exclusive on
         // the E grant; a GetX from the same core can't occur. This test ends
@@ -933,8 +1163,10 @@ mod tests {
         let mut d = bank();
         let line = LineAddr::new(11);
         let mut a = Vec::new();
-        d.handle_msg(Msg::InvAck { from: c(0), line }, Cycle::ZERO, &mut a).unwrap();
-        d.handle_msg(Msg::Unblock { from: c(0), line }, Cycle::ZERO, &mut a).unwrap();
+        d.handle_msg(Msg::InvAck { from: c(0), line }, Cycle::ZERO, &mut a)
+            .unwrap();
+        d.handle_msg(Msg::Unblock { from: c(0), line }, Cycle::ZERO, &mut a)
+            .unwrap();
         assert!(a.is_empty());
         assert_eq!(d.state(line), DirState::Uncached);
     }
@@ -976,10 +1208,7 @@ mod far_tests {
         let mut d = bank();
         let line = LineAddr::new(70);
         let a = far(&mut d, c(0), line, 9, Cycle::ZERO);
-        assert!(matches!(
-            a[0],
-            CacheAction::ApplyRmw { req_id: 9, .. }
-        ));
+        assert!(matches!(a[0], CacheAction::ApplyRmw { req_id: 9, .. }));
         assert_eq!(d.state(line), DirState::Uncached, "no blocking needed");
         assert_eq!(d.stats().far_atomics, 1);
     }
@@ -989,8 +1218,10 @@ mod far_tests {
         let mut d = bank();
         let line = LineAddr::new(71);
         let mut a = Vec::new();
-        d.handle_msg(Msg::GetX { req: c(0), line }, Cycle::ZERO, &mut a).unwrap();
-        d.handle_msg(Msg::Unblock { from: c(0), line }, Cycle::new(10), &mut a).unwrap();
+        d.handle_msg(Msg::GetX { req: c(0), line }, Cycle::ZERO, &mut a)
+            .unwrap();
+        d.handle_msg(Msg::Unblock { from: c(0), line }, Cycle::new(10), &mut a)
+            .unwrap();
 
         let a = far(&mut d, c(1), line, 5, Cycle::new(20));
         assert!(matches!(
@@ -1001,7 +1232,8 @@ mod far_tests {
         assert_eq!(d.state(line), DirState::Blocked);
 
         let mut a = Vec::new();
-        d.handle_msg(Msg::InvAck { from: c(0), line }, Cycle::new(60), &mut a).unwrap();
+        d.handle_msg(Msg::InvAck { from: c(0), line }, Cycle::new(60), &mut a)
+            .unwrap();
         assert!(matches!(a[0], CacheAction::ApplyRmw { req_id: 5, .. }));
         assert_eq!(d.state(line), DirState::Uncached);
     }
@@ -1012,21 +1244,35 @@ mod far_tests {
         let line = LineAddr::new(72);
         let mut a = Vec::new();
         // Build Shared{0,1} via E-grant + downgrade.
-        d.handle_msg(Msg::GetS { req: c(0), line }, Cycle::ZERO, &mut a).unwrap();
-        d.handle_msg(Msg::Unblock { from: c(0), line }, Cycle::new(5), &mut a).unwrap();
-        d.handle_msg(Msg::GetS { req: c(1), line }, Cycle::new(10), &mut a).unwrap();
-        d.handle_msg(Msg::Unblock { from: c(1), line }, Cycle::new(20), &mut a).unwrap();
+        d.handle_msg(Msg::GetS { req: c(0), line }, Cycle::ZERO, &mut a)
+            .unwrap();
+        d.handle_msg(Msg::Unblock { from: c(0), line }, Cycle::new(5), &mut a)
+            .unwrap();
+        d.handle_msg(Msg::GetS { req: c(1), line }, Cycle::new(10), &mut a)
+            .unwrap();
+        d.handle_msg(Msg::Unblock { from: c(1), line }, Cycle::new(20), &mut a)
+            .unwrap();
 
         let a = far(&mut d, c(2), line, 3, Cycle::new(30));
         let invs = a
             .iter()
-            .filter(|x| matches!(x, CacheAction::Send { msg: Msg::Inv { .. }, .. }))
+            .filter(|x| {
+                matches!(
+                    x,
+                    CacheAction::Send {
+                        msg: Msg::Inv { .. },
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(invs, 2);
         let mut a = Vec::new();
-        d.handle_msg(Msg::InvAck { from: c(0), line }, Cycle::new(40), &mut a).unwrap();
+        d.handle_msg(Msg::InvAck { from: c(0), line }, Cycle::new(40), &mut a)
+            .unwrap();
         assert!(a.is_empty());
-        d.handle_msg(Msg::InvAck { from: c(1), line }, Cycle::new(50), &mut a).unwrap();
+        d.handle_msg(Msg::InvAck { from: c(1), line }, Cycle::new(50), &mut a)
+            .unwrap();
         assert!(matches!(a[0], CacheAction::ApplyRmw { req_id: 3, .. }));
     }
 
@@ -1035,12 +1281,14 @@ mod far_tests {
         let mut d = bank();
         let line = LineAddr::new(73);
         let mut a = Vec::new();
-        d.handle_msg(Msg::GetX { req: c(0), line }, Cycle::ZERO, &mut a).unwrap();
+        d.handle_msg(Msg::GetX { req: c(0), line }, Cycle::ZERO, &mut a)
+            .unwrap();
         // Entry is Blocked awaiting core0's unblock: the far request queues.
         let a = far(&mut d, c(1), line, 7, Cycle::new(5));
         assert!(a.is_empty());
         let mut a = Vec::new();
-        d.handle_msg(Msg::Unblock { from: c(0), line }, Cycle::new(30), &mut a).unwrap();
+        d.handle_msg(Msg::Unblock { from: c(0), line }, Cycle::new(30), &mut a)
+            .unwrap();
         // Replay: dir is now Exclusive(core0) -> recall then apply.
         assert!(a.iter().any(|x| matches!(
             x,

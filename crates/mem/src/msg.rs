@@ -7,6 +7,7 @@
 //! the paper's Fig. 8.
 
 use row_common::ids::{CoreId, LineAddr, Pc};
+use row_common::persist::{Codec, PersistError, Reader, Writer};
 use row_common::rmw::RmwKind;
 use row_common::Cycle;
 
@@ -195,6 +196,323 @@ pub enum Endpoint {
     Dir(usize),
 }
 
+impl Codec for AccessKind {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            AccessKind::Read => 0,
+            AccessKind::Write => 1,
+            AccessKind::Rmw => 2,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(match r.get_u8()? {
+            0 => AccessKind::Read,
+            1 => AccessKind::Write,
+            2 => AccessKind::Rmw,
+            tag => {
+                return Err(PersistError::BadTag {
+                    what: "AccessKind",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl Codec for ReqMeta {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.req_id);
+        self.pc.encode(w);
+        w.put_bool(self.prefetch);
+        self.kind.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(ReqMeta {
+            req_id: r.get_u64()?,
+            pc: Option::<Pc>::decode(r)?,
+            prefetch: r.get_bool()?,
+            kind: AccessKind::decode(r)?,
+        })
+    }
+}
+
+impl Codec for FillSource {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            FillSource::L1 => 0,
+            FillSource::L2 => 1,
+            FillSource::L3 => 2,
+            FillSource::Memory => 3,
+            FillSource::RemotePrivate => 4,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(match r.get_u8()? {
+            0 => FillSource::L1,
+            1 => FillSource::L2,
+            2 => FillSource::L3,
+            3 => FillSource::Memory,
+            4 => FillSource::RemotePrivate,
+            tag => {
+                return Err(PersistError::BadTag {
+                    what: "FillSource",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl Codec for MemEvent {
+    fn encode(&self, w: &mut Writer) {
+        match *self {
+            MemEvent::Fill {
+                core,
+                req_id,
+                line,
+                at,
+                issued_at,
+                source,
+                kind,
+            } => {
+                w.put_u8(0);
+                core.encode(w);
+                w.put_u64(req_id);
+                line.encode(w);
+                at.encode(w);
+                issued_at.encode(w);
+                source.encode(w);
+                kind.encode(w);
+            }
+            MemEvent::FarDone {
+                core,
+                line,
+                req_id,
+                at,
+            } => {
+                w.put_u8(1);
+                core.encode(w);
+                line.encode(w);
+                w.put_u64(req_id);
+                at.encode(w);
+            }
+            MemEvent::ExternalObserved {
+                core,
+                line,
+                at,
+                stalled,
+            } => {
+                w.put_u8(2);
+                core.encode(w);
+                line.encode(w);
+                at.encode(w);
+                w.put_bool(stalled);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(match r.get_u8()? {
+            0 => MemEvent::Fill {
+                core: CoreId::decode(r)?,
+                req_id: r.get_u64()?,
+                line: LineAddr::decode(r)?,
+                at: Cycle::decode(r)?,
+                issued_at: Cycle::decode(r)?,
+                source: FillSource::decode(r)?,
+                kind: AccessKind::decode(r)?,
+            },
+            1 => MemEvent::FarDone {
+                core: CoreId::decode(r)?,
+                line: LineAddr::decode(r)?,
+                req_id: r.get_u64()?,
+                at: Cycle::decode(r)?,
+            },
+            2 => MemEvent::ExternalObserved {
+                core: CoreId::decode(r)?,
+                line: LineAddr::decode(r)?,
+                at: Cycle::decode(r)?,
+                stalled: r.get_bool()?,
+            },
+            tag => {
+                return Err(PersistError::BadTag {
+                    what: "MemEvent",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl Codec for Msg {
+    fn encode(&self, w: &mut Writer) {
+        match *self {
+            Msg::GetS { req, line } => {
+                w.put_u8(0);
+                req.encode(w);
+                line.encode(w);
+            }
+            Msg::GetX { req, line } => {
+                w.put_u8(1);
+                req.encode(w);
+                line.encode(w);
+            }
+            Msg::FwdGetS { req, line } => {
+                w.put_u8(2);
+                req.encode(w);
+                line.encode(w);
+            }
+            Msg::FwdGetX { req, line } => {
+                w.put_u8(3);
+                req.encode(w);
+                line.encode(w);
+            }
+            Msg::Inv { line } => {
+                w.put_u8(4);
+                line.encode(w);
+            }
+            Msg::InvAck { from, line } => {
+                w.put_u8(5);
+                from.encode(w);
+                line.encode(w);
+            }
+            Msg::Data {
+                req,
+                line,
+                excl,
+                from_private,
+            } => {
+                w.put_u8(6);
+                req.encode(w);
+                line.encode(w);
+                w.put_bool(excl);
+                w.put_bool(from_private);
+            }
+            Msg::Unblock { from, line } => {
+                w.put_u8(7);
+                from.encode(w);
+                line.encode(w);
+            }
+            Msg::PutM { from, line } => {
+                w.put_u8(8);
+                from.encode(w);
+                line.encode(w);
+            }
+            Msg::WbAck { line } => {
+                w.put_u8(9);
+                line.encode(w);
+            }
+            Msg::WbStale { line } => {
+                w.put_u8(10);
+                line.encode(w);
+            }
+            Msg::AtomicFar {
+                req,
+                line,
+                rmw,
+                req_id,
+            } => {
+                w.put_u8(11);
+                req.encode(w);
+                line.encode(w);
+                rmw.encode(w);
+                w.put_u64(req_id);
+            }
+            Msg::FarDone { req, line, req_id } => {
+                w.put_u8(12);
+                req.encode(w);
+                line.encode(w);
+                w.put_u64(req_id);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(match r.get_u8()? {
+            0 => Msg::GetS {
+                req: CoreId::decode(r)?,
+                line: LineAddr::decode(r)?,
+            },
+            1 => Msg::GetX {
+                req: CoreId::decode(r)?,
+                line: LineAddr::decode(r)?,
+            },
+            2 => Msg::FwdGetS {
+                req: CoreId::decode(r)?,
+                line: LineAddr::decode(r)?,
+            },
+            3 => Msg::FwdGetX {
+                req: CoreId::decode(r)?,
+                line: LineAddr::decode(r)?,
+            },
+            4 => Msg::Inv {
+                line: LineAddr::decode(r)?,
+            },
+            5 => Msg::InvAck {
+                from: CoreId::decode(r)?,
+                line: LineAddr::decode(r)?,
+            },
+            6 => Msg::Data {
+                req: CoreId::decode(r)?,
+                line: LineAddr::decode(r)?,
+                excl: r.get_bool()?,
+                from_private: r.get_bool()?,
+            },
+            7 => Msg::Unblock {
+                from: CoreId::decode(r)?,
+                line: LineAddr::decode(r)?,
+            },
+            8 => Msg::PutM {
+                from: CoreId::decode(r)?,
+                line: LineAddr::decode(r)?,
+            },
+            9 => Msg::WbAck {
+                line: LineAddr::decode(r)?,
+            },
+            10 => Msg::WbStale {
+                line: LineAddr::decode(r)?,
+            },
+            11 => Msg::AtomicFar {
+                req: CoreId::decode(r)?,
+                line: LineAddr::decode(r)?,
+                rmw: RmwKind::decode(r)?,
+                req_id: r.get_u64()?,
+            },
+            12 => Msg::FarDone {
+                req: CoreId::decode(r)?,
+                line: LineAddr::decode(r)?,
+                req_id: r.get_u64()?,
+            },
+            tag => return Err(PersistError::BadTag { what: "Msg", tag }),
+        })
+    }
+}
+
+impl Codec for Endpoint {
+    fn encode(&self, w: &mut Writer) {
+        match *self {
+            Endpoint::Core(c) => {
+                w.put_u8(0);
+                c.encode(w);
+            }
+            Endpoint::Dir(t) => {
+                w.put_u8(1);
+                t.encode(w);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(match r.get_u8()? {
+            0 => Endpoint::Core(CoreId::decode(r)?),
+            1 => Endpoint::Dir(usize::decode(r)?),
+            tag => {
+                return Err(PersistError::BadTag {
+                    what: "Endpoint",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -210,9 +528,17 @@ mod tests {
     fn msg_line_extraction() {
         let l = LineAddr::new(42);
         let msgs = [
-            Msg::GetS { req: CoreId::new(0), line: l },
+            Msg::GetS {
+                req: CoreId::new(0),
+                line: l,
+            },
             Msg::Inv { line: l },
-            Msg::Data { req: CoreId::new(1), line: l, excl: true, from_private: false },
+            Msg::Data {
+                req: CoreId::new(1),
+                line: l,
+                excl: true,
+                from_private: false,
+            },
             Msg::WbAck { line: l },
         ];
         for m in msgs {
@@ -223,9 +549,18 @@ mod tests {
     #[test]
     fn data_class_flags() {
         let l = LineAddr::new(1);
-        assert!(Msg::Data { req: CoreId::new(0), line: l, excl: false, from_private: false }
-            .carries_data());
-        assert!(Msg::PutM { from: CoreId::new(0), line: l }.carries_data());
+        assert!(Msg::Data {
+            req: CoreId::new(0),
+            line: l,
+            excl: false,
+            from_private: false
+        }
+        .carries_data());
+        assert!(Msg::PutM {
+            from: CoreId::new(0),
+            line: l
+        }
+        .carries_data());
         assert!(!Msg::Inv { line: l }.carries_data());
     }
 }

@@ -5,6 +5,7 @@
 //! entry, after which the next `degree` lines along the stride are prefetched.
 
 use row_common::ids::{Addr, LineAddr, Pc};
+use row_common::persist::{Codec, Persist, PersistError, Reader, Writer};
 
 #[derive(Clone, Copy, Debug, Default)]
 struct StrideEntry {
@@ -82,6 +83,38 @@ impl IpStridePrefetcher {
             }
         }
         out
+    }
+}
+
+impl Codec for StrideEntry {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.tag);
+        w.put_u64(self.last_addr);
+        self.stride.encode(w);
+        w.put_u8(self.confidence);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(StrideEntry {
+            tag: r.get_u64()?,
+            last_addr: r.get_u64()?,
+            stride: i64::decode(r)?,
+            confidence: r.get_u8()?,
+        })
+    }
+}
+
+impl Persist for IpStridePrefetcher {
+    // Table size and degree are config-derived; only the training state moves.
+    fn persist(&self, w: &mut Writer) {
+        self.table.encode(w);
+    }
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), PersistError> {
+        let table = Vec::<StrideEntry>::decode(r)?;
+        if table.len() != self.table.len() {
+            return Err(PersistError::Corrupt("prefetcher table size mismatch"));
+        }
+        self.table = table;
+        Ok(())
     }
 }
 

@@ -18,6 +18,7 @@ use std::collections::{HashMap, VecDeque};
 
 use row_common::config::MemoryConfig;
 use row_common::ids::{CoreId, LineAddr};
+use row_common::persist::{Codec, Persist, PersistError, Reader, Writer};
 use row_common::Cycle;
 
 use crate::array::{CacheArray, Insert};
@@ -195,10 +196,7 @@ impl PrivateCache {
     /// Whether this core already owns `line` (M or E): a store to it can
     /// retire from the SB without a coherence transaction.
     pub fn owns(&self, line: LineAddr) -> bool {
-        matches!(
-            self.coh.get(&line),
-            Some(PrivState::M) | Some(PrivState::E)
-        )
+        matches!(self.coh.get(&line), Some(PrivState::M) | Some(PrivState::E))
     }
 
     /// Number of in-flight misses.
@@ -219,10 +217,7 @@ impl PrivateCache {
 
     /// Lines currently held locked by the core's AQ.
     pub fn locked_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
-        self.locked
-            .iter()
-            .filter(|(_, c)| **c > 0)
-            .map(|(&l, _)| l)
+        self.locked.iter().filter(|(_, c)| **c > 0).map(|(&l, _)| l)
     }
 
     /// Overwrites the coherence state of `line`, bypassing the protocol.
@@ -398,15 +393,9 @@ impl PrivateCache {
             },
         );
         let msg = if excl {
-            Msg::GetX {
-                req: self.id,
-                line,
-            }
+            Msg::GetX { req: self.id, line }
         } else {
-            Msg::GetS {
-                req: self.id,
-                line,
-            }
+            Msg::GetS { req: self.id, line }
         };
         actions.push(CacheAction::Send {
             to: self.dir(line),
@@ -748,6 +737,127 @@ impl PrivateCache {
     }
 }
 
+impl Codec for PrivState {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u8(match self {
+            PrivState::S => 0,
+            PrivState::E => 1,
+            PrivState::M => 2,
+            PrivState::Evicting => 3,
+        });
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(match r.get_u8()? {
+            0 => PrivState::S,
+            1 => PrivState::E,
+            2 => PrivState::M,
+            3 => PrivState::Evicting,
+            tag => {
+                return Err(PersistError::BadTag {
+                    what: "PrivState",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl Codec for PrivStats {
+    fn encode(&self, w: &mut Writer) {
+        for v in [
+            self.l1_hits,
+            self.l2_hits,
+            self.misses,
+            self.prefetches,
+            self.ext_stalled,
+            self.ext_seen,
+            self.writebacks,
+        ] {
+            w.put_u64(v);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(PrivStats {
+            l1_hits: r.get_u64()?,
+            l2_hits: r.get_u64()?,
+            misses: r.get_u64()?,
+            prefetches: r.get_u64()?,
+            ext_stalled: r.get_u64()?,
+            ext_seen: r.get_u64()?,
+            writebacks: r.get_u64()?,
+        })
+    }
+}
+
+impl Codec for Mshr {
+    fn encode(&self, w: &mut Writer) {
+        w.put_bool(self.excl);
+        self.waiters.encode(w);
+        self.upgrade_waiters.encode(w);
+        self.issued_at.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(Mshr {
+            excl: r.get_bool()?,
+            waiters: Vec::<ReqMeta>::decode(r)?,
+            upgrade_waiters: Vec::<ReqMeta>::decode(r)?,
+            issued_at: Cycle::decode(r)?,
+        })
+    }
+}
+
+impl Codec for ReqMetaLine {
+    fn encode(&self, w: &mut Writer) {
+        self.meta.encode(w);
+        self.line.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(ReqMetaLine {
+            meta: ReqMeta::decode(r)?,
+            line: LineAddr::decode(r)?,
+        })
+    }
+}
+
+impl Persist for PrivateCache {
+    // `id`, `home_of`, `tiles`, latencies, and the MSHR limit are
+    // config-derived and kept; everything a running protocol mutates moves.
+    fn persist(&self, w: &mut Writer) {
+        self.l1.persist(w);
+        self.l2.persist(w);
+        self.coh.encode(w);
+        self.mshrs.encode(w);
+        self.pending.encode(w);
+        self.locked.encode(w);
+        self.stalled_ext.encode(w);
+        match &self.prefetcher {
+            None => w.put_bool(false),
+            Some(p) => {
+                w.put_bool(true);
+                p.persist(w);
+            }
+        }
+        self.stats.encode(w);
+    }
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), PersistError> {
+        self.l1.restore(r)?;
+        self.l2.restore(r)?;
+        self.coh = HashMap::decode(r)?;
+        self.mshrs = HashMap::decode(r)?;
+        self.pending = VecDeque::decode(r)?;
+        self.locked = HashMap::decode(r)?;
+        self.stalled_ext = HashMap::decode(r)?;
+        let has_prefetcher = r.get_bool()?;
+        match (&mut self.prefetcher, has_prefetcher) {
+            (Some(p), true) => p.restore(r)?,
+            (None, false) => {}
+            _ => return Err(PersistError::Corrupt("prefetcher presence mismatch")),
+        }
+        self.stats = PrivStats::decode(r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -787,7 +897,8 @@ mod tests {
             },
             now,
             &mut acts,
-        ).unwrap();
+        )
+        .unwrap();
         acts
     }
 
@@ -809,11 +920,18 @@ mod tests {
         // Fill event + Unblock.
         assert!(acts.iter().any(|a| matches!(
             a,
-            CacheAction::Emit(MemEvent::Fill { req_id: 1, source: FillSource::L3, .. })
+            CacheAction::Emit(MemEvent::Fill {
+                req_id: 1,
+                source: FillSource::L3,
+                ..
+            })
         )));
         assert!(acts.iter().any(|a| matches!(
             a,
-            CacheAction::Send { msg: Msg::Unblock { .. }, .. }
+            CacheAction::Send {
+                msg: Msg::Unblock { .. },
+                ..
+            }
         )));
         assert_eq!(c.state(line), Some(PrivState::S));
         // Now a read hits in L1.
@@ -854,7 +972,10 @@ mod tests {
         assert_eq!(out, AccessOutcome::Pending);
         assert!(acts.iter().any(|a| matches!(
             a,
-            CacheAction::Send { msg: Msg::GetX { .. }, .. }
+            CacheAction::Send {
+                msg: Msg::GetX { .. },
+                ..
+            }
         )));
     }
 
@@ -885,20 +1006,21 @@ mod tests {
         c.access(meta(1, AccessKind::Read), line, Cycle::ZERO, &mut acts);
         c.access(meta(2, AccessKind::Write), line, Cycle::new(1), &mut acts);
         let acts = fill(&mut c, line, false, Cycle::new(80)); // S fill
-        // Reader completes; writer re-requests with GetX.
+                                                              // Reader completes; writer re-requests with GetX.
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, CacheAction::Emit(MemEvent::Fill { req_id: 1, .. }))));
         assert!(acts.iter().any(|a| matches!(
             a,
-            CacheAction::Emit(MemEvent::Fill { req_id: 1, .. })
-        )));
-        assert!(acts.iter().any(|a| matches!(
-            a,
-            CacheAction::Send { msg: Msg::GetX { .. }, .. }
+            CacheAction::Send {
+                msg: Msg::GetX { .. },
+                ..
+            }
         )));
         let acts = fill(&mut c, line, true, Cycle::new(160));
-        assert!(acts.iter().any(|a| matches!(
-            a,
-            CacheAction::Emit(MemEvent::Fill { req_id: 2, .. })
-        )));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, CacheAction::Emit(MemEvent::Fill { req_id: 2, .. }))));
         assert_eq!(c.state(line), Some(PrivState::M));
     }
 
@@ -910,14 +1032,18 @@ mod tests {
         c.access(meta(1, AccessKind::Read), line, Cycle::ZERO, &mut acts);
         fill(&mut c, line, false, Cycle::new(50));
         let mut acts = Vec::new();
-        c.handle_msg(Msg::Inv { line }, Cycle::new(60), &mut acts).unwrap();
+        c.handle_msg(Msg::Inv { line }, Cycle::new(60), &mut acts)
+            .unwrap();
         assert!(acts.iter().any(|a| matches!(
             a,
             CacheAction::Emit(MemEvent::ExternalObserved { stalled: false, .. })
         )));
         assert!(acts.iter().any(|a| matches!(
             a,
-            CacheAction::Send { msg: Msg::InvAck { .. }, .. }
+            CacheAction::Send {
+                msg: Msg::InvAck { .. },
+                ..
+            }
         )));
         assert_eq!(c.state(line), None);
     }
@@ -938,22 +1064,29 @@ mod tests {
             },
             Cycle::new(60),
             &mut acts,
-        ).unwrap();
+        )
+        .unwrap();
         assert!(acts.iter().any(|a| matches!(
             a,
             CacheAction::Emit(MemEvent::ExternalObserved { stalled: true, .. })
         )));
         // No data served yet.
-        assert!(!acts
-            .iter()
-            .any(|a| matches!(a, CacheAction::Send { msg: Msg::Data { .. }, .. })));
+        assert!(!acts.iter().any(|a| matches!(
+            a,
+            CacheAction::Send {
+                msg: Msg::Data { .. },
+                ..
+            }
+        )));
         assert_eq!(c.stats().ext_stalled, 1);
 
         let mut acts = Vec::new();
         c.unlock(line, Cycle::new(200), &mut acts).unwrap();
         let served = acts.iter().find_map(|a| match a {
             CacheAction::Send {
-                msg: Msg::Data { from_private, excl, .. },
+                msg: Msg::Data {
+                    from_private, excl, ..
+                },
                 at,
                 ..
             } => Some((*from_private, *excl, *at)),
@@ -981,12 +1114,17 @@ mod tests {
             },
             Cycle::new(60),
             &mut acts,
-        ).unwrap();
+        )
+        .unwrap();
         assert_eq!(c.state(line), Some(PrivState::S));
         assert!(acts.iter().any(|a| matches!(
             a,
             CacheAction::Send {
-                msg: Msg::Data { excl: false, from_private: true, .. },
+                msg: Msg::Data {
+                    excl: false,
+                    from_private: true,
+                    ..
+                },
                 ..
             }
         )));
@@ -1006,7 +1144,10 @@ mod tests {
                 assert!(
                     acts.iter().any(|a| matches!(
                         a,
-                        CacheAction::Send { msg: Msg::PutM { .. }, .. }
+                        CacheAction::Send {
+                            msg: Msg::PutM { .. },
+                            ..
+                        }
                     )),
                     "5th fill must evict and write back an M line"
                 );
@@ -1014,7 +1155,8 @@ mod tests {
         }
         assert_eq!(c.state(lines[0]), Some(PrivState::Evicting));
         let mut acts = Vec::new();
-        c.handle_msg(Msg::WbAck { line: lines[0] }, Cycle::new(100), &mut acts).unwrap();
+        c.handle_msg(Msg::WbAck { line: lines[0] }, Cycle::new(100), &mut acts)
+            .unwrap();
         assert_eq!(c.state(lines[0]), None);
     }
 
@@ -1024,9 +1166,14 @@ mod tests {
         let sets = 64;
         let locked_line = LineAddr::new(2);
         let mut acts = Vec::new();
-        c.access(meta(0, AccessKind::Rmw), locked_line, Cycle::ZERO, &mut acts);
+        c.access(
+            meta(0, AccessKind::Rmw),
+            locked_line,
+            Cycle::ZERO,
+            &mut acts,
+        );
         fill(&mut c, locked_line, true, Cycle::new(10)); // auto-locks
-        // Flood the same set.
+                                                         // Flood the same set.
         for k in 1..=6u64 {
             let l = LineAddr::new(2 + k * sets);
             let mut acts = Vec::new();
@@ -1051,7 +1198,13 @@ mod tests {
         assert_eq!(c.outstanding_misses(), 1);
         assert_eq!(
             acts.iter()
-                .filter(|x| matches!(x, CacheAction::Send { msg: Msg::GetS { .. }, .. }))
+                .filter(|x| matches!(
+                    x,
+                    CacheAction::Send {
+                        msg: Msg::GetS { .. },
+                        ..
+                    }
+                ))
                 .count(),
             1
         );
@@ -1110,7 +1263,10 @@ mod tests {
         let gets: Vec<LineAddr> = acts
             .iter()
             .filter_map(|a| match a {
-                CacheAction::Send { msg: Msg::GetS { line, .. }, .. } => Some(*line),
+                CacheAction::Send {
+                    msg: Msg::GetS { line, .. },
+                    ..
+                } => Some(*line),
                 _ => None,
             })
             .collect();
@@ -1160,7 +1316,8 @@ mod race_tests {
             },
             Cycle::new(10),
             &mut acts,
-        ).unwrap();
+        )
+        .unwrap();
     }
 
     #[test]
@@ -1183,17 +1340,25 @@ mod race_tests {
             },
             Cycle::new(50),
             &mut acts,
-        ).unwrap();
+        )
+        .unwrap();
         assert!(
             acts.iter().any(|a| matches!(
                 a,
-                CacheAction::Send { msg: Msg::Data { from_private: true, .. }, .. }
+                CacheAction::Send {
+                    msg: Msg::Data {
+                        from_private: true,
+                        ..
+                    },
+                    ..
+                }
             )),
             "the evicting owner still serves the forward"
         );
         // Our stale PutM is rejected; the entry finally drops.
         let mut acts = Vec::new();
-        c.handle_msg(Msg::WbStale { line: victim }, Cycle::new(80), &mut acts).unwrap();
+        c.handle_msg(Msg::WbStale { line: victim }, Cycle::new(80), &mut acts)
+            .unwrap();
         assert_eq!(c.state(victim), None);
     }
 
@@ -1202,10 +1367,14 @@ mod race_tests {
         let mut c = cache();
         let line = LineAddr::new(99);
         let mut acts = Vec::new();
-        c.handle_msg(Msg::Inv { line }, Cycle::new(5), &mut acts).unwrap();
+        c.handle_msg(Msg::Inv { line }, Cycle::new(5), &mut acts)
+            .unwrap();
         assert!(acts.iter().any(|a| matches!(
             a,
-            CacheAction::Send { msg: Msg::InvAck { .. }, .. }
+            CacheAction::Send {
+                msg: Msg::InvAck { .. },
+                ..
+            }
         )));
     }
 
@@ -1230,7 +1399,8 @@ mod race_tests {
             },
             Cycle::new(10),
             &mut acts,
-        ).unwrap(); // auto-locked
+        )
+        .unwrap(); // auto-locked
         let mut acts = Vec::new();
         c.handle_msg(
             Msg::FwdGetS {
@@ -1239,14 +1409,18 @@ mod race_tests {
             },
             Cycle::new(20),
             &mut acts,
-        ).unwrap();
+        )
+        .unwrap();
         assert_eq!(c.stats().ext_stalled, 1);
         let mut acts = Vec::new();
         c.unlock(line, Cycle::new(100), &mut acts).unwrap();
         let served: Vec<CoreId> = acts
             .iter()
             .filter_map(|a| match a {
-                CacheAction::Send { msg: Msg::Data { req, .. }, .. } => Some(*req),
+                CacheAction::Send {
+                    msg: Msg::Data { req, .. },
+                    ..
+                } => Some(*req),
                 _ => None,
             })
             .collect();
@@ -1267,7 +1441,8 @@ mod race_tests {
             },
             Cycle::new(9),
             &mut acts,
-        ).unwrap();
+        )
+        .unwrap();
         assert!(matches!(
             acts[0],
             CacheAction::Emit(MemEvent::FarDone { req_id: 44, .. })

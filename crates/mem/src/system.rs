@@ -23,6 +23,7 @@ use std::collections::HashMap;
 
 use row_common::config::{FaultConfig, SystemConfig};
 use row_common::ids::{Addr, CoreId, LineAddr};
+use row_common::persist::{Codec, Persist, PersistError, Reader, Writer};
 use row_common::rng::SplitMix64;
 use row_common::sched::EventQueue;
 use row_common::stats::RunningMean;
@@ -324,14 +325,7 @@ impl MemorySystem {
                     }
                     self.net.push(
                         deliver,
-                        (
-                            Endpoint::Core(req),
-                            Msg::FarDone {
-                                req,
-                                line,
-                                req_id,
-                            },
-                        ),
+                        (Endpoint::Core(req), Msg::FarDone { req, line, req_id }),
                     );
                 }
                 CacheAction::Emit(ev) => {
@@ -455,6 +449,94 @@ impl MemorySystem {
     }
 }
 
+impl Codec for MemStats {
+    fn encode(&self, w: &mut Writer) {
+        self.miss_latency.encode(w);
+        self.miss_latency_all.encode(w);
+        w.put_u64(self.remote_fills);
+        w.put_u64(self.home_fills);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(MemStats {
+            miss_latency: Vec::<RunningMean>::decode(r)?,
+            miss_latency_all: RunningMean::decode(r)?,
+            remote_fills: r.get_u64()?,
+            home_fills: r.get_u64()?,
+        })
+    }
+}
+
+impl Codec for FaultState {
+    fn encode(&self, w: &mut Writer) {
+        self.rng.encode(w);
+        w.put_u64(self.max_extra);
+        self.last.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(FaultState {
+            rng: SplitMix64::decode(r)?,
+            max_extra: r.get_u64()?,
+            last: HashMap::decode(r)?,
+        })
+    }
+}
+
+impl Persist for MemorySystem {
+    // `tiles` is config-derived. A checkpoint is only taken when no sticky
+    // protocol error is set (the machine refuses otherwise), so `err` is not
+    // encoded and restore clears it.
+    fn persist(&self, w: &mut Writer) {
+        self.mesh.persist(w);
+        w.put_len(self.dirs.len());
+        for d in &self.dirs {
+            d.persist(w);
+        }
+        w.put_len(self.caches.len());
+        for c in &self.caches {
+            c.persist(w);
+        }
+        self.net.encode(w);
+        self.out.encode(w);
+        self.words.encode(w);
+        self.starts.encode(w);
+        self.stats.encode(w);
+        match &self.fault {
+            None => w.put_u8(0),
+            Some(f) => {
+                w.put_u8(1);
+                f.encode(w);
+            }
+        }
+    }
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), PersistError> {
+        self.mesh.restore(r)?;
+        if r.get_len()? != self.dirs.len() {
+            return Err(PersistError::Corrupt("directory bank count mismatch"));
+        }
+        for d in &mut self.dirs {
+            d.restore(r)?;
+        }
+        if r.get_len()? != self.caches.len() {
+            return Err(PersistError::Corrupt("private cache count mismatch"));
+        }
+        for c in &mut self.caches {
+            c.restore(r)?;
+        }
+        self.net = EventQueue::decode(r)?;
+        self.out = Vec::decode(r)?;
+        self.words = HashMap::decode(r)?;
+        self.starts = HashMap::decode(r)?;
+        self.stats = MemStats::decode(r)?;
+        let fault = Option::<FaultState>::decode(r)?;
+        if fault.is_some() != self.fault.is_some() {
+            return Err(PersistError::Corrupt("chaos-mode presence mismatch"));
+        }
+        self.fault = fault;
+        self.err = None;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -497,7 +579,12 @@ mod tests {
         let line = LineAddr::new(100);
         m.access(CoreId::new(0), line, meta(1, AccessKind::Read), Cycle::ZERO);
         let (_, (src, at)) = run_until(&mut m, Cycle::ZERO, 2000, |ev| match ev {
-            MemEvent::Fill { req_id: 1, source, at, .. } => Some((*source, *at)),
+            MemEvent::Fill {
+                req_id: 1,
+                source,
+                at,
+                ..
+            } => Some((*source, *at)),
             _ => None,
         });
         assert_eq!(src, crate::msg::FillSource::L3);
@@ -520,7 +607,9 @@ mod tests {
 
         m.access(c1, line, meta(2, AccessKind::Write), t1 + 1);
         let (_, src) = run_until(&mut m, t1 + 1, 2000, |ev| match ev {
-            MemEvent::Fill { req_id: 2, source, .. } => Some(*source),
+            MemEvent::Fill {
+                req_id: 2, source, ..
+            } => Some(*source),
             _ => None,
         });
         assert_eq!(src, crate::msg::FillSource::RemotePrivate);
@@ -566,7 +655,9 @@ mod tests {
         let unlock_at = t2 + hold;
         m.unlock(c0, line, unlock_at);
         let (t3, src) = run_until(&mut m, unlock_at, 2000, |ev| match ev {
-            MemEvent::Fill { req_id: 2, source, .. } => Some(*source),
+            MemEvent::Fill {
+                req_id: 2, source, ..
+            } => Some(*source),
             _ => None,
         });
         assert_eq!(src, crate::msg::FillSource::RemotePrivate);
@@ -589,7 +680,12 @@ mod tests {
         m.unlock(c0, line, t1);
         m.access(c1, line, meta(2, AccessKind::Rmw), t1 + 1);
         let (_, uncontended) = run_until(&mut m, t1 + 1, 2000, |ev| match ev {
-            MemEvent::Fill { req_id: 2, at, issued_at, .. } => Some(at.saturating_since(*issued_at)),
+            MemEvent::Fill {
+                req_id: 2,
+                at,
+                issued_at,
+                ..
+            } => Some(at.saturating_since(*issued_at)),
             _ => None,
         });
 
@@ -607,7 +703,12 @@ mod tests {
         }
         m.unlock(c0, line2, t2 + 600);
         let (_, contended) = run_until(&mut m, t2 + 600, 2000, |ev| match ev {
-            MemEvent::Fill { req_id: 4, at, issued_at, .. } => Some(at.saturating_since(*issued_at)),
+            MemEvent::Fill {
+                req_id: 4,
+                at,
+                issued_at,
+                ..
+            } => Some(at.saturating_since(*issued_at)),
             _ => None,
         });
         assert!(
@@ -656,7 +757,12 @@ mod tests {
     #[test]
     fn miss_latency_stats_accumulate() {
         let mut m = sys(2);
-        m.access(CoreId::new(0), LineAddr::new(500), meta(1, AccessKind::Read), Cycle::ZERO);
+        m.access(
+            CoreId::new(0),
+            LineAddr::new(500),
+            meta(1, AccessKind::Read),
+            Cycle::ZERO,
+        );
         run_until(&mut m, Cycle::ZERO, 2000, |ev| match ev {
             MemEvent::Fill { req_id: 1, .. } => Some(()),
             _ => None,
@@ -670,7 +776,12 @@ mod tests {
         let mut m = sys(1);
         let c0 = CoreId::new(0);
         for k in 0..20u64 {
-            m.access(c0, LineAddr::new(k * 3), meta(k, AccessKind::Read), Cycle::new(k));
+            m.access(
+                c0,
+                LineAddr::new(k * 3),
+                meta(k, AccessKind::Read),
+                Cycle::new(k),
+            );
         }
         let mut fills = 0;
         for c in 0..5000u64 {

@@ -102,7 +102,9 @@ fn random_rmw_traffic_is_linearizable() {
         }
 
         // Linearizability: every FAA applied exactly once.
-        let total: u64 = (0..lines).map(|k| mem.read_word(line_of(k).base_addr())).sum();
+        let total: u64 = (0..lines)
+            .map(|k| mem.read_word(line_of(k).base_addr()))
+            .sum();
         assert_eq!(total, cores as u64 * ops_per_core);
 
         // SWMR: one modified owner at most, never M alongside S.

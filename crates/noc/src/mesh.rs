@@ -1,6 +1,7 @@
 //! The timed mesh: routing plus link-occupancy-based congestion.
 
 use row_common::config::NocConfig;
+use row_common::persist::{Codec, Persist, PersistError, Reader, Writer};
 use row_common::stats::RunningMean;
 use row_common::Cycle;
 
@@ -102,8 +103,8 @@ impl Mesh {
             MsgClass::Data => self.cfg.data_flits.max(1),
         };
         let hops = self.topo.hops(src, dst) as u64;
-        let base = self.cfg.router_latency
-            + hops * (self.cfg.link_latency + self.cfg.router_latency);
+        let base =
+            self.cfg.router_latency + hops * (self.cfg.link_latency + self.cfg.router_latency);
         if hops > 0 {
             base + flits - 1
         } else {
@@ -124,6 +125,39 @@ impl Mesh {
     }
 }
 
+impl Codec for NocStats {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.messages);
+        w.put_u64(self.flit_hops);
+        self.latency.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(NocStats {
+            messages: r.get_u64()?,
+            flit_hops: r.get_u64()?,
+            latency: RunningMean::decode(r)?,
+        })
+    }
+}
+
+impl Persist for Mesh {
+    // Topology and config are rebuilt from `SystemConfig`; only link
+    // occupancy and statistics are mutable state.
+    fn persist(&self, w: &mut Writer) {
+        self.link_free.encode(w);
+        self.stats.encode(w);
+    }
+    fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), PersistError> {
+        let link_free = Vec::<Cycle>::decode(r)?;
+        if link_free.len() != self.link_free.len() {
+            return Err(PersistError::Corrupt("mesh link count mismatch"));
+        }
+        self.link_free = link_free;
+        self.stats = NocStats::decode(r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,7 +169,12 @@ mod tests {
     #[test]
     fn self_message_pays_router_only() {
         let mut m = mesh();
-        let t = m.send(NodeId::new(3), NodeId::new(3), MsgClass::Control, Cycle::new(100));
+        let t = m.send(
+            NodeId::new(3),
+            NodeId::new(3),
+            MsgClass::Control,
+            Cycle::new(100),
+        );
         assert_eq!(t, Cycle::new(100 + 2));
     }
 
@@ -176,7 +215,12 @@ mod tests {
     fn disjoint_paths_do_not_interfere() {
         let mut m = mesh();
         let t1 = m.send(NodeId::new(0), NodeId::new(1), MsgClass::Data, Cycle::ZERO);
-        let t2 = m.send(NodeId::new(16), NodeId::new(17), MsgClass::Data, Cycle::ZERO);
+        let t2 = m.send(
+            NodeId::new(16),
+            NodeId::new(17),
+            MsgClass::Data,
+            Cycle::ZERO,
+        );
         assert_eq!(t1.raw(), t2.raw(), "independent rows share no links");
     }
 
@@ -189,7 +233,11 @@ mod tests {
                 out.push(m.send(
                     NodeId::new(i % 32),
                     NodeId::new((i * 7) % 32),
-                    if i % 3 == 0 { MsgClass::Data } else { MsgClass::Control },
+                    if i % 3 == 0 {
+                        MsgClass::Data
+                    } else {
+                        MsgClass::Control
+                    },
                     Cycle::new(u64::from(i) / 4),
                 ));
             }
@@ -201,7 +249,12 @@ mod tests {
     #[test]
     fn stats_accumulate() {
         let mut m = mesh();
-        m.send(NodeId::new(0), NodeId::new(2), MsgClass::Control, Cycle::ZERO);
+        m.send(
+            NodeId::new(0),
+            NodeId::new(2),
+            MsgClass::Control,
+            Cycle::ZERO,
+        );
         m.send(NodeId::new(0), NodeId::new(2), MsgClass::Data, Cycle::ZERO);
         assert_eq!(m.stats().messages, 2);
         assert!(m.stats().flit_hops >= 2 + 2 * 5);

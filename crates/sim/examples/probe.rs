@@ -3,19 +3,40 @@ use row_sim::*;
 use row_workloads::Benchmark;
 
 fn main() {
-    let cores: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(8);
-    let instr: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(6_000);
-    let exp = ExperimentConfig { cores, instructions: instr, seed: 42, cycle_limit: 400_000_000, paper_caches: cores > 8, check: Default::default() };
-    println!("{:14} {:>6} {:>7} {:>7} {:>7} {:>5}", "bench", "lazy", "rowUD", "rowSat", "rowUD+F", "cont%");
+    let cores: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let instr: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(6_000);
+    let exp = ExperimentConfig {
+        cores,
+        instructions: instr,
+        seed: 42,
+        cycle_limit: 400_000_000,
+        paper_caches: cores > 8,
+        check: Default::default(),
+    };
+    println!(
+        "{:14} {:>6} {:>7} {:>7} {:>7} {:>5}",
+        "bench", "lazy", "rowUD", "rowSat", "rowUD+F", "cont%"
+    );
     for b in Benchmark::all() {
         let e = run_eager(*b, &exp).unwrap();
         let l = run_lazy(*b, &exp).unwrap();
         let ud = run_row(*b, RowVariant::RwDirUd, &exp).unwrap();
         let sat = run_row(*b, RowVariant::RwDirSat, &exp).unwrap();
         let udf = run_row_fwd(*b, RowVariant::RwDirUd, &exp).unwrap();
-        println!("{:14} {:6.3} {:7.3} {:7.3} {:7.3} {:5.0}",
-            b.name(), l.cycles as f64/e.cycles as f64, ud.cycles as f64/e.cycles as f64,
-            sat.cycles as f64/e.cycles as f64, udf.cycles as f64/e.cycles as f64,
-            100.0*e.total.contended_fraction());
+        println!(
+            "{:14} {:6.3} {:7.3} {:7.3} {:7.3} {:5.0}",
+            b.name(),
+            l.cycles as f64 / e.cycles as f64,
+            ud.cycles as f64 / e.cycles as f64,
+            sat.cycles as f64 / e.cycles as f64,
+            udf.cycles as f64 / e.cycles as f64,
+            100.0 * e.total.contended_fraction()
+        );
     }
 }

@@ -46,6 +46,7 @@ impl ExperimentConfig {
                 invariant_every: Some(4096),
                 blocked_queue_bound: 0,
                 watchdog_window: Some(5_000_000),
+                rewind_every: None,
                 chaos: None,
             },
         }
@@ -156,6 +157,42 @@ pub fn run_benchmark(
         })
         .collect();
     Machine::new(&sys, streams).run(exp.cycle_limit)
+}
+
+/// Like [`run_benchmark`], but crash-resilient: a checkpoint file is written
+/// to `path` every `every` cycles, and when `resume` is set and `path`
+/// already holds a checkpoint, the run continues from it instead of starting
+/// over. The checkpoint's config hash guarantees a resume against different
+/// settings is refused.
+///
+/// # Errors
+/// Everything [`run_benchmark`] raises, plus [`SimError::Checkpoint`] for
+/// unreadable, corrupt, or mismatched checkpoint files.
+pub fn run_benchmark_checkpointed(
+    bench: Benchmark,
+    policy: AtomicPolicy,
+    forwarding: bool,
+    exp: &ExperimentConfig,
+    every: u64,
+    path: &std::path::Path,
+    resume: bool,
+) -> Result<RunResult, SimError> {
+    let sys = exp
+        .system()
+        .with_policy(policy)
+        .with_forward_to_atomics(forwarding);
+    let profile = bench.profile().with_instructions(exp.instructions);
+    let streams: Vec<Box<dyn InstrStream>> = (0..exp.cores)
+        .map(|t| {
+            Box::new(ProfileStream::new(profile, t, exp.cores, exp.seed)) as Box<dyn InstrStream>
+        })
+        .collect();
+    let mut m = Machine::new(&sys, streams);
+    if resume && path.exists() {
+        let bytes = crate::checkpoint::read_checkpoint(path).map_err(SimError::Checkpoint)?;
+        m.restore(&bytes)?;
+    }
+    m.run_checkpointed(exp.cycle_limit, every, path)
 }
 
 /// Runs one Fig. 2 microbenchmark cell and returns cycles per iteration.
@@ -274,21 +311,30 @@ mod tests {
         let it = 300;
         let plain = run_microbench(
             MicroRmw::Faa,
-            MicroVariant { atomic: false, mfence: false },
+            MicroVariant {
+                atomic: false,
+                mfence: false,
+            },
             FenceModel::Unfenced,
             it,
         )
         .unwrap();
         let lock = run_microbench(
             MicroRmw::Faa,
-            MicroVariant { atomic: true, mfence: false },
+            MicroVariant {
+                atomic: true,
+                mfence: false,
+            },
             FenceModel::Unfenced,
             it,
         )
         .unwrap();
         let fenced = run_microbench(
             MicroRmw::Faa,
-            MicroVariant { atomic: true, mfence: true },
+            MicroVariant {
+                atomic: true,
+                mfence: true,
+            },
             FenceModel::Unfenced,
             it,
         )

@@ -6,6 +6,10 @@
 //! * [`experiment`] — the per-figure knobs: benchmarks × policies ×
 //!   detectors × predictors × forwarding, plus the Fig. 2 microbenchmark
 //!   runner and [`ExperimentConfig`] scaling (`quick` vs `paper`).
+//! * [`checkpoint`] — the on-disk checkpoint container (atomic writes,
+//!   magic/version/config-hash/checksum validation) backing
+//!   [`Machine::checkpoint`](machine::Machine::checkpoint) and crash-resilient
+//!   sweeps.
 //!
 //! # Example
 //!
@@ -23,11 +27,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod experiment;
 pub mod machine;
 
 pub use experiment::{
-    run_benchmark, run_eager, run_far, run_lazy, run_microbench, run_row, run_row_fwd,
-    ExperimentConfig, RowVariant,
+    run_benchmark, run_benchmark_checkpointed, run_eager, run_far, run_lazy, run_microbench,
+    run_row, run_row_fwd, ExperimentConfig, RowVariant,
 };
-pub use machine::{Machine, RunResult, SimError, SimTimeout};
+pub use machine::{Machine, RewindReport, RunResult, SimError, SimTimeout};

@@ -1,14 +1,24 @@
 //! The multicore machine: N cores + the shared memory system, stepped in
 //! lockstep until every thread's parallel phase drains.
 
+use std::collections::VecDeque;
+use std::path::Path;
+
 use row_check::{check_coherence, StallReport};
 use row_common::config::CheckConfig;
+use row_common::ids::CoreId;
+use row_common::persist::{fnv1a, Codec, Persist, PersistError, Reader, Writer};
 use row_common::stats::{AccuracyCounter, RunningMean};
 use row_common::{Cycle, SystemConfig};
 use row_cpu::instr::InstrStream;
 use row_cpu::{Core, CoreStats};
 use row_mem::{MemorySystem, ProtocolError};
-use row_common::ids::CoreId;
+
+use crate::checkpoint::{FORMAT_VERSION, MAGIC};
+
+/// Maximum number of event-trace lines a rewind replay keeps (the most
+/// recent events before the first violation).
+pub const REWIND_TRACE_LIMIT: usize = 64;
 
 /// Error returned when a simulation exceeds its cycle budget.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -50,6 +60,12 @@ pub enum SimError {
     /// A coherence-protocol invariant was violated (raised by a controller
     /// or found by the periodic invariant sweep).
     Protocol(ProtocolError),
+    /// A checkpoint could not be written, read, or restored.
+    Checkpoint(PersistError),
+    /// A violation was detected and replayed from the last in-memory
+    /// checkpoint with per-cycle checking (`CheckConfig::rewind_every`); the
+    /// report localizes the first offending cycle.
+    Rewind(Box<RewindReport>),
 }
 
 impl std::fmt::Display for SimError {
@@ -58,11 +74,64 @@ impl std::fmt::Display for SimError {
             SimError::Timeout(t) => t.fmt(f),
             SimError::Stall(r) => write!(f, "deadlock watchdog fired\n{r}"),
             SimError::Protocol(e) => write!(f, "protocol error: {e}"),
+            SimError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
+            SimError::Rewind(r) => r.fmt(f),
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+/// The result of a rewind-on-violation replay: the original failure plus the
+/// tighter localization obtained by re-running from the last in-memory
+/// checkpoint with the invariant sweep on every cycle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RewindReport {
+    /// The error the forward run originally hit (watchdog stall or a
+    /// protocol violation found by the periodic sweep).
+    pub cause: Box<SimError>,
+    /// Cycle of the checkpoint the replay started from.
+    pub checkpoint_at: Cycle,
+    /// Cycle at which the forward run detected the failure.
+    pub detected_at: Cycle,
+    /// First cycle at which an invariant actually broke during the
+    /// per-cycle replay — at most `detected_at`, usually much earlier.
+    /// `None` when the replay reached `detected_at` without a violation
+    /// (e.g. a watchdog stall with coherent state throughout).
+    pub first_bad_cycle: Option<Cycle>,
+    /// The violation found at `first_bad_cycle`, if any.
+    pub first_error: Option<ProtocolError>,
+    /// The last [`REWIND_TRACE_LIMIT`] memory events delivered before the
+    /// replay stopped, formatted `"<cycle>: <event>"`.
+    pub trace: Vec<String>,
+}
+
+impl std::fmt::Display for RewindReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "rewind replay from checkpoint at cycle {} (detected at cycle {}):",
+            self.checkpoint_at.raw(),
+            self.detected_at.raw()
+        )?;
+        match (&self.first_bad_cycle, &self.first_error) {
+            (Some(c), Some(e)) => {
+                writeln!(f, "  first invariant violation at cycle {}: {e}", c.raw())?
+            }
+            _ => writeln!(
+                f,
+                "  no invariant violation reproduced up to the detection cycle"
+            )?,
+        }
+        writeln!(f, "  last {} events before the stop:", self.trace.len())?;
+        for line in &self.trace {
+            writeln!(f, "    {line}")?;
+        }
+        write!(f, "original failure: {}", self.cause)
+    }
+}
+
+impl std::error::Error for RewindReport {}
 
 /// Results of one full simulation run.
 #[derive(Clone, Debug)]
@@ -99,6 +168,16 @@ pub struct Machine {
     mem: MemorySystem,
     cores: Vec<Core>,
     check: CheckConfig,
+    /// Current simulation cycle; persists across [`Machine::run_for`] calls
+    /// and through checkpoint/restore.
+    now: Cycle,
+    /// FNV-1a hash of the builder's [`SystemConfig`]; stamped into every
+    /// checkpoint so a restore into a differently-configured machine is
+    /// refused instead of silently misinterpreted.
+    cfg_hash: u64,
+    /// Last in-memory checkpoint for rewind-on-violation
+    /// (`CheckConfig::rewind_every`).
+    rewind_ckpt: Option<(Cycle, Vec<u8>)>,
 }
 
 impl Machine {
@@ -123,7 +202,16 @@ impl Machine {
             mem,
             cores,
             check: cfg.check,
+            now: Cycle::ZERO,
+            cfg_hash: fnv1a(format!("{cfg:?}").as_bytes()),
+            rewind_ckpt: None,
         }
+    }
+
+    /// The current simulation cycle (advances across `run*` calls; set by
+    /// [`Machine::restore`]).
+    pub fn now(&self) -> Cycle {
+        self.now
     }
 
     /// Read access to a core (e.g. to enable load recording before running).
@@ -152,45 +240,122 @@ impl Machine {
         check_coherence(&self.mem, &self.check)
     }
 
-    /// Runs until every core drains or `limit` cycles elapse.
+    /// Runs until every core drains or the absolute cycle `limit` is
+    /// reached (the count starts from [`Machine::now`], so a restored
+    /// machine continues against the same budget).
     ///
     /// Robustness hooks from [`CheckConfig`] run inside the loop: the
     /// coherence invariant sweep every `invariant_every` cycles (and once on
-    /// drain), and a deadlock watchdog that fires when no core commits for
-    /// `watchdog_window` cycles.
+    /// drain), a deadlock watchdog that fires when no core commits for
+    /// `watchdog_window` cycles, and — when `rewind_every` is set — an
+    /// in-memory checkpoint that turns any stall/protocol failure into a
+    /// [`SimError::Rewind`] replay localizing the first offending cycle.
     ///
     /// # Errors
     /// [`SimError::Timeout`] when the budget is exhausted (the error carries
     /// per-core progress counters and a full [`StallReport`]),
-    /// [`SimError::Stall`] when the watchdog fires, and
-    /// [`SimError::Protocol`] when a coherence invariant is violated.
+    /// [`SimError::Stall`] when the watchdog fires,
+    /// [`SimError::Protocol`] when a coherence invariant is violated, and
+    /// [`SimError::Rewind`] for either of the latter two when rewind is
+    /// enabled and a checkpoint was available.
     pub fn run(&mut self, limit: u64) -> Result<RunResult, SimError> {
+        match self.run_for(limit.saturating_sub(self.now.raw()))? {
+            Some(r) => Ok(r),
+            None => Err(self.timeout_error(limit)),
+        }
+    }
+
+    /// Runs for at most `cycles` further cycles. Returns `Ok(Some(result))`
+    /// when every core drained, `Ok(None)` when the slice elapsed with work
+    /// remaining — unlike [`Machine::run`], running out of budget is not an
+    /// error, which is what a checkpointing driver needs.
+    ///
+    /// # Errors
+    /// Same failure modes as [`Machine::run`] except [`SimError::Timeout`].
+    pub fn run_for(&mut self, cycles: u64) -> Result<Option<RunResult>, SimError> {
+        let target = self.now.raw().saturating_add(cycles);
+        if !self.advance(target)? {
+            return Ok(None);
+        }
+        if self.check.invariant_every.is_some() {
+            check_coherence(&self.mem, &self.check).map_err(SimError::Protocol)?;
+        }
+        Ok(Some(self.collect()))
+    }
+
+    /// Runs to the absolute cycle `limit` like [`Machine::run`], writing a
+    /// checkpoint file to `path` (atomically) every `every` cycles, so a
+    /// killed process can [`Machine::restore`] and continue.
+    ///
+    /// # Errors
+    /// Everything [`Machine::run`] raises, plus [`SimError::Checkpoint`]
+    /// when a checkpoint cannot be serialized or written.
+    ///
+    /// # Panics
+    /// Panics if `every` is zero.
+    pub fn run_checkpointed(
+        &mut self,
+        limit: u64,
+        every: u64,
+        path: &Path,
+    ) -> Result<RunResult, SimError> {
+        assert!(every > 0, "checkpoint interval must be non-zero");
+        while self.now.raw() < limit {
+            let slice = every.min(limit - self.now.raw());
+            if let Some(r) = self.run_for(slice)? {
+                return Ok(r);
+            }
+            let bytes = self.checkpoint()?;
+            crate::checkpoint::write_checkpoint(path, &bytes).map_err(SimError::Checkpoint)?;
+        }
+        Err(self.timeout_error(limit))
+    }
+
+    /// One machine cycle: route the memory system's events, then step every
+    /// unfinished core. When `trace` is given, delivered events are recorded
+    /// into it (bounded to [`REWIND_TRACE_LIMIT`] entries).
+    fn step_cycle(&mut self, now: Cycle, mut trace: Option<&mut VecDeque<String>>) {
+        for ev in self.mem.tick(now) {
+            if let Some(t) = trace.as_deref_mut() {
+                if t.len() >= REWIND_TRACE_LIMIT {
+                    t.pop_front();
+                }
+                t.push_back(format!("{}: {ev:?}", now.raw()));
+            }
+            let target = match ev {
+                row_mem::MemEvent::Fill { core, .. } => core,
+                row_mem::MemEvent::FarDone { core, .. } => core,
+                row_mem::MemEvent::ExternalObserved { core, .. } => core,
+            };
+            self.cores[target.index()].handle_mem_event(&ev, now, &mut self.mem);
+        }
+        for c in self.cores.iter_mut() {
+            if !c.finished() {
+                c.cycle(now, &mut self.mem);
+            }
+        }
+    }
+
+    /// Steps until every core drains or `self.now` reaches the absolute
+    /// cycle `target`; returns whether all cores finished.
+    fn advance(&mut self, target: u64) -> Result<bool, SimError> {
         let every = self.check.invariant_every;
         let window = self.check.watchdog_window;
-        let mut now = Cycle::ZERO;
-        while now.raw() < limit {
+        while self.now.raw() < target {
             if self.cores.iter().all(|c| c.finished()) {
-                break;
+                return Ok(true);
             }
-            for ev in self.mem.tick(now) {
-                let target = match ev {
-                    row_mem::MemEvent::Fill { core, .. } => core,
-                    row_mem::MemEvent::FarDone { core, .. } => core,
-                    row_mem::MemEvent::ExternalObserved { core, .. } => core,
-                };
-                self.cores[target.index()].handle_mem_event(&ev, now, &mut self.mem);
-            }
-            for c in self.cores.iter_mut() {
-                if !c.finished() {
-                    c.cycle(now, &mut self.mem);
-                }
-            }
+            let now = self.now;
+            self.step_cycle(now, None);
             if let Some(e) = self.mem.protocol_error() {
-                return Err(SimError::Protocol(e.clone()));
+                let e = e.clone();
+                return Err(self.maybe_rewind(SimError::Protocol(e), now));
             }
             if let Some(k) = every {
                 if now.raw().is_multiple_of(k) {
-                    check_coherence(&self.mem, &self.check).map_err(SimError::Protocol)?;
+                    if let Err(e) = check_coherence(&self.mem, &self.check) {
+                        return Err(self.maybe_rewind(SimError::Protocol(e), now));
+                    }
                 }
             }
             if let Some(w) = window {
@@ -202,35 +367,186 @@ impl Machine {
                         .map(|c| c.last_commit())
                         .max();
                     if latest.is_some_and(|t| now.saturating_since(t) >= w) {
-                        return Err(SimError::Stall(Box::new(StallReport::capture(
+                        let stall = SimError::Stall(Box::new(StallReport::capture(
                             &self.cores,
                             &self.mem,
                             now,
                             Some(w),
-                        ))));
+                        )));
+                        return Err(self.maybe_rewind(stall, now));
                     }
                 }
             }
-            now += 1;
+            // Refresh the rewind checkpoint only after every check passed:
+            // it must capture a provably-coherent state to replay from.
+            if let Some(k) = self.check.rewind_every {
+                if now.raw().is_multiple_of(k) {
+                    if let Ok(bytes) = self.checkpoint() {
+                        self.rewind_ckpt = Some((now, bytes));
+                    }
+                }
+            }
+            self.now += 1;
         }
-        if !self.cores.iter().all(|c| c.finished()) {
-            return Err(SimError::Timeout(Box::new(SimTimeout {
-                limit,
-                unfinished: self
-                    .cores
-                    .iter()
-                    .filter(|c| !c.finished())
-                    .map(|c| c.id().index() as u16)
-                    .collect(),
-                committed: self.cores.iter().map(|c| c.stats().committed).collect(),
-                last_commit: self.cores.iter().map(|c| c.last_commit()).collect(),
-                report: StallReport::capture(&self.cores, &self.mem, now, None),
-            })));
+        Ok(self.cores.iter().all(|c| c.finished()))
+    }
+
+    fn timeout_error(&self, limit: u64) -> SimError {
+        SimError::Timeout(Box::new(SimTimeout {
+            limit,
+            unfinished: self
+                .cores
+                .iter()
+                .filter(|c| !c.finished())
+                .map(|c| c.id().index() as u16)
+                .collect(),
+            committed: self.cores.iter().map(|c| c.stats().committed).collect(),
+            last_commit: self.cores.iter().map(|c| c.last_commit()).collect(),
+            report: StallReport::capture(&self.cores, &self.mem, self.now, None),
+        }))
+    }
+
+    /// On a stall/protocol failure with rewind enabled and a checkpoint in
+    /// hand: restore it and replay with the invariant sweep on *every*
+    /// cycle, producing a [`RewindReport`] that names the first cycle the
+    /// machine actually went wrong. Falls back to the original error when no
+    /// checkpoint exists or the replay itself cannot run.
+    fn maybe_rewind(&mut self, cause: SimError, detected_at: Cycle) -> SimError {
+        if self.check.rewind_every.is_none() {
+            return cause;
         }
-        if every.is_some() {
-            check_coherence(&self.mem, &self.check).map_err(SimError::Protocol)?;
+        let Some((checkpoint_at, bytes)) = self.rewind_ckpt.take() else {
+            return cause;
+        };
+        match self.replay_from(&bytes, detected_at) {
+            Ok((first_bad_cycle, first_error, trace)) => SimError::Rewind(Box::new(RewindReport {
+                cause: Box::new(cause),
+                checkpoint_at,
+                detected_at,
+                first_bad_cycle,
+                first_error,
+                trace,
+            })),
+            Err(_) => cause,
         }
-        Ok(self.collect())
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn replay_from(
+        &mut self,
+        bytes: &[u8],
+        detected_at: Cycle,
+    ) -> Result<(Option<Cycle>, Option<ProtocolError>, Vec<String>), SimError> {
+        self.restore(bytes)?;
+        let mut trace: VecDeque<String> = VecDeque::new();
+        let mut first_bad = None;
+        let mut first_err = None;
+        while self.now <= detected_at {
+            let now = self.now;
+            self.step_cycle(now, Some(&mut trace));
+            let err = self
+                .mem
+                .protocol_error()
+                .cloned()
+                .or_else(|| check_coherence(&self.mem, &self.check).err());
+            if let Some(e) = err {
+                first_bad = Some(now);
+                first_err = Some(e);
+                break;
+            }
+            self.now += 1;
+        }
+        Ok((first_bad, first_err, trace.into_iter().collect()))
+    }
+
+    /// Serializes the whole machine — memory system, every core, stream
+    /// positions, RNGs, and statistics — into a self-validating byte image
+    /// (see [`crate::checkpoint`] for the layout). Restoring the image into
+    /// an identically-configured machine and continuing is bit-exact with
+    /// never having stopped.
+    ///
+    /// # Errors
+    /// [`SimError::Checkpoint`] when the machine holds a sticky protocol
+    /// error (a corrupted state must not be snapshotted).
+    pub fn checkpoint(&self) -> Result<Vec<u8>, SimError> {
+        if self.mem.protocol_error().is_some() {
+            return Err(SimError::Checkpoint(PersistError::Corrupt(
+                "refusing to checkpoint a machine with a pending protocol error",
+            )));
+        }
+        let mut w = Writer::new();
+        w.put_bytes(MAGIC);
+        w.put_u32(FORMAT_VERSION);
+        w.put_u64(self.cfg_hash);
+        self.now.encode(&mut w);
+        self.mem.persist(&mut w);
+        w.put_len(self.cores.len());
+        for c in &self.cores {
+            c.persist(&mut w);
+        }
+        let checksum = fnv1a(w.bytes());
+        w.put_u64(checksum);
+        Ok(w.into_bytes())
+    }
+
+    /// Restores a [`Machine::checkpoint`] image. The machine must have been
+    /// built with the same [`SystemConfig`] and streams as the one that was
+    /// checkpointed; the header's config hash enforces the former.
+    ///
+    /// # Errors
+    /// [`SimError::Checkpoint`] wrapping the precise [`PersistError`]:
+    /// `Corrupt` for a bad magic, truncation, checksum mismatch, or
+    /// geometry conflicts; `VersionMismatch` and `ConfigMismatch` for header
+    /// disagreements. The machine may be partially overwritten on error and
+    /// must not be used further.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), SimError> {
+        self.try_restore(bytes).map_err(SimError::Checkpoint)
+    }
+
+    fn try_restore(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
+        let header = MAGIC.len() + 4 + 8 + 8;
+        if bytes.len() < header + 8 {
+            return Err(PersistError::Corrupt("checkpoint too short"));
+        }
+        if &bytes[..MAGIC.len()] != MAGIC {
+            return Err(PersistError::Corrupt("not a norush checkpoint"));
+        }
+        let (payload, tail) = bytes.split_at(bytes.len() - 8);
+        let mut r = Reader::new(payload);
+        let _ = r.get_bytes(MAGIC.len())?;
+        let found = r.get_u32()?;
+        if found != FORMAT_VERSION {
+            return Err(PersistError::VersionMismatch {
+                found,
+                expected: FORMAT_VERSION,
+            });
+        }
+        let stored = u64::from_le_bytes(tail.try_into().expect("8-byte checksum"));
+        if fnv1a(payload) != stored {
+            return Err(PersistError::Corrupt("checkpoint checksum mismatch"));
+        }
+        let found = r.get_u64()?;
+        if found != self.cfg_hash {
+            return Err(PersistError::ConfigMismatch {
+                found,
+                expected: self.cfg_hash,
+            });
+        }
+        let now = Cycle::decode(&mut r)?;
+        self.mem.restore(&mut r)?;
+        let n = r.get_len()?;
+        if n != self.cores.len() {
+            return Err(PersistError::Corrupt("checkpoint core count mismatch"));
+        }
+        for c in self.cores.iter_mut() {
+            c.restore(&mut r)?;
+        }
+        if !r.is_empty() {
+            return Err(PersistError::Corrupt("trailing bytes in checkpoint"));
+        }
+        self.now = now;
+        self.rewind_ckpt = None;
+        Ok(())
     }
 
     fn collect(&self) -> RunResult {
@@ -291,8 +607,7 @@ mod tests {
     #[test]
     fn four_core_faa_sums_exactly() {
         let cfg = SystemConfig::small(4);
-        let streams: Vec<Box<dyn InstrStream>> =
-            (0..4).map(|_| faa_prog(25, 0xabc000)).collect();
+        let streams: Vec<Box<dyn InstrStream>> = (0..4).map(|_| faa_prog(25, 0xabc000)).collect();
         let mut m = Machine::new(&cfg, streams);
         let r = m.run(3_000_000).expect("finishes");
         assert_eq!(m.memory().read_word(Addr::new(0xabc000)), 100);
@@ -304,8 +619,7 @@ mod tests {
     #[test]
     fn timeout_is_reported_with_progress_and_stall_report() {
         let cfg = SystemConfig::small(2);
-        let streams: Vec<Box<dyn InstrStream>> =
-            (0..2).map(|_| faa_prog(50, 0xddd000)).collect();
+        let streams: Vec<Box<dyn InstrStream>> = (0..2).map(|_| faa_prog(50, 0xddd000)).collect();
         let mut m = Machine::new(&cfg, streams);
         let err = m.run(10).expect_err("cannot finish in 10 cycles");
         let SimError::Timeout(t) = err else {
@@ -324,8 +638,7 @@ mod tests {
     #[test]
     fn exhausted_contended_run_names_head_instructions() {
         let cfg = SystemConfig::small(4);
-        let streams: Vec<Box<dyn InstrStream>> =
-            (0..4).map(|_| faa_prog(200, 0xccc000)).collect();
+        let streams: Vec<Box<dyn InstrStream>> = (0..4).map(|_| faa_prog(200, 0xccc000)).collect();
         let mut m = Machine::new(&cfg, streams);
         // Far too small a budget for 800 contended atomics: the machine is
         // wedged mid-handoff when the budget runs out.
@@ -339,7 +652,10 @@ mod tests {
         let heads = t.report.cores.iter().filter(|c| c.head.is_some()).count();
         assert!(heads > 0, "no head instruction captured:\n{}", t.report);
         let text = t.report.to_string();
-        assert!(text.contains("atomic"), "heads should name atomics:\n{text}");
+        assert!(
+            text.contains("atomic"),
+            "heads should name atomics:\n{text}"
+        );
     }
 
     /// With a tiny watchdog window, a single long-latency miss trips the
@@ -348,8 +664,7 @@ mod tests {
     fn watchdog_fires_on_tiny_window() {
         let mut cfg = SystemConfig::small(2);
         cfg.check.watchdog_window = Some(50);
-        let streams: Vec<Box<dyn InstrStream>> =
-            (0..2).map(|_| faa_prog(5, 0xeee000)).collect();
+        let streams: Vec<Box<dyn InstrStream>> = (0..2).map(|_| faa_prog(5, 0xeee000)).collect();
         let mut m = Machine::new(&cfg, streams);
         // The first memory-latency miss (> 50 cycles) exceeds the window.
         let err = m.run(1_000_000).expect_err("window far below miss latency");
@@ -365,8 +680,7 @@ mod tests {
     #[test]
     fn injected_dual_owner_surfaces_as_protocol_error() {
         let cfg = SystemConfig::small(2);
-        let streams: Vec<Box<dyn InstrStream>> =
-            (0..2).map(|_| faa_prog(40, 0xabc040)).collect();
+        let streams: Vec<Box<dyn InstrStream>> = (0..2).map(|_| faa_prog(40, 0xabc040)).collect();
         let mut m = Machine::new(&cfg, streams);
         m.memory_mut().corrupt_private_state_for_test(
             CoreId::new(0),
@@ -380,7 +694,10 @@ mod tests {
         );
         let err = m.run(3_000_000).expect_err("corruption must be caught");
         assert!(
-            matches!(err, SimError::Protocol(ProtocolError::MultipleOwners { .. })),
+            matches!(
+                err,
+                SimError::Protocol(ProtocolError::MultipleOwners { .. })
+            ),
             "got {err}"
         );
     }
@@ -389,8 +706,7 @@ mod tests {
     #[test]
     fn on_demand_report_and_invariant_check() {
         let cfg = SystemConfig::small(2);
-        let streams: Vec<Box<dyn InstrStream>> =
-            (0..2).map(|_| faa_prog(3, 0xaaa000)).collect();
+        let streams: Vec<Box<dyn InstrStream>> = (0..2).map(|_| faa_prog(3, 0xaaa000)).collect();
         let mut m = Machine::new(&cfg, streams);
         m.run(3_000_000).expect("drains");
         m.check_invariants().expect("clean machine");

@@ -46,13 +46,13 @@ impl ProducerConsumer {
         // Local payload work (private line per thread).
         for k in 0..self.work_per_op {
             if k % 4 == 0 {
-                let addr = Addr::new(RING_BASE + 0x10_0000 * (self.tid + 1) + self.rng.below(512) * 64);
+                let addr =
+                    Addr::new(RING_BASE + 0x10_0000 * (self.tid + 1) + self.rng.below(512) * 64);
                 self.queue
                     .push_back(Instr::simple(Pc::new(0x300), Op::Load { addr }).with_dst(2));
             } else {
-                self.queue.push_back(
-                    Instr::simple(Pc::new(0x304), Op::Alu { latency: 1 }).with_dst(1),
-                );
+                self.queue
+                    .push_back(Instr::simple(Pc::new(0x304), Op::Alu { latency: 1 }).with_dst(1));
             }
         }
         // Claim a slot: FAA on the shared head pointer.

@@ -39,6 +39,6 @@ pub mod suite;
 pub mod trace;
 
 pub use microbench::{MicroRmw, MicroVariant, MicrobenchConfig, MicrobenchStream};
-pub use trace::{read_trace, record_to_file, write_trace, TraceFileStream};
 pub use profile::{ProfileStream, WorkloadProfile};
 pub use suite::Benchmark;
+pub use trace::{read_trace, record_to_file, write_trace, TraceFileStream};

@@ -12,6 +12,7 @@
 //! generator reproduces that by always emitting the atomic form for Swap.
 
 use row_common::ids::{Addr, Pc};
+use row_common::persist::{Codec, PersistError, Reader, Writer};
 use row_common::rng::SplitMix64;
 
 use row_cpu::instr::{Instr, InstrStream, Op, RmwKind};
@@ -54,10 +55,22 @@ impl MicroVariant {
     /// The four variants in the paper's per-group order:
     /// plain, plain+mfence, lock, lock+mfence.
     pub const ALL: [MicroVariant; 4] = [
-        MicroVariant { atomic: false, mfence: false },
-        MicroVariant { atomic: false, mfence: true },
-        MicroVariant { atomic: true, mfence: false },
-        MicroVariant { atomic: true, mfence: true },
+        MicroVariant {
+            atomic: false,
+            mfence: false,
+        },
+        MicroVariant {
+            atomic: false,
+            mfence: true,
+        },
+        MicroVariant {
+            atomic: true,
+            mfence: false,
+        },
+        MicroVariant {
+            atomic: true,
+            mfence: true,
+        },
     ];
 
     /// Display name, e.g. `"lock+mfence"`.
@@ -161,13 +174,15 @@ impl MicrobenchStream {
         }
         let rmw = match self.cfg.rmw {
             MicroRmw::Faa => RmwKind::Faa(1),
-            MicroRmw::Cas => RmwKind::Cas { expected: 0, new: 1 },
+            MicroRmw::Cas => RmwKind::Cas {
+                expected: 0,
+                new: 1,
+            },
             MicroRmw::Swap => RmwKind::Swap(7),
         };
         if self.cfg.effective_atomic() {
             self.queue.push_back(
-                Instr::simple(Pc::new(0x10c), Op::Atomic { rmw, addr })
-                    .with_srcs(Some(5), None),
+                Instr::simple(Pc::new(0x10c), Op::Atomic { rmw, addr }).with_srcs(Some(5), None),
             );
         } else {
             // Non-atomic RMW: load, modify, store.
@@ -203,6 +218,19 @@ impl InstrStream for MicrobenchStream {
             self.emit_iteration();
         }
         self.queue.pop_front()
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        self.rng.encode(w);
+        w.put_u64(self.iter);
+        self.queue.encode(w);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), PersistError> {
+        self.rng = SplitMix64::decode(r)?;
+        self.iter = r.get_u64()?;
+        self.queue = std::collections::VecDeque::<Instr>::decode(r)?;
+        Ok(())
     }
 }
 
@@ -240,13 +268,19 @@ mod tests {
     fn lock_variant_emits_atomics_plain_emits_load_store() {
         let lock = collect(MicrobenchConfig::paper_like(
             MicroRmw::Faa,
-            MicroVariant { atomic: true, mfence: false },
+            MicroVariant {
+                atomic: true,
+                mfence: false,
+            },
             10,
         ));
         assert_eq!(lock.iter().filter(|i| i.op.is_atomic()).count(), 10);
         let plain = collect(MicrobenchConfig::paper_like(
             MicroRmw::Faa,
-            MicroVariant { atomic: false, mfence: false },
+            MicroVariant {
+                atomic: false,
+                mfence: false,
+            },
             10,
         ));
         assert_eq!(plain.iter().filter(|i| i.op.is_atomic()).count(), 0);
@@ -263,7 +297,10 @@ mod tests {
     fn swap_is_always_locked_like_x86_xchg() {
         let plain_swap = collect(MicrobenchConfig::paper_like(
             MicroRmw::Swap,
-            MicroVariant { atomic: false, mfence: false },
+            MicroVariant {
+                atomic: false,
+                mfence: false,
+            },
             10,
         ));
         assert_eq!(plain_swap.iter().filter(|i| i.op.is_atomic()).count(), 10);
@@ -273,20 +310,23 @@ mod tests {
     fn mfence_variants_carry_two_fences_per_iteration() {
         let v = collect(MicrobenchConfig::paper_like(
             MicroRmw::Cas,
-            MicroVariant { atomic: true, mfence: true },
+            MicroVariant {
+                atomic: true,
+                mfence: true,
+            },
             7,
         ));
-        assert_eq!(
-            v.iter().filter(|i| matches!(i.op, Op::Fence)).count(),
-            14
-        );
+        assert_eq!(v.iter().filter(|i| matches!(i.op, Op::Fence)).count(), 14);
     }
 
     #[test]
     fn addresses_span_the_array_randomly() {
         let v = collect(MicrobenchConfig::paper_like(
             MicroRmw::Faa,
-            MicroVariant { atomic: true, mfence: false },
+            MicroVariant {
+                atomic: true,
+                mfence: false,
+            },
             200,
         ));
         let lines: std::collections::HashSet<u64> = v
@@ -294,14 +334,21 @@ mod tests {
             .filter_map(|i| i.op.addr())
             .map(|a| a.line().raw())
             .collect();
-        assert!(lines.len() > 150, "expected wide random spread, got {}", lines.len());
+        assert!(
+            lines.len() > 150,
+            "expected wide random spread, got {}",
+            lines.len()
+        );
     }
 
     #[test]
     fn deterministic() {
         let cfg = MicrobenchConfig::paper_like(
             MicroRmw::Cas,
-            MicroVariant { atomic: true, mfence: false },
+            MicroVariant {
+                atomic: true,
+                mfence: false,
+            },
             30,
         );
         assert_eq!(collect(cfg), collect(cfg));

@@ -9,6 +9,7 @@
 //! [`WorkloadProfile`] into a deterministic per-thread instruction stream.
 
 use row_common::ids::{Addr, Pc};
+use row_common::persist::{Codec, PersistError, Reader, Writer};
 use row_common::rng::SplitMix64;
 
 use row_cpu::instr::{Instr, InstrStream, Op, RmwKind};
@@ -206,10 +207,7 @@ impl ProfileStream {
             // Atomic locality: a plain store to the same word first.
             self.queue.push_back(Instr::simple(
                 Pc::new(pcs::LOCAL_STORE),
-                Op::Store {
-                    addr,
-                    value: None,
-                },
+                Op::Store { addr, value: None },
             ));
         }
         self.queue.push_back(Instr::simple(
@@ -249,8 +247,8 @@ impl ProfileStream {
             self.chain_live = true;
             let latency = if self.rng.chance(0.1) { 3 } else { 1 };
             let site = self.rng.below(8);
-            let mut i = Instr::simple(Pc::new(pcs::ALU + site * 4), Op::Alu { latency })
-                .with_dst(1);
+            let mut i =
+                Instr::simple(Pc::new(pcs::ALU + site * 4), Op::Alu { latency }).with_dst(1);
             if dep {
                 i = i.with_srcs(Some(1), None);
             }
@@ -278,6 +276,23 @@ impl InstrStream for ProfileStream {
                 self.emit_filler();
             }
         }
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        self.rng.encode(w);
+        w.put_u64(self.emitted);
+        self.queue.encode(w);
+        w.put_u64(self.until_atomic);
+        w.put_bool(self.chain_live);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), PersistError> {
+        self.rng = SplitMix64::decode(r)?;
+        self.emitted = r.get_u64()?;
+        self.queue = std::collections::VecDeque::<Instr>::decode(r)?;
+        self.until_atomic = r.get_u64()?;
+        self.chain_live = r.get_bool()?;
+        Ok(())
     }
 }
 

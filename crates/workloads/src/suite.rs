@@ -221,7 +221,10 @@ mod tests {
         let ai = Benchmark::atomic_intensive();
         assert!(ai.contains(&Benchmark::Pc));
         assert!(ai.contains(&Benchmark::Canneal));
-        assert!(ai.len() == 13, "all modelled apps clear the 1/10k bar: {ai:?}");
+        assert!(
+            ai.len() == 13,
+            "all modelled apps clear the 1/10k bar: {ai:?}"
+        );
     }
 
     #[test]

@@ -11,6 +11,7 @@ use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 use row_common::ids::{Addr, Pc};
+use row_common::persist::{PersistError, Reader, Writer};
 use row_cpu::instr::{Instr, InstrStream, Op, RmwKind};
 
 const MAGIC: &[u8; 6] = b"RWTR1\n";
@@ -99,7 +100,9 @@ fn read_instr(r: &mut impl Read) -> io::Result<Instr> {
     let s1 = reg(get_u8(r)?);
     let dst = reg(get_u8(r)?);
     let op = match get_u8(r)? {
-        0 => Op::Alu { latency: get_u8(r)? },
+        0 => Op::Alu {
+            latency: get_u8(r)?,
+        },
         1 => Op::Load {
             addr: Addr::new(get_u64(r)?),
         },
@@ -187,7 +190,8 @@ pub fn record_to_file(path: impl AsRef<Path>, mut stream: impl InstrStream) -> i
 /// An [`InstrStream`] replaying a trace file.
 #[derive(Debug)]
 pub struct TraceFileStream {
-    instrs: std::vec::IntoIter<Instr>,
+    instrs: Vec<Instr>,
+    pos: usize,
 }
 
 impl TraceFileStream {
@@ -198,14 +202,26 @@ impl TraceFileStream {
     pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
         let f = BufReader::new(File::open(path)?);
         Ok(TraceFileStream {
-            instrs: read_trace(f)?.into_iter(),
+            instrs: read_trace(f)?,
+            pos: 0,
         })
     }
 }
 
 impl InstrStream for TraceFileStream {
     fn next_instr(&mut self) -> Option<Instr> {
-        self.instrs.next()
+        let i = self.instrs.get(self.pos).copied();
+        self.pos += 1;
+        i
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        w.put_u64(self.pos as u64);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), PersistError> {
+        self.pos = r.get_u64()? as usize;
+        Ok(())
     }
 }
 
@@ -217,9 +233,14 @@ mod tests {
     fn sample() -> Vec<Instr> {
         vec![
             Instr::simple(Pc::new(0x10), Op::Alu { latency: 3 }).with_dst(1),
-            Instr::simple(Pc::new(0x14), Op::Load { addr: Addr::new(0x1000) })
-                .with_srcs(Some(1), None)
-                .with_dst(2),
+            Instr::simple(
+                Pc::new(0x14),
+                Op::Load {
+                    addr: Addr::new(0x1000),
+                },
+            )
+            .with_srcs(Some(1), None)
+            .with_dst(2),
             Instr::simple(
                 Pc::new(0x18),
                 Op::Store {
@@ -244,7 +265,10 @@ mod tests {
             Instr::simple(
                 Pc::new(0x24),
                 Op::Atomic {
-                    rmw: RmwKind::Cas { expected: 1, new: 2 },
+                    rmw: RmwKind::Cas {
+                        expected: 1,
+                        new: 2,
+                    },
                     addr: Addr::new(0x2008),
                 },
             ),

@@ -35,7 +35,10 @@ fn main() {
     base.working_set_lines = 256;
 
     println!("sweeping contended fraction on a custom 80-atomics/10k workload\n");
-    println!("{:>10} {:>9} {:>9} {:>9}  best-static  RoW-within", "contended", "eager", "lazy", "RoW");
+    println!(
+        "{:>10} {:>9} {:>9} {:>9}  best-static  RoW-within",
+        "contended", "eager", "lazy", "RoW"
+    );
     for pct in [0, 20, 40, 60, 80, 95] {
         let mut p = base;
         p.contended_fraction = pct as f64 / 100.0;

@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("Kentsfield-like (fenced atomics)", FenceModel::Fenced),
     ] {
         println!("== {label} — cycles/iteration, {iterations} iterations ==");
-        println!("{:6} {:>9} {:>14} {:>9} {:>13}", "rmw", "plain", "plain+mfence", "lock", "lock+mfence");
+        println!(
+            "{:6} {:>9} {:>14} {:>9} {:>13}",
+            "rmw", "plain", "plain+mfence", "lock", "lock+mfence"
+        );
         for rmw in MicroRmw::ALL {
             print!("{:6}", rmw.name());
             for variant in MicroVariant::ALL {

@@ -30,14 +30,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut exp = ExperimentConfig::quick();
     exp.cores = cores;
 
-    println!("simulating `{bench}` on {cores} cores ({} instructions/thread)…\n", exp.instructions);
+    println!(
+        "simulating `{bench}` on {cores} cores ({} instructions/thread)…\n",
+        exp.instructions
+    );
 
     let eager = run_benchmark(bench, AtomicPolicy::Eager, false, &exp)?;
     let lazy = run_benchmark(bench, AtomicPolicy::Lazy, false, &exp)?;
     let row = run_row_fwd(bench, RowVariant::RwDirUd, &exp)?;
 
     println!("policy              cycles   vs eager   IPC");
-    for (name, r) in [("eager", &eager), ("lazy", &lazy), ("RoW (RW+Dir_U/D+Fwd)", &row)] {
+    for (name, r) in [
+        ("eager", &eager),
+        ("lazy", &lazy),
+        ("RoW (RW+Dir_U/D+Fwd)", &row),
+    ] {
         println!(
             "{name:20} {:>8}   {:>7.3}   {:>5.2}",
             r.cycles,
@@ -53,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         row.total.atomics_lazy,
     );
     if let Some(acc) = row.accuracy {
-        println!("contention-prediction accuracy: {:.0}%", 100.0 * acc.accuracy());
+        println!(
+            "contention-prediction accuracy: {:.0}%",
+            100.0 * acc.accuracy()
+        );
     }
     Ok(())
 }

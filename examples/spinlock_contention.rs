@@ -39,15 +39,14 @@ fn run(kernel: &str, policy: AtomicPolicy, forwarding: bool) -> u64 {
 
 fn main() {
     println!("{CORES} cores, {OPS} synchronization ops per thread\n");
-    println!("{:18} {:>9} {:>9} {:>9}  winner", "kernel", "eager", "lazy", "RoW+Fwd");
+    println!(
+        "{:18} {:>9} {:>9} {:>9}  winner",
+        "kernel", "eager", "lazy", "RoW+Fwd"
+    );
     for kernel in ["producer-consumer", "shared-counters", "concurrent-queue"] {
         let eager = run(kernel, AtomicPolicy::Eager, false);
         let lazy = run(kernel, AtomicPolicy::Lazy, false);
-        let row = run(
-            kernel,
-            AtomicPolicy::Row(RowConfig::best()),
-            true,
-        );
+        let row = run(kernel, AtomicPolicy::Row(RowConfig::best()), true);
         let winner = if row <= eager.min(lazy) {
             "RoW"
         } else if eager < lazy {

@@ -4,7 +4,8 @@
 //! norush list
 //! norush table1
 //! norush run <benchmark> [--cores N] [--instr N] [--seed S] [--policy P]
-//!            [--check [K]] [--chaos SEED]
+//!            [--check [K]] [--watchdog N] [--rewind K] [--chaos SEED]
+//!            [--checkpoint-every K] [--ckpt-dir D] [--resume]
 //! norush compare <benchmark> [--cores N] [--instr N] [--seed S]
 //! norush microbench [--iters N] [--fenced]
 //! norush record <benchmark> <file> [--instr N] [--tid T] [--threads N]
@@ -16,9 +17,7 @@
 use norush::common::config::{AtomicPlacement, AtomicPolicy, FaultConfig, FenceModel, RowConfig};
 use norush::cpu::instr::InstrStream;
 use norush::sim::{run_microbench, ExperimentConfig, Machine, RunResult};
-use norush::workloads::{
-    Benchmark, MicroRmw, MicroVariant, ProfileStream, TraceFileStream,
-};
+use norush::workloads::{Benchmark, MicroRmw, MicroVariant, ProfileStream, TraceFileStream};
 use norush::SystemConfig;
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
@@ -131,14 +130,22 @@ fn exp_from(args: &Args) -> Result<ExperimentConfig, Box<dyn std::error::Error>>
     exp.cycle_limit = args.num("cycles", exp.cycle_limit)?;
     exp.paper_caches = exp.cores > 8;
     // Robustness layer: `--check` (or `--check K`) runs the coherence
-    // invariant sweep every K cycles plus the deadlock watchdog; `--chaos S`
-    // turns on seeded delivery perturbation.
+    // invariant sweep every K cycles plus the deadlock watchdog; `--watchdog N`
+    // sets the watchdog window (and enables the watchdog on its own);
+    // `--rewind K` keeps an in-memory checkpoint every K cycles and replays
+    // from it on a violation; `--chaos S` turns on delivery perturbation.
+    let watchdog = args.num("watchdog", 5_000_000)?.max(1);
     if args.switches.contains("check") {
         exp.check.invariant_every = Some(2_048);
-        exp.check.watchdog_window = Some(5_000_000);
+        exp.check.watchdog_window = Some(watchdog);
     } else if args.flags.contains_key("check") {
         exp.check.invariant_every = Some(args.num("check", 2_048)?.max(1));
-        exp.check.watchdog_window = Some(5_000_000);
+        exp.check.watchdog_window = Some(watchdog);
+    } else if args.flags.contains_key("watchdog") {
+        exp.check.watchdog_window = Some(watchdog);
+    }
+    if args.flags.contains_key("rewind") {
+        exp.check.rewind_every = Some(args.num("rewind", 65_536)?.max(1));
     }
     if args.switches.contains("chaos") {
         exp.check.chaos = Some(FaultConfig::with_seed(1));
@@ -146,6 +153,45 @@ fn exp_from(args: &Args) -> Result<ExperimentConfig, Box<dyn std::error::Error>>
         exp.check.chaos = Some(FaultConfig::with_seed(args.num("chaos", 1)?));
     }
     Ok(exp)
+}
+
+/// Like [`run_with`], but crash-resilient: writes a checkpoint to `path`
+/// every `every` cycles, and (with `resume`) continues from an existing one.
+fn run_with_checkpointed(
+    sys: &SystemConfig,
+    bench: Benchmark,
+    exp: &ExperimentConfig,
+    every: u64,
+    path: &std::path::Path,
+    resume: bool,
+) -> RunResult {
+    let profile = bench.profile().with_instructions(exp.instructions);
+    let streams: Vec<Box<dyn InstrStream>> = (0..exp.cores)
+        .map(|t| Box::new(ProfileStream::new(profile, t, exp.cores, exp.seed)) as _)
+        .collect();
+    let mut m = Machine::new(sys, streams);
+    if resume && path.exists() {
+        let restored = norush::sim::checkpoint::read_checkpoint(path)
+            .map_err(norush::SimError::Checkpoint)
+            .and_then(|bytes| m.restore(&bytes));
+        match restored {
+            Ok(()) => eprintln!("resumed from {} at cycle {}", path.display(), m.now().raw()),
+            Err(e) => {
+                eprintln!("cannot resume from {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    let r = m
+        .run_checkpointed(exp.cycle_limit, every, path)
+        .unwrap_or_else(|e| {
+            eprintln!("simulation failed:\n{e}");
+            std::process::exit(1);
+        });
+    // The run completed: the checkpoint is spent, so a later `--resume`
+    // starts fresh instead of replaying a finished machine.
+    std::fs::remove_file(path).ok();
+    r
 }
 
 fn cmd_run(args: &Args) -> CliResult {
@@ -157,7 +203,27 @@ fn cmd_run(args: &Args) -> CliResult {
         .map(String::as_str)
         .unwrap_or("eager");
     let sys = system_for(policy, &exp)?;
-    let r = run_with(&sys, bench, &exp);
+    let every = args.num("checkpoint-every", 0)?;
+    let r = if every > 0 {
+        let dir = args
+            .flags
+            .get("ckpt-dir")
+            .cloned()
+            .unwrap_or_else(|| ".".into());
+        std::fs::create_dir_all(&dir)?;
+        let path =
+            std::path::Path::new(&dir).join(format!("norush_{}_{policy}.ckpt", bench.name()));
+        run_with_checkpointed(
+            &sys,
+            bench,
+            &exp,
+            every,
+            &path,
+            args.switches.contains("resume"),
+        )
+    } else {
+        run_with(&sys, bench, &exp)
+    };
     println!("{bench} on {} cores, policy {policy}:", exp.cores);
     println!("  cycles            {}", r.cycles);
     println!("  IPC               {:.2}", r.ipc());
@@ -174,7 +240,11 @@ fn cmd_run(args: &Args) -> CliResult {
 }
 
 fn cmd_compare(args: &Args) -> CliResult {
-    let bench = bench_by_name(args.positional.first().ok_or("usage: compare <benchmark>")?)?;
+    let bench = bench_by_name(
+        args.positional
+            .first()
+            .ok_or("usage: compare <benchmark>")?,
+    )?;
     let exp = exp_from(args)?;
     println!(
         "{bench} on {} cores ({} instructions/thread):\n",
@@ -220,12 +290,18 @@ fn cmd_microbench(args: &Args) -> CliResult {
     } else {
         FenceModel::Unfenced
     };
-    println!("{:6} {:>9} {:>14} {:>9} {:>13}", "rmw", "plain", "plain+mfence", "lock", "lock+mfence");
+    println!(
+        "{:6} {:>9} {:>14} {:>9} {:>13}",
+        "rmw", "plain", "plain+mfence", "lock", "lock+mfence"
+    );
     for rmw in MicroRmw::ALL {
         print!("{:6}", rmw.name());
         for variant in MicroVariant::ALL {
             let cpi = run_microbench(rmw, variant, model, iters)?;
-            let w = [9, 14, 9, 13][MicroVariant::ALL.iter().position(|v| *v == variant).expect("member")];
+            let w = [9, 14, 9, 13][MicroVariant::ALL
+                .iter()
+                .position(|v| *v == variant)
+                .expect("member")];
             print!(" {cpi:>w$.1}", w = w);
         }
         println!();
@@ -234,14 +310,22 @@ fn cmd_microbench(args: &Args) -> CliResult {
 }
 
 fn cmd_record(args: &Args) -> CliResult {
-    let bench = bench_by_name(args.positional.first().ok_or("usage: record <benchmark> <file>")?)?;
-    let path = args.positional.get(1).ok_or("usage: record <benchmark> <file>")?;
+    let bench = bench_by_name(
+        args.positional
+            .first()
+            .ok_or("usage: record <benchmark> <file>")?,
+    )?;
+    let path = args
+        .positional
+        .get(1)
+        .ok_or("usage: record <benchmark> <file>")?;
     let instr = args.num("instr", 10_000)?;
     let tid = args.num("tid", 0)? as usize;
     let threads = args.num("threads", 32)? as usize;
     let seed = args.num("seed", 42)?;
     let profile = bench.profile().with_instructions(instr);
-    let n = norush::workloads::record_to_file(path, ProfileStream::new(profile, tid, threads, seed))?;
+    let n =
+        norush::workloads::record_to_file(path, ProfileStream::new(profile, tid, threads, seed))?;
     println!("recorded {n} instructions of {bench} (thread {tid}/{threads}) to {path}");
     Ok(())
 }
@@ -267,21 +351,41 @@ fn cmd_replay(args: &Args) -> CliResult {
     let r = Machine::new(&sys, vec![stream])
         .run(exp.cycle_limit)
         .expect("replay drains");
-    println!("replayed {path} under {policy}: {} cycles, IPC {:.2}, {} atomics",
-        r.cycles, r.ipc(), r.total.atomics);
+    println!(
+        "replayed {path} under {policy}: {} cycles, IPC {:.2}, {} atomics",
+        r.cycles,
+        r.ipc(),
+        r.total.atomics
+    );
     Ok(())
 }
 
 fn cmd_table1() -> CliResult {
     let cfg = SystemConfig::alder_lake_32c();
-    println!("cores {}, widths {}/{}/{}, ROB {}, LQ {}, SB {}, AQ {}",
-        cfg.cores, cfg.core.fetch_width, cfg.core.issue_width, cfg.core.commit_width,
-        cfg.core.rob_entries, cfg.core.lq_entries, cfg.core.sb_entries, cfg.core.aq_entries);
-    println!("L1D {}KB/{}w/{}cyc, L2 {}KB/{}w/{}cyc, L3 {}KB/{}w/{}cyc per bank, mem {}cyc",
-        cfg.mem.l1d.size_bytes / 1024, cfg.mem.l1d.ways, cfg.mem.l1d.hit_latency,
-        cfg.mem.l2.size_bytes / 1024, cfg.mem.l2.ways, cfg.mem.l2.hit_latency,
-        cfg.mem.l3_bank.size_bytes / 1024, cfg.mem.l3_bank.ways, cfg.mem.l3_bank.hit_latency,
-        cfg.mem.mem_latency);
+    println!(
+        "cores {}, widths {}/{}/{}, ROB {}, LQ {}, SB {}, AQ {}",
+        cfg.cores,
+        cfg.core.fetch_width,
+        cfg.core.issue_width,
+        cfg.core.commit_width,
+        cfg.core.rob_entries,
+        cfg.core.lq_entries,
+        cfg.core.sb_entries,
+        cfg.core.aq_entries
+    );
+    println!(
+        "L1D {}KB/{}w/{}cyc, L2 {}KB/{}w/{}cyc, L3 {}KB/{}w/{}cyc per bank, mem {}cyc",
+        cfg.mem.l1d.size_bytes / 1024,
+        cfg.mem.l1d.ways,
+        cfg.mem.l1d.hit_latency,
+        cfg.mem.l2.size_bytes / 1024,
+        cfg.mem.l2.ways,
+        cfg.mem.l2.hit_latency,
+        cfg.mem.l3_bank.size_bytes / 1024,
+        cfg.mem.l3_bank.ways,
+        cfg.mem.l3_bank.hit_latency,
+        cfg.mem.mem_latency
+    );
     Ok(())
 }
 
@@ -299,7 +403,12 @@ fn usage() -> CliResult {
     println!();
     println!("common flags: --cores N --instr N --seed S --cycles LIMIT");
     println!("robustness:   --check [K]   invariant sweep every K cycles + deadlock watchdog");
+    println!("              --watchdog N  watchdog window in cycles (default 5000000)");
+    println!("              --rewind K    in-memory checkpoint every K cycles; on a");
+    println!("                            violation, replay from it and report the first");
+    println!("                            offending cycle");
     println!("              --chaos SEED  seeded message-delivery perturbation");
+    println!("checkpointing (run): --checkpoint-every K --ckpt-dir D --resume");
     println!("policies: eager lazy row row-fwd far");
     Ok(())
 }

@@ -38,12 +38,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use row_check as check;
 pub use row_common as common;
 pub use row_core as core_row;
 pub use row_cpu as cpu;
 pub use row_mem as mem;
 pub use row_noc as noc;
-pub use row_check as check;
 pub use row_sim as sim;
 pub use row_workloads as workloads;
 

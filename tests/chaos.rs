@@ -45,15 +45,22 @@ fn chaos_run(
     addrs: &[u64],
     seed: u64,
 ) -> (u64, u64) {
-    let sys = SystemConfig::small(cores).with_policy(policy).with_chaos(seed);
+    let sys = SystemConfig::small(cores)
+        .with_policy(policy)
+        .with_chaos(seed);
     assert!(sys.check.chaos.is_some());
     let mut m = Machine::new(&sys, streams(cores, per_core, addrs));
-    let r = m.run(50_000_000).unwrap_or_else(|e| panic!("chaos seed {seed} failed:\n{e}"));
+    let r = m
+        .run(50_000_000)
+        .unwrap_or_else(|e| panic!("chaos seed {seed} failed:\n{e}"));
     assert_eq!(r.total.atomics, cores as u64 * per_core);
     // The periodic sweep ran during the run (SystemConfig::small enables
     // it); do a final explicit one too.
     m.check_invariants().expect("final invariant sweep");
-    let sum = addrs.iter().map(|&a| m.memory().read_word(Addr::new(a))).sum();
+    let sum = addrs
+        .iter()
+        .map(|&a| m.memory().read_word(Addr::new(a)))
+        .sum();
     (sum, r.cycles)
 }
 
@@ -100,7 +107,10 @@ fn chaos_changes_timing_but_not_results() {
     let sys = SystemConfig::small(2).with_policy(AtomicPolicy::Eager);
     let mut m = Machine::new(&sys, streams(2, 40, &addrs));
     let clean = m.run(50_000_000).expect("clean run drains");
-    let clean_sum: u64 = addrs.iter().map(|&a| m.memory().read_word(Addr::new(a))).sum();
+    let clean_sum: u64 = addrs
+        .iter()
+        .map(|&a| m.memory().read_word(Addr::new(a)))
+        .sum();
 
     let (sum, cycles) = chaos_run(AtomicPolicy::Eager, 2, 40, &addrs, 9);
     assert_eq!(sum, clean_sum);
@@ -126,6 +136,30 @@ fn random_atomic_mixes_are_linearizable_under_chaos() {
         let (sum, _) = chaos_run(policy, cores, per_core, &addrs, seed);
         assert_eq!(sum, cores as u64 * per_core, "case {case} seed {seed}");
     }
+}
+
+/// Checkpoint/restore is bit-exact even with the fault injector live: the
+/// injector's RNG is part of the persisted state, so a restored machine
+/// replays the *same* perturbation schedule as the uninterrupted one.
+#[test]
+fn checkpoint_restore_is_bit_exact_under_chaos() {
+    let addrs = [0xf000, 0xf040];
+    let sys = SystemConfig::small(4).with_chaos(0xc0ff_ee01);
+    let mk = || Machine::new(&sys, streams(4, 60, &addrs));
+
+    let mut a = mk();
+    assert!(a.run_for(400).expect("clean prefix").is_none());
+    let snap = a.checkpoint().expect("mid-run checkpoint");
+    let ra = a.run_for(50_000_000).expect("run").expect("drains");
+    let final_a = a.checkpoint().expect("final checkpoint");
+
+    let mut b = mk();
+    b.restore(&snap).expect("restore");
+    let rb = b.run_for(50_000_000).expect("run").expect("drains");
+    let final_b = b.checkpoint().expect("final checkpoint");
+
+    assert_eq!(format!("{ra:?}"), format!("{rb:?}"));
+    assert_eq!(final_a, final_b, "chaos run must restore bit-exactly");
 }
 
 /// `CheckConfig::default()` leaves chaos off; `with_chaos` turns it on

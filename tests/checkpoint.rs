@@ -1,0 +1,321 @@
+//! Checkpoint/restore contract tests.
+//!
+//! The contract is bit-exactness: restoring a checkpoint taken at cycle C
+//! into a freshly-built machine and running to C+N must reproduce the
+//! uninterrupted run *exactly* — same results, same final serialized state.
+//! Corrupted or mismatched checkpoints must fail with structured errors,
+//! never panics; and the rewind-on-violation replay must localize a
+//! violation to a cycle strictly earlier than the sweep that detected it.
+
+use norush::common::config::{AtomicPolicy, RowConfig};
+use norush::common::ids::{Addr, CoreId, LineAddr, Pc};
+use norush::common::persist::{fnv1a, PersistError};
+use norush::common::rng::SplitMix64;
+use norush::cpu::instr::{Instr, InstrStream, Op, RmwKind, VecStream};
+use norush::mem::PrivState;
+use norush::sim::{Machine, SimError};
+use norush::SystemConfig;
+
+fn faa_program(n: u64, addrs: &[u64], seed: u64) -> Vec<Instr> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| {
+            let a = addrs[rng.below(addrs.len() as u64) as usize];
+            Instr::simple(
+                Pc::new(0x40 + (a % 7) * 4),
+                Op::Atomic {
+                    rmw: RmwKind::Faa(1),
+                    addr: Addr::new(a),
+                },
+            )
+        })
+        .collect()
+}
+
+fn streams(cores: usize, per_core: u64, addrs: &[u64]) -> Vec<Box<dyn InstrStream>> {
+    (0..cores)
+        .map(|t| {
+            Box::new(VecStream::new(faa_program(per_core, addrs, t as u64 + 1)))
+                as Box<dyn InstrStream>
+        })
+        .collect()
+}
+
+const ADDRS: [u64; 2] = [0xf000, 0xf040];
+
+fn machine(sys: &SystemConfig) -> Machine {
+    Machine::new(sys, streams(sys.cores, 60, &ADDRS))
+}
+
+/// The core bit-exactness check for one configuration: checkpoint machine A
+/// mid-run, restore into a fresh machine B, run both to completion, and
+/// demand identical results *and* identical final serialized state.
+fn assert_round_trip_bit_exact(sys: &SystemConfig) {
+    let mut a = machine(sys);
+    assert!(
+        a.run_for(400).expect("clean prefix").is_none(),
+        "must not drain within the prefix"
+    );
+    let snap = a.checkpoint().expect("mid-run checkpoint");
+    let ra = a.run_for(50_000_000).expect("run").expect("drains");
+    let final_a = a.checkpoint().expect("final checkpoint");
+
+    let mut b = machine(sys);
+    b.restore(&snap).expect("restore into fresh machine");
+    assert_eq!(b.now().raw(), 400, "restore resumes at the snapshot cycle");
+    let rb = b.run_for(50_000_000).expect("run").expect("drains");
+    let final_b = b.checkpoint().expect("final checkpoint");
+
+    assert_eq!(
+        format!("{ra:?}"),
+        format!("{rb:?}"),
+        "restored run must reproduce the uninterrupted results"
+    );
+    assert_eq!(final_a, final_b, "final machine state must be bit-exact");
+    let sum: u64 = ADDRS
+        .iter()
+        .map(|&x| b.memory().read_word(Addr::new(x)))
+        .sum();
+    assert_eq!(sum, sys.cores as u64 * 60, "atomic sums stay exact");
+}
+
+#[test]
+fn round_trip_is_bit_exact_eager() {
+    assert_round_trip_bit_exact(&SystemConfig::small(4));
+}
+
+#[test]
+fn round_trip_is_bit_exact_lazy() {
+    assert_round_trip_bit_exact(&SystemConfig::small(4).with_policy(AtomicPolicy::Lazy));
+}
+
+#[test]
+fn round_trip_is_bit_exact_row() {
+    assert_round_trip_bit_exact(
+        &SystemConfig::small(4).with_policy(AtomicPolicy::Row(RowConfig::best())),
+    );
+}
+
+/// `run_checkpointed` + `restore` is the crash-recovery path: kill a run
+/// after some checkpoints landed on disk, restore the newest file into a
+/// fresh machine, and the finished result matches the uninterrupted run.
+#[test]
+fn on_disk_checkpoint_resumes_a_killed_run() {
+    let dir = std::env::temp_dir().join("norush-resume-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("resume.ckpt");
+    std::fs::remove_file(&path).ok();
+
+    let sys = SystemConfig::small(4);
+    let reference = machine(&sys)
+        .run_for(50_000_000)
+        .expect("run")
+        .expect("drains");
+
+    // "Crashing" run: advance in checkpointed slices, then stop driving it
+    // mid-flight — exactly what SIGKILL leaves behind on disk.
+    let mut crashed = machine(&sys);
+    let r = crashed.run_checkpointed(600, 200, &path);
+    assert!(
+        matches!(r, Err(SimError::Timeout(_))),
+        "600 cycles is far short of draining"
+    );
+    assert!(path.exists(), "a checkpoint file must have landed");
+    drop(crashed);
+
+    let bytes = norush::sim::checkpoint::read_checkpoint(&path).expect("read");
+    let mut resumed = machine(&sys);
+    resumed.restore(&bytes).expect("resume from disk");
+    assert_eq!(resumed.now().raw(), 600);
+    let rr = resumed
+        .run_checkpointed(50_000_000, 10_000, &path)
+        .expect("resumed run drains");
+    assert_eq!(
+        format!("{rr:?}"),
+        format!("{reference:?}"),
+        "resumed run must match the uninterrupted one"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+fn restore_err(sys: &SystemConfig, bytes: &[u8]) -> PersistError {
+    match machine(sys).restore(bytes) {
+        Err(SimError::Checkpoint(e)) => e,
+        other => panic!("expected a structured checkpoint error, got {other:?}"),
+    }
+}
+
+/// Truncation anywhere — empty, mid-header, mid-payload, one byte shy —
+/// must yield `PersistError`s, never a panic or a silent partial restore.
+#[test]
+fn truncated_checkpoints_fail_structurally() {
+    let sys = SystemConfig::small(2);
+    let mut m = Machine::new(&sys, streams(2, 40, &ADDRS));
+    assert!(m.run_for(300).expect("prefix").is_none());
+    let snap = m.checkpoint().expect("checkpoint");
+    for cut in [0, 7, 11, 27, snap.len() / 2, snap.len() - 1] {
+        let err = restore_err(&sys, &snap[..cut]);
+        assert!(
+            matches!(err, PersistError::Corrupt(_) | PersistError::UnexpectedEof),
+            "cut at {cut}: got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn bad_magic_is_rejected() {
+    let sys = SystemConfig::small(2);
+    let mut m = Machine::new(&sys, streams(2, 40, &ADDRS));
+    assert!(m.run_for(300).expect("prefix").is_none());
+    let mut snap = m.checkpoint().expect("checkpoint");
+    snap[0] ^= 0xff;
+    assert!(matches!(restore_err(&sys, &snap), PersistError::Corrupt(_)));
+}
+
+/// Bit flips in the body are caught by the whole-file checksum before any
+/// payload byte is interpreted.
+#[test]
+fn flipped_payload_byte_fails_the_checksum() {
+    let sys = SystemConfig::small(2);
+    let mut m = Machine::new(&sys, streams(2, 40, &ADDRS));
+    assert!(m.run_for(300).expect("prefix").is_none());
+    let mut snap = m.checkpoint().expect("checkpoint");
+    let mid = snap.len() / 2;
+    snap[mid] ^= 0x01;
+    assert!(matches!(
+        restore_err(&sys, &snap),
+        PersistError::Corrupt("checkpoint checksum mismatch")
+    ));
+}
+
+/// A future-format checkpoint (crafted with a *valid* checksum, so only the
+/// version differs) is refused with `VersionMismatch`, not misparsed.
+#[test]
+fn wrong_format_version_is_refused() {
+    let sys = SystemConfig::small(2);
+    let mut m = Machine::new(&sys, streams(2, 40, &ADDRS));
+    assert!(m.run_for(300).expect("prefix").is_none());
+    let mut snap = m.checkpoint().expect("checkpoint");
+    snap[8..12].copy_from_slice(&99u32.to_le_bytes());
+    let n = snap.len();
+    let sum = fnv1a(&snap[..n - 8]);
+    snap[n - 8..].copy_from_slice(&sum.to_le_bytes());
+    match restore_err(&sys, &snap) {
+        PersistError::VersionMismatch { found, expected } => {
+            assert_eq!(
+                (found, expected),
+                (99, norush::sim::checkpoint::FORMAT_VERSION)
+            );
+        }
+        other => panic!("expected VersionMismatch, got {other:?}"),
+    }
+}
+
+/// A checkpoint from a differently-configured machine (other core count or
+/// other policy) is refused by the config hash.
+#[test]
+fn mismatched_config_is_refused() {
+    let four = SystemConfig::small(4);
+    let mut m = machine(&four);
+    assert!(m.run_for(300).expect("prefix").is_none());
+    let snap = m.checkpoint().expect("checkpoint");
+
+    let two = SystemConfig::small(2);
+    assert!(matches!(
+        restore_err(&two, &snap),
+        PersistError::ConfigMismatch { .. }
+    ));
+    let lazy = SystemConfig::small(4).with_policy(AtomicPolicy::Lazy);
+    assert!(matches!(
+        restore_err(&lazy, &snap),
+        PersistError::ConfigMismatch { .. }
+    ));
+}
+
+/// Checkpointing a machine that already latched a protocol error is refused:
+/// such a snapshot could never restore into a consistent simulation.
+#[test]
+fn checkpoint_refuses_a_poisoned_machine() {
+    let sys = SystemConfig::small(2);
+    let mut m = Machine::new(&sys, streams(2, 40, &ADDRS));
+    assert!(m.run_for(100).expect("prefix").is_none());
+    m.memory_mut()
+        .record_protocol_error(norush::mem::ProtocolError::MultipleOwners {
+            line: LineAddr::new(ADDRS[0] >> 6),
+            owners: vec![CoreId::new(0), CoreId::new(1)],
+        });
+    assert!(matches!(
+        m.checkpoint(),
+        Err(SimError::Checkpoint(PersistError::Corrupt(_)))
+    ));
+}
+
+/// The rewind demo: with `rewind_every` set, a violation found by the
+/// periodic sweep is replayed from the last in-memory checkpoint with
+/// *per-cycle* checking, and the report names a first offending cycle
+/// strictly earlier than the sweep's detection cycle.
+#[test]
+fn rewind_names_a_first_offending_cycle_before_detection() {
+    let mut sys = SystemConfig::small(4);
+    // A sparse sweep and a dense rewind checkpoint: the corruption below sits
+    // on a line the workload never touches, so only the sweep can see it —
+    // it survives into the next in-memory checkpoint, and the replay finds
+    // it hundreds of cycles before the sweep would.
+    sys.check.invariant_every = Some(1_000);
+    sys.check.rewind_every = Some(50);
+    let mut m = Machine::new(&sys, streams(4, 200, &ADDRS));
+    assert!(m.run_for(310).expect("clean prefix").is_none());
+    for c in 0..2 {
+        m.memory_mut().corrupt_private_state_for_test(
+            CoreId::new(c),
+            LineAddr::new(0x00dd_dd00 >> 6),
+            Some(PrivState::M),
+        );
+    }
+    let err = m.run_for(50_000_000).expect_err("the sweep must catch it");
+    let SimError::Rewind(report) = err else {
+        panic!("expected a rewind report, got {err}");
+    };
+    assert!(
+        matches!(*report.cause, SimError::Protocol(_)),
+        "cause: {:?}",
+        report.cause
+    );
+    let first = report
+        .first_bad_cycle
+        .expect("the replay must reproduce the violation");
+    assert!(
+        first < report.detected_at,
+        "replay must localize tighter than the sweep: first bad {} vs detected {}",
+        first.raw(),
+        report.detected_at.raw()
+    );
+    assert!(first >= report.checkpoint_at);
+    assert!(report.first_error.is_some());
+    assert!(report.trace.len() <= norush::sim::machine::REWIND_TRACE_LIMIT);
+    let shown = format!("{report}");
+    assert!(
+        shown.contains("first"),
+        "the report should surface the localized cycle:\n{shown}"
+    );
+}
+
+/// With rewind disabled (the default), the same failure surfaces as the
+/// plain protocol/stall error — existing behaviour is unchanged.
+#[test]
+fn rewind_off_preserves_plain_errors() {
+    let mut sys = SystemConfig::small(4);
+    sys.check.invariant_every = Some(1_000);
+    assert!(sys.check.rewind_every.is_none());
+    let mut m = Machine::new(&sys, streams(4, 200, &ADDRS));
+    assert!(m.run_for(310).expect("clean prefix").is_none());
+    for c in 0..2 {
+        m.memory_mut().corrupt_private_state_for_test(
+            CoreId::new(c),
+            LineAddr::new(0x00dd_dd00 >> 6),
+            Some(PrivState::M),
+        );
+    }
+    let err = m.run_for(50_000_000).expect_err("the sweep must catch it");
+    assert!(matches!(err, SimError::Protocol(_)), "got {err}");
+}

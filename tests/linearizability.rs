@@ -142,7 +142,14 @@ fn random_atomic_mixes_are_linearizable() {
             .collect();
         let mut m = Machine::new(&sys, streams);
         m.run(60_000_000).expect("drains");
-        let total: u64 = addrs.iter().map(|&a| m.memory().read_word(Addr::new(a))).sum();
-        assert_eq!(total, cores as u64 * per_core, "policy_pick {policy_pick} seed {seed}");
+        let total: u64 = addrs
+            .iter()
+            .map(|&a| m.memory().read_word(Addr::new(a)))
+            .sum();
+        assert_eq!(
+            total,
+            cores as u64 * per_core,
+            "policy_pick {policy_pick} seed {seed}"
+        );
     }
 }

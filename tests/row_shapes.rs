@@ -87,7 +87,9 @@ fn fig9_row_tracks_the_winner_on_both_extremes() {
 fn fig9_ew_detector_underperforms_rw_on_contended_apps() {
     let e = exp();
     let ew = run_row(Benchmark::Pc, RowVariant::EwUd, &e).unwrap().cycles;
-    let rw = run_row(Benchmark::Pc, RowVariant::RwDirUd, &e).unwrap().cycles;
+    let rw = run_row(Benchmark::Pc, RowVariant::RwDirUd, &e)
+        .unwrap()
+        .cycles;
     // EW misses contention (tiny window under lazy), so it stays eager and
     // pays eager's price on pc.
     assert!(
@@ -143,7 +145,9 @@ fn fig12_predictors_report_accuracy() {
 fn fig13_forwarding_recovers_cq() {
     let e = exp();
     let eager = run_eager(Benchmark::Cq, &e).unwrap().cycles as f64;
-    let no_fwd = run_row(Benchmark::Cq, RowVariant::RwDirUd, &e).unwrap().cycles as f64;
+    let no_fwd = run_row(Benchmark::Cq, RowVariant::RwDirUd, &e)
+        .unwrap()
+        .cycles as f64;
     let fwd = run_row_fwd(Benchmark::Cq, RowVariant::RwDirUd, &e).unwrap();
     assert!(
         (fwd.cycles as f64) <= no_fwd * 1.05,
@@ -162,23 +166,82 @@ fn fig13_forwarding_recovers_cq() {
 #[test]
 fn fig2_microbench_shapes() {
     let it = 300;
-    let plain = |m| run_microbench(MicroRmw::Faa, MicroVariant { atomic: false, mfence: false }, m, it).unwrap();
-    let lock = |m| run_microbench(MicroRmw::Faa, MicroVariant { atomic: true, mfence: false }, m, it).unwrap();
-    let lock_mf = |m| run_microbench(MicroRmw::Faa, MicroVariant { atomic: true, mfence: true }, m, it).unwrap();
+    let plain = |m| {
+        run_microbench(
+            MicroRmw::Faa,
+            MicroVariant {
+                atomic: false,
+                mfence: false,
+            },
+            m,
+            it,
+        )
+        .unwrap()
+    };
+    let lock = |m| {
+        run_microbench(
+            MicroRmw::Faa,
+            MicroVariant {
+                atomic: true,
+                mfence: false,
+            },
+            m,
+            it,
+        )
+        .unwrap()
+    };
+    let lock_mf = |m| {
+        run_microbench(
+            MicroRmw::Faa,
+            MicroVariant {
+                atomic: true,
+                mfence: true,
+            },
+            m,
+            it,
+        )
+        .unwrap()
+    };
 
     // Modern (unfenced) core: lock ≈ plain, mfence is the cliff.
-    let (p_u, l_u, f_u) = (plain(FenceModel::Unfenced), lock(FenceModel::Unfenced), lock_mf(FenceModel::Unfenced));
+    let (p_u, l_u, f_u) = (
+        plain(FenceModel::Unfenced),
+        lock(FenceModel::Unfenced),
+        lock_mf(FenceModel::Unfenced),
+    );
     assert!(l_u < p_u * 1.7, "unfenced: lock {l_u} ≈ plain {p_u}");
     assert!(f_u > l_u * 3.0, "unfenced: mfence {f_u} ≫ lock {l_u}");
 
     // Old (fenced) core: lock is already fence-priced; mfence adds ~nothing.
-    let (p_f, l_f, f_f) = (plain(FenceModel::Fenced), lock(FenceModel::Fenced), lock_mf(FenceModel::Fenced));
+    let (p_f, l_f, f_f) = (
+        plain(FenceModel::Fenced),
+        lock(FenceModel::Fenced),
+        lock_mf(FenceModel::Fenced),
+    );
     assert!(l_f > p_f * 2.0, "fenced: lock {l_f} ≫ plain {p_f}");
     assert!(f_f < l_f * 1.2, "fenced: mfence {f_f} ≈ lock {l_f}");
 
     // Swap is always locked: plain == lock (both models).
-    let sw_plain = run_microbench(MicroRmw::Swap, MicroVariant { atomic: false, mfence: false }, FenceModel::Fenced, it).unwrap();
-    let sw_lock = run_microbench(MicroRmw::Swap, MicroVariant { atomic: true, mfence: false }, FenceModel::Fenced, it).unwrap();
+    let sw_plain = run_microbench(
+        MicroRmw::Swap,
+        MicroVariant {
+            atomic: false,
+            mfence: false,
+        },
+        FenceModel::Fenced,
+        it,
+    )
+    .unwrap();
+    let sw_lock = run_microbench(
+        MicroRmw::Swap,
+        MicroVariant {
+            atomic: true,
+            mfence: false,
+        },
+        FenceModel::Fenced,
+        it,
+    )
+    .unwrap();
     assert!((sw_plain - sw_lock).abs() < 1.0);
 }
 

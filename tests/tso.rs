@@ -29,7 +29,12 @@ fn store(pc: u64, addr: u64, v: u64) -> Instr {
 }
 
 fn load(pc: u64, addr: u64) -> Instr {
-    Instr::simple(Pc::new(pc), Op::Load { addr: Addr::new(addr) })
+    Instr::simple(
+        Pc::new(pc),
+        Op::Load {
+            addr: Addr::new(addr),
+        },
+    )
 }
 
 /// The store-buffering litmus test (x86-TSO's signature relaxation):
