@@ -29,12 +29,20 @@ fn atomics_per_kilo_instr(r: &RunResult) -> f64 {
     }
 }
 
+/// Transport retransmissions across both runs of a row (0 unless the suite
+/// is ever pointed at a lossy-chaos configuration).
+fn transport_retries(r: &RunResult) -> u64 {
+    r.transport.map_or(0, |t| t.retries + t.nack_retransmits)
+}
+
 fn json_row(r: &Row) -> String {
     format!(
         concat!(
             "    {{\"benchmark\": \"{}\", \"cycles_eager\": {}, \"cycles_row\": {}, ",
             "\"ratio\": {:.6}, \"ipc_eager\": {:.4}, \"ipc_row\": {:.4}, ",
             "\"atomics_per_kilo_instr\": {:.3}, ",
+            "\"transport_retries_eager\": {}, \"transport_retries_row\": {}, ",
+            "\"transport_giveups\": {}, ",
             "\"wall_time_s_eager\": {:.3}, \"wall_time_s_row\": {:.3}}}"
         ),
         r.bench.name(),
@@ -44,6 +52,9 @@ fn json_row(r: &Row) -> String {
         r.eager.ipc(),
         r.row.ipc(),
         atomics_per_kilo_instr(&r.eager),
+        transport_retries(&r.eager),
+        transport_retries(&r.row),
+        r.eager.transport.map_or(0, |t| t.giveups) + r.row.transport.map_or(0, |t| t.giveups),
         r.wall_eager_s,
         r.wall_row_s,
     )
@@ -93,7 +104,7 @@ fn main() {
 
     let body: Vec<String> = rows.iter().map(json_row).collect();
     let json = format!(
-        "{{\n  \"schema\": \"norush-headline-v1\",\n  \"cores\": {},\n  \"instructions_per_core\": {},\n  \"geomean_ratio\": {:.6},\n  \"benchmarks\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"norush-headline-v2\",\n  \"cores\": {},\n  \"instructions_per_core\": {},\n  \"geomean_ratio\": {:.6},\n  \"benchmarks\": [\n{}\n  ]\n}}\n",
         exp.cores,
         exp.instructions,
         gm,

@@ -12,7 +12,7 @@
 use row_common::ids::{CoreId, LineAddr};
 use row_common::Cycle;
 use row_cpu::Core;
-use row_mem::{BlockedEntrySnapshot, BlockedPhase, MemorySystem};
+use row_mem::{BlockedEntrySnapshot, BlockedPhase, InflightProbe, MemorySystem};
 
 /// Why one core is (or is not) making progress.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -60,6 +60,10 @@ pub struct StallReport {
     pub blocked: Vec<BlockedDirInfo>,
     /// The latest link `busy_until` across the mesh.
     pub noc_busy_until: Cycle,
+    /// The oldest un-ACKed lossy-transport transaction, when lossy chaos is
+    /// active — separates "a message is lost and still being retried" from a
+    /// genuine protocol livelock.
+    pub oldest_transport: Option<InflightProbe>,
 }
 
 impl StallReport {
@@ -93,6 +97,7 @@ impl StallReport {
             cores: cores_info,
             blocked,
             noc_busy_until: mem.noc_busy_horizon(),
+            oldest_transport: mem.oldest_inflight(),
         }
     }
 
@@ -155,7 +160,16 @@ impl std::fmt::Display for StallReport {
                 writeln!(f, "    queued: {q:?}")?;
             }
         }
-        write!(f, "  noc links busy until {}", self.noc_busy_until)
+        if let Some(t) = &self.oldest_transport {
+            writeln!(f, "  noc links busy until {}", self.noc_busy_until)?;
+            write!(
+                f,
+                "  oldest transport txn: {:?} -> {:?} seq {} in flight since {} ({} attempts)",
+                t.src, t.dst, t.seq, t.first_sent, t.attempts
+            )
+        } else {
+            write!(f, "  noc links busy until {}", self.noc_busy_until)
+        }
     }
 }
 

@@ -366,6 +366,14 @@ impl Default for NocConfig {
 /// itself provides (per-link serialization), so every perturbed schedule is
 /// one the protocol must already tolerate.
 ///
+/// The `*_ppm` knobs extend chaos from delay-only to a *lossy* fault model:
+/// each wire transmission may independently be dropped, duplicated, or
+/// payload-corrupted with the given probability in parts-per-million, drawn
+/// from the same seeded stream. Any non-zero rate switches the memory system
+/// onto its recoverable transport (sequence numbers, ACK/NACK,
+/// timeout-with-backoff retransmission), which masks the faults; delay-only
+/// configurations keep the exact pre-transport behaviour, timing included.
+///
 /// [`SplitMix64`]: crate::rng::SplitMix64
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct FaultConfig {
@@ -374,15 +382,37 @@ pub struct FaultConfig {
     /// Maximum extra delivery latency, in cycles, added per message
     /// (uniform in `[0, max_extra_latency]`).
     pub max_extra_latency: u64,
+    /// Probability, in parts per million, that a transmission is dropped.
+    pub drop_ppm: u32,
+    /// Probability, in parts per million, that a transmission is duplicated
+    /// (the copy takes an independently drawn delivery time).
+    pub dup_ppm: u32,
+    /// Probability, in parts per million, that a transmission's payload is
+    /// corrupted in flight (detected by checksum, answered with a NACK).
+    pub corrupt_ppm: u32,
 }
 
+/// Upper bound on each per-transmission fault probability: 0.5, i.e.
+/// 500 000 ppm. Beyond this, retransmission no longer converges in any
+/// reasonable number of attempts.
+pub const MAX_FAULT_PPM: u32 = 500_000;
+
 impl FaultConfig {
-    /// A chaos configuration with the default perturbation bound.
+    /// A delay-only chaos configuration with the default perturbation bound.
     pub fn with_seed(seed: u64) -> Self {
         FaultConfig {
             seed,
             max_extra_latency: 40,
+            drop_ppm: 0,
+            dup_ppm: 0,
+            corrupt_ppm: 0,
         }
+    }
+
+    /// True when any lossy fault (drop/duplicate/corrupt) is enabled, which
+    /// engages the recoverable transport layer.
+    pub fn lossy(&self) -> bool {
+        self.drop_ppm > 0 || self.dup_ppm > 0 || self.corrupt_ppm > 0
     }
 }
 
@@ -411,6 +441,11 @@ pub struct CheckConfig {
     pub rewind_every: Option<u64>,
     /// Deterministic fault injection of message delivery (`None` = off).
     pub chaos: Option<FaultConfig>,
+    /// Record every architectural memory write in an apply-order journal and,
+    /// when a run drains, replay it through a sequential golden model
+    /// (`row-oracle`): per-atomic RMW return values and the final memory
+    /// state must match, or the run fails with a structured mismatch.
+    pub oracle: bool,
 }
 
 /// The full simulated system: the paper's Table I.
@@ -553,6 +588,20 @@ impl SystemConfig {
         if self.check.rewind_every == Some(0) {
             return Err("rewind_every must be at least one cycle".into());
         }
+        if let Some(fc) = &self.check.chaos {
+            for (name, ppm) in [
+                ("drop_ppm", fc.drop_ppm),
+                ("dup_ppm", fc.dup_ppm),
+                ("corrupt_ppm", fc.corrupt_ppm),
+            ] {
+                if ppm > MAX_FAULT_PPM {
+                    return Err(format!(
+                        "chaos {name} = {ppm} exceeds the maximum of {MAX_FAULT_PPM} \
+                         (probability 0.5)"
+                    ));
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -647,6 +696,26 @@ mod tests {
         let mut cfg = SystemConfig::small(2);
         cfg.mem.l1d.ways = 7; // 128 lines % 7 != 0
         assert!(cfg.validate().is_err());
+
+        let mut cfg = SystemConfig::small(2).with_chaos(1);
+        cfg.check.chaos.as_mut().unwrap().drop_ppm = MAX_FAULT_PPM + 1;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn fault_config_lossy_classification() {
+        let fc = FaultConfig::with_seed(3);
+        assert!(!fc.lossy(), "delay-only chaos is not lossy");
+        for lossy in [
+            FaultConfig { drop_ppm: 1, ..fc },
+            FaultConfig { dup_ppm: 1, ..fc },
+            FaultConfig {
+                corrupt_ppm: 1,
+                ..fc
+            },
+        ] {
+            assert!(lossy.lossy());
+        }
     }
 
     #[test]

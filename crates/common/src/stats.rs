@@ -267,6 +267,87 @@ impl AccuracyCounter {
     }
 }
 
+/// Counters of the recoverable memory-system transport under lossy chaos.
+///
+/// Injection counters (`*_injected`) record what the fault model did to the
+/// wire; recovery counters (`retries`, `nack_retransmits`, `dup_dropped`,
+/// `corrupt_dropped`) record what the transport did about it. In a healthy
+/// run `delivered == sent` (exactly-once delivery) and `giveups == 0`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TransportStats {
+    /// Logical messages submitted for sequenced delivery.
+    pub sent: u64,
+    /// Logical messages handed to a protocol endpoint (each exactly once).
+    pub delivered: u64,
+    /// Timeout-driven retransmissions.
+    pub retries: u64,
+    /// Retransmissions answered to a corruption NACK.
+    pub nack_retransmits: u64,
+    /// Transmissions the fault model dropped on the wire.
+    pub drops_injected: u64,
+    /// Transmissions the fault model duplicated on the wire.
+    pub dups_injected: u64,
+    /// Transmissions whose payload the fault model corrupted.
+    pub corrupts_injected: u64,
+    /// Arrivals discarded as duplicates (already delivered or buffered).
+    pub dup_dropped: u64,
+    /// Arrivals discarded on checksum mismatch (then NACKed).
+    pub corrupt_dropped: u64,
+    /// Acknowledgements sent by receivers.
+    pub acks_sent: u64,
+    /// Messages abandoned after the retransmission budget ran out. Any
+    /// non-zero value is an error surfaced through the protocol-error path.
+    pub giveups: u64,
+}
+
+impl TransportStats {
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &TransportStats) {
+        self.sent += other.sent;
+        self.delivered += other.delivered;
+        self.retries += other.retries;
+        self.nack_retransmits += other.nack_retransmits;
+        self.drops_injected += other.drops_injected;
+        self.dups_injected += other.dups_injected;
+        self.corrupts_injected += other.corrupts_injected;
+        self.dup_dropped += other.dup_dropped;
+        self.corrupt_dropped += other.corrupt_dropped;
+        self.acks_sent += other.acks_sent;
+        self.giveups += other.giveups;
+    }
+}
+
+impl Codec for TransportStats {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.sent);
+        w.put_u64(self.delivered);
+        w.put_u64(self.retries);
+        w.put_u64(self.nack_retransmits);
+        w.put_u64(self.drops_injected);
+        w.put_u64(self.dups_injected);
+        w.put_u64(self.corrupts_injected);
+        w.put_u64(self.dup_dropped);
+        w.put_u64(self.corrupt_dropped);
+        w.put_u64(self.acks_sent);
+        w.put_u64(self.giveups);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(TransportStats {
+            sent: r.get_u64()?,
+            delivered: r.get_u64()?,
+            retries: r.get_u64()?,
+            nack_retransmits: r.get_u64()?,
+            drops_injected: r.get_u64()?,
+            dups_injected: r.get_u64()?,
+            corrupts_injected: r.get_u64()?,
+            dup_dropped: r.get_u64()?,
+            corrupt_dropped: r.get_u64()?,
+            acks_sent: r.get_u64()?,
+            giveups: r.get_u64()?,
+        })
+    }
+}
+
 impl Codec for RunningMean {
     fn encode(&self, w: &mut Writer) {
         w.put_u128(self.sum);
@@ -436,6 +517,28 @@ mod tests {
     #[test]
     fn accuracy_empty_is_perfect() {
         assert_eq!(AccuracyCounter::new().accuracy(), 1.0);
+    }
+
+    #[test]
+    fn transport_stats_merge_and_roundtrip() {
+        let mut a = TransportStats {
+            sent: 10,
+            delivered: 10,
+            retries: 3,
+            nack_retransmits: 1,
+            drops_injected: 2,
+            dups_injected: 4,
+            corrupts_injected: 1,
+            dup_dropped: 4,
+            corrupt_dropped: 1,
+            acks_sent: 14,
+            giveups: 0,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.sent, 20);
+        assert_eq!(a.retries, 6);
+        assert_eq!(crate::persist::roundtrip(&a).unwrap(), a);
     }
 
     #[test]

@@ -879,7 +879,7 @@ impl Core {
         } else {
             let addr = s.addr.expect("written store has an address");
             if let Some(v) = s.value {
-                mem.write_word(addr, v);
+                mem.store_word(self.id, addr, v, now);
             }
             self.ss.store_completed(s.pc, uid);
         }
@@ -895,11 +895,7 @@ impl Core {
             .expect("AQ entry for finishing atomic");
         debug_assert_eq!(pos, 0, "AQ unlocks from its head");
         let a = self.aq.remove(pos).expect("present");
-        let old = mem.read_word(a.addr);
-        let (new, wrote) = a.rmw.apply(old);
-        if wrote {
-            mem.write_word(a.addr, new);
-        }
+        mem.apply_rmw(self.id, a.addr, a.rmw, now);
         mem.unlock(self.id, a.addr.line(), now);
         if self.cfg.fence_model == FenceModel::Fenced {
             self.barriers.remove(&a.order);

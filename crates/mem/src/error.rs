@@ -12,7 +12,7 @@
 use row_common::ids::{CoreId, LineAddr};
 
 use crate::directory::DirState;
-use crate::msg::Msg;
+use crate::msg::{Endpoint, Msg};
 use crate::private::PrivState;
 
 /// A coherence-protocol invariant was broken.
@@ -87,6 +87,22 @@ pub enum ProtocolError {
         /// The configured (or derived) bound.
         bound: usize,
     },
+    /// The recoverable transport exhausted its retransmission budget for a
+    /// message: the channel is effectively severed (fault rates beyond what
+    /// bounded retry can mask), so forward progress can no longer be
+    /// guaranteed.
+    TransportGiveUp {
+        /// Sending endpoint of the abandoned channel message.
+        src: Endpoint,
+        /// Destination endpoint.
+        dst: Endpoint,
+        /// Channel sequence number of the abandoned message.
+        seq: u64,
+        /// Transmission attempts made before giving up.
+        attempts: u32,
+        /// The abandoned protocol message.
+        msg: Msg,
+    },
     /// A line in the lock table is not held in M, so the "external requests
     /// stall against locked lines" guarantee cannot hold.
     LockedLineNotModified {
@@ -139,6 +155,17 @@ impl std::fmt::Display for ProtocolError {
                 f,
                 "dir bank {tile}: Blocked entry for {line} queues {depth} requests (bound {bound})"
             ),
+            ProtocolError::TransportGiveUp {
+                src,
+                dst,
+                seq,
+                attempts,
+                msg,
+            } => write!(
+                f,
+                "transport gave up on {msg:?} ({src:?} -> {dst:?}, seq {seq}) \
+                 after {attempts} attempts"
+            ),
             ProtocolError::LockedLineNotModified { core, line, state } => write!(
                 f,
                 "core {core}: locked line {line} held in {state:?}, not M"
@@ -166,5 +193,16 @@ mod tests {
             line: LineAddr::new(9),
         };
         assert!(e.to_string().contains("unlock"));
+        let e = ProtocolError::TransportGiveUp {
+            src: Endpoint::Core(CoreId::new(2)),
+            dst: Endpoint::Dir(0),
+            seq: 11,
+            attempts: 16,
+            msg: Msg::Inv {
+                line: LineAddr::new(4),
+            },
+        };
+        let s = e.to_string();
+        assert!(s.contains("gave up") && s.contains("16 attempts"), "{s}");
     }
 }

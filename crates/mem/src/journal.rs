@@ -1,0 +1,136 @@
+//! Apply-order journal of architectural memory writes.
+//!
+//! When `CheckConfig::oracle` is enabled, the memory system records every
+//! atomic RMW application and every committed store in the order it hits the
+//! functional word store. That order is a linearization witness: replaying
+//! it through `row-oracle`'s sequential golden model must reproduce both
+//! every RMW's observed old value (its architectural return value) and the
+//! machine's final memory state. A transport bug that applies an atomic
+//! twice (duplicate delivery) or never (drop without retransmission) breaks
+//! the replay even when the timing side of the run looks healthy.
+
+use row_common::ids::{Addr, CoreId};
+use row_common::persist::{Codec, PersistError, Reader, Writer};
+use row_common::rmw::RmwKind;
+use row_common::Cycle;
+
+/// One architectural write, in apply order.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct OpRecord {
+    /// Core that architecturally performed the write.
+    pub core: CoreId,
+    /// Cycle the write hit the functional word store.
+    pub at: Cycle,
+    /// The write itself.
+    pub kind: OpKind,
+}
+
+/// The write recorded by an [`OpRecord`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OpKind {
+    /// An atomic read-modify-write.
+    Rmw {
+        /// Address operated on.
+        addr: Addr,
+        /// The modify operation.
+        rmw: RmwKind,
+        /// The old value the machine observed — the RMW's return value,
+        /// which the oracle's replay must reproduce exactly.
+        observed_old: u64,
+    },
+    /// A committed plain store.
+    Store {
+        /// Address written.
+        addr: Addr,
+        /// Value written.
+        value: u64,
+    },
+}
+
+impl Codec for OpKind {
+    fn encode(&self, w: &mut Writer) {
+        match *self {
+            OpKind::Rmw {
+                addr,
+                rmw,
+                observed_old,
+            } => {
+                w.put_u8(0);
+                addr.encode(w);
+                rmw.encode(w);
+                w.put_u64(observed_old);
+            }
+            OpKind::Store { addr, value } => {
+                w.put_u8(1);
+                addr.encode(w);
+                w.put_u64(value);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(match r.get_u8()? {
+            0 => OpKind::Rmw {
+                addr: Addr::decode(r)?,
+                rmw: RmwKind::decode(r)?,
+                observed_old: r.get_u64()?,
+            },
+            1 => OpKind::Store {
+                addr: Addr::decode(r)?,
+                value: r.get_u64()?,
+            },
+            tag => {
+                return Err(PersistError::BadTag {
+                    what: "OpKind",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl Codec for OpRecord {
+    fn encode(&self, w: &mut Writer) {
+        self.core.encode(w);
+        self.at.encode(w);
+        self.kind.encode(w);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(OpRecord {
+            core: CoreId::decode(r)?,
+            at: Cycle::decode(r)?,
+            kind: OpKind::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use row_common::persist::roundtrip;
+
+    #[test]
+    fn records_roundtrip() {
+        let records = [
+            OpRecord {
+                core: CoreId::new(2),
+                at: Cycle::new(77),
+                kind: OpKind::Rmw {
+                    addr: Addr::new(0xf000),
+                    rmw: RmwKind::Faa(3),
+                    observed_old: 41,
+                },
+            },
+            OpRecord {
+                core: CoreId::new(0),
+                at: Cycle::new(78),
+                kind: OpKind::Store {
+                    addr: Addr::new(0x88),
+                    value: 9,
+                },
+            },
+        ];
+        for rec in records {
+            assert_eq!(roundtrip(&rec).unwrap(), rec);
+        }
+    }
+}

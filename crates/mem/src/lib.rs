@@ -13,6 +13,12 @@
 //! * [`system`] — [`MemorySystem`], gluing caches, directories and the
 //!   [`row_noc`] mesh together, plus the functional word store used to prove
 //!   atomicity end-to-end.
+//! * [`mod@transport`] — chaos-mode fault injection and, under *lossy*
+//!   faults (drop/duplicate/corrupt), the recoverable transport: sequence
+//!   numbers, dedup, checksums + NACK, and timeout retransmission with
+//!   bounded exponential backoff.
+//! * [`mod@journal`] — the apply-order write journal replayed by the
+//!   `row-oracle` differential checker.
 //!
 //! # Example
 //!
@@ -38,13 +44,17 @@
 pub mod array;
 pub mod directory;
 pub mod error;
+pub mod journal;
 pub mod msg;
 pub mod prefetch;
 pub mod private;
 pub mod system;
+pub mod transport;
 
 pub use directory::{BlockedEntrySnapshot, BlockedPhase, DirState, DirStats};
 pub use error::ProtocolError;
-pub use msg::{AccessKind, FillSource, MemEvent, Msg, ReqMeta};
+pub use journal::{OpKind, OpRecord};
+pub use msg::{AccessKind, Endpoint, FillSource, Frame, MemEvent, Msg, ReqMeta};
 pub use private::{PrivState, PrivStats};
 pub use system::{MemStats, MemorySystem};
+pub use transport::InflightProbe;

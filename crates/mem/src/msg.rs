@@ -188,12 +188,77 @@ impl Msg {
 }
 
 /// Delivery endpoint of a message.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+///
+/// Ordered and hashable so it can key transport channels: `Core(i)` and
+/// `Dir(i)` share a mesh node but are distinct endpoints, so channel
+/// identity must be endpoint-based, not node-based.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Endpoint {
     /// A core's private cache controller.
     Core(CoreId),
     /// The directory/L3 bank at a tile.
     Dir(usize),
+}
+
+/// One unit of traffic on the memory system's internal network.
+///
+/// Fault-free and delay-only configurations carry every protocol message as
+/// a bare [`Frame::Msg`], preserving the pre-transport behaviour bit for
+/// bit. Lossy chaos instead wraps protocol messages into sequenced,
+/// checksummed [`Frame::Seq`] frames and adds transport-level
+/// acknowledgements, so drops, duplicates, and corruption can be recovered
+/// from (retransmission) or rejected (dedup, NACK) at delivery time.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Frame {
+    /// An unsequenced protocol message (reliable-network fast path).
+    Msg {
+        /// Delivery endpoint.
+        to: Endpoint,
+        /// The protocol message.
+        msg: Msg,
+    },
+    /// A sequenced, checksummed protocol message on channel `(src, dst)`.
+    Seq {
+        /// Sending endpoint (channel key and ACK return address).
+        src: Endpoint,
+        /// Delivery endpoint.
+        dst: Endpoint,
+        /// Per-channel sequence number, assigned in send order.
+        seq: u64,
+        /// The protocol message.
+        msg: Msg,
+        /// [`msg_checksum`] of `msg` as sent (mismatches on arrival mean
+        /// in-flight corruption).
+        check: u64,
+    },
+    /// Delivery acknowledgement for `(src, dst, seq)`, travelling *to*
+    /// `src`. Retires the sender's in-flight entry.
+    Ack {
+        /// Original sender (the frame's destination).
+        src: Endpoint,
+        /// Original receiver (the frame's origin).
+        dst: Endpoint,
+        /// Acknowledged sequence number.
+        seq: u64,
+    },
+    /// Corruption report for `(src, dst, seq)`, travelling *to* `src`:
+    /// requests an immediate retransmission without waiting for the timeout.
+    Nack {
+        /// Original sender (the frame's destination).
+        src: Endpoint,
+        /// Original receiver (the frame's origin).
+        dst: Endpoint,
+        /// Sequence number whose payload failed its checksum.
+        seq: u64,
+    },
+}
+
+/// Checksum a sequenced frame carries alongside its payload: FNV-1a over
+/// the message's canonical encoding.
+pub fn msg_checksum(msg: &Msg) -> u64 {
+    let mut w = Writer::new();
+    msg.encode(&mut w);
+    row_common::persist::fnv1a(w.bytes())
 }
 
 impl Codec for AccessKind {
@@ -513,6 +578,70 @@ impl Codec for Endpoint {
     }
 }
 
+impl Codec for Frame {
+    fn encode(&self, w: &mut Writer) {
+        match *self {
+            Frame::Msg { to, msg } => {
+                w.put_u8(0);
+                to.encode(w);
+                msg.encode(w);
+            }
+            Frame::Seq {
+                src,
+                dst,
+                seq,
+                msg,
+                check,
+            } => {
+                w.put_u8(1);
+                src.encode(w);
+                dst.encode(w);
+                w.put_u64(seq);
+                msg.encode(w);
+                w.put_u64(check);
+            }
+            Frame::Ack { src, dst, seq } => {
+                w.put_u8(2);
+                src.encode(w);
+                dst.encode(w);
+                w.put_u64(seq);
+            }
+            Frame::Nack { src, dst, seq } => {
+                w.put_u8(3);
+                src.encode(w);
+                dst.encode(w);
+                w.put_u64(seq);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(match r.get_u8()? {
+            0 => Frame::Msg {
+                to: Endpoint::decode(r)?,
+                msg: Msg::decode(r)?,
+            },
+            1 => Frame::Seq {
+                src: Endpoint::decode(r)?,
+                dst: Endpoint::decode(r)?,
+                seq: r.get_u64()?,
+                msg: Msg::decode(r)?,
+                check: r.get_u64()?,
+            },
+            2 => Frame::Ack {
+                src: Endpoint::decode(r)?,
+                dst: Endpoint::decode(r)?,
+                seq: r.get_u64()?,
+            },
+            3 => Frame::Nack {
+                src: Endpoint::decode(r)?,
+                dst: Endpoint::decode(r)?,
+                seq: r.get_u64()?,
+            },
+            tag => return Err(PersistError::BadTag { what: "Frame", tag }),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -562,5 +691,55 @@ mod tests {
         }
         .carries_data());
         assert!(!Msg::Inv { line: l }.carries_data());
+    }
+
+    #[test]
+    fn checksum_distinguishes_messages() {
+        let a = Msg::GetS {
+            req: CoreId::new(0),
+            line: LineAddr::new(1),
+        };
+        let b = Msg::GetS {
+            req: CoreId::new(0),
+            line: LineAddr::new(2),
+        };
+        assert_eq!(msg_checksum(&a), msg_checksum(&a));
+        assert_ne!(msg_checksum(&a), msg_checksum(&b));
+    }
+
+    #[test]
+    fn frame_roundtrips() {
+        let msg = Msg::Data {
+            req: CoreId::new(3),
+            line: LineAddr::new(99),
+            excl: true,
+            from_private: true,
+        };
+        let frames = [
+            Frame::Msg {
+                to: Endpoint::Dir(2),
+                msg,
+            },
+            Frame::Seq {
+                src: Endpoint::Core(CoreId::new(3)),
+                dst: Endpoint::Dir(2),
+                seq: 17,
+                msg,
+                check: msg_checksum(&msg),
+            },
+            Frame::Ack {
+                src: Endpoint::Dir(2),
+                dst: Endpoint::Core(CoreId::new(3)),
+                seq: 17,
+            },
+            Frame::Nack {
+                src: Endpoint::Dir(2),
+                dst: Endpoint::Core(CoreId::new(3)),
+                seq: 18,
+            },
+        ];
+        for f in frames {
+            assert_eq!(row_common::persist::roundtrip(&f).unwrap(), f);
+        }
     }
 }

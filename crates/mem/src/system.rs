@@ -21,19 +21,21 @@
 
 use std::collections::HashMap;
 
-use row_common::config::{FaultConfig, SystemConfig};
+use row_common::config::SystemConfig;
 use row_common::ids::{Addr, CoreId, LineAddr};
 use row_common::persist::{Codec, Persist, PersistError, Reader, Writer};
-use row_common::rng::SplitMix64;
+use row_common::rmw::RmwKind;
 use row_common::sched::EventQueue;
-use row_common::stats::RunningMean;
+use row_common::stats::{RunningMean, TransportStats};
 use row_common::Cycle;
 
 use crate::directory::{BlockedEntrySnapshot, DirBank, DirState};
 use crate::error::ProtocolError;
-use crate::msg::{Endpoint, MemEvent, Msg, ReqMeta};
+use crate::journal::{OpKind, OpRecord};
+use crate::msg::{Endpoint, Frame, MemEvent, Msg, ReqMeta};
 use crate::private::{AccessOutcome, CacheAction, PrivState, PrivateCache};
-use row_noc::{Mesh, MsgClass, NodeId};
+use crate::transport::{node_of, InflightProbe, Transport};
+use row_noc::{Mesh, MsgClass};
 
 fn home_of(line: LineAddr, tiles: usize) -> usize {
     (line.raw() as usize) % tiles
@@ -52,50 +54,6 @@ pub struct MemStats {
     pub home_fills: u64,
 }
 
-/// Deterministic delivery-perturbation state (chaos mode).
-///
-/// Adds a seeded, bounded extra latency to every message delivery. Because
-/// the mesh serializes each link (a data message occupies a link for its
-/// full flit count), messages between the same (src, dst) pair can never
-/// reorder natively — so the perturbation preserves per-pair delivery order
-/// and only reorders messages across distinct pairs, which the protocol must
-/// already tolerate.
-#[derive(Clone, Debug)]
-struct FaultState {
-    rng: SplitMix64,
-    max_extra: u64,
-    /// Last perturbed delivery cycle per (src, dst) node pair.
-    last: HashMap<(usize, usize), Cycle>,
-}
-
-impl FaultState {
-    fn new(cfg: FaultConfig) -> Self {
-        FaultState {
-            rng: SplitMix64::new(cfg.seed),
-            max_extra: cfg.max_extra_latency,
-            last: HashMap::new(),
-        }
-    }
-
-    /// Perturbs a delivery cycle, keeping same-pair messages in order.
-    fn perturb(&mut self, src: NodeId, dst: NodeId, deliver: Cycle) -> Cycle {
-        let jitter = if self.max_extra == 0 {
-            0
-        } else {
-            self.rng.below(self.max_extra + 1)
-        };
-        let key = (src.index(), dst.index());
-        let mut at = deliver + jitter;
-        if let Some(&prev) = self.last.get(&key) {
-            if at <= prev {
-                at = prev + 1;
-            }
-        }
-        self.last.insert(key, at);
-        at
-    }
-}
-
 /// The simulated memory hierarchy shared by all cores.
 #[derive(Clone, Debug)]
 pub struct MemorySystem {
@@ -103,12 +61,17 @@ pub struct MemorySystem {
     mesh: Mesh,
     dirs: Vec<DirBank>,
     caches: Vec<PrivateCache>,
-    net: EventQueue<(Endpoint, Msg)>,
+    net: EventQueue<Frame>,
     out: Vec<MemEvent>,
     words: HashMap<u64, u64>,
     starts: HashMap<(CoreId, u64), Cycle>,
     stats: MemStats,
-    fault: Option<FaultState>,
+    /// Chaos-mode fault injection plus, when lossy faults are enabled, the
+    /// recoverable transport (sequencing, ACK/NACK, retransmission).
+    transport: Option<Transport>,
+    /// Apply-order journal of architectural writes for the differential
+    /// oracle (`CheckConfig::oracle`); `None` when the oracle is off.
+    journal: Option<Vec<OpRecord>>,
     /// First protocol error observed; sticky so the simulation loop can
     /// surface it even though core-facing entry points stay infallible.
     err: Option<ProtocolError>,
@@ -141,7 +104,8 @@ impl MemorySystem {
                 miss_latency: vec![RunningMean::new(); tiles],
                 ..MemStats::default()
             },
-            fault: cfg.check.chaos.map(FaultState::new),
+            transport: cfg.check.chaos.map(Transport::new),
+            journal: cfg.check.oracle.then(Vec::new),
             err: None,
         }
     }
@@ -245,14 +209,68 @@ impl MemorySystem {
     /// [`MemorySystem::protocol_error`]) rather than panicking, so the
     /// simulation loop can surface them as first-class failures.
     pub fn tick(&mut self, now: Cycle) -> Vec<MemEvent> {
-        while let Some((to, msg)) = self.net.pop_ready(now) {
-            let mut actions = Vec::new();
-            let r = match to {
-                Endpoint::Core(c) => self.caches[c.index()].handle_msg(msg, now, &mut actions),
-                Endpoint::Dir(t) => self.dirs[t].handle_msg(msg, now, &mut actions),
-            };
-            self.absorb(r);
-            self.run_actions(to, actions);
+        // Retransmission timers fire before this cycle's deliveries.
+        if let Some(t) = self.transport.as_mut() {
+            if t.lossy() {
+                let mut sends = Vec::new();
+                let r = t.process_timeouts(now, &mut self.mesh, &mut sends);
+                for (at, f) in sends {
+                    self.net.push(at, f);
+                }
+                if let Err(e) = r {
+                    self.absorb(Err(e));
+                }
+            }
+        }
+        while let Some(frame) = self.net.pop_ready(now) {
+            match frame {
+                Frame::Msg { to, msg } => self.dispatch(to, msg, now),
+                Frame::Seq {
+                    src,
+                    dst,
+                    seq,
+                    msg,
+                    check,
+                } => {
+                    let mut deliver = Vec::new();
+                    let mut sends = Vec::new();
+                    let t = self
+                        .transport
+                        .as_mut()
+                        .expect("sequenced frame without a transport");
+                    t.receive(
+                        src,
+                        dst,
+                        seq,
+                        msg,
+                        check,
+                        now,
+                        &mut self.mesh,
+                        &mut deliver,
+                        &mut sends,
+                    );
+                    for (at, f) in sends {
+                        self.net.push(at, f);
+                    }
+                    for (to, m) in deliver {
+                        self.dispatch(to, m, now);
+                    }
+                }
+                Frame::Ack { src, dst, seq } => {
+                    if let Some(t) = self.transport.as_mut() {
+                        t.on_ack((src, dst), seq);
+                    }
+                }
+                Frame::Nack { src, dst, seq } => {
+                    let mut sends = Vec::new();
+                    if let Some(t) = self.transport.as_mut() {
+                        t.on_nack((src, dst), seq, now, &mut self.mesh, &mut sends);
+                    }
+                    for (at, f) in sends {
+                        self.net.push(at, f);
+                    }
+                }
+            }
         }
         for i in 0..self.caches.len() {
             let mut actions = Vec::new();
@@ -260,6 +278,17 @@ impl MemorySystem {
             self.run_actions(Endpoint::Core(CoreId::new(i as u16)), actions);
         }
         std::mem::take(&mut self.out)
+    }
+
+    /// Hands one protocol message to its endpoint's controller.
+    fn dispatch(&mut self, to: Endpoint, msg: Msg, now: Cycle) {
+        let mut actions = Vec::new();
+        let r = match to {
+            Endpoint::Core(c) => self.caches[c.index()].handle_msg(msg, now, &mut actions),
+            Endpoint::Dir(t) => self.dirs[t].handle_msg(msg, now, &mut actions),
+        };
+        self.absorb(r);
+        self.run_actions(to, actions);
     }
 
     /// The first protocol error observed, if any. Once set it stays set: the
@@ -286,23 +315,38 @@ impl MemorySystem {
         self.net.next_cycle()
     }
 
+    /// Routes one protocol message from `from` to `to`: mesh timing, then
+    /// either the bare-frame fast path (reliable network, optionally delay-
+    /// jittered) or the sequenced lossy transport.
+    fn send_msg(&mut self, from: Endpoint, to: Endpoint, msg: Msg, at: Cycle) {
+        let src = node_of(from);
+        let dst = node_of(to);
+        let class = if msg.carries_data() {
+            MsgClass::Data
+        } else {
+            MsgClass::Control
+        };
+        let deliver = self.mesh.send(src, dst, class, at);
+        match self.transport.as_mut() {
+            None => self.net.push(deliver, Frame::Msg { to, msg }),
+            Some(t) if !t.lossy() => {
+                let jittered = t.perturb(src, dst, deliver);
+                self.net.push(jittered, Frame::Msg { to, msg });
+            }
+            Some(t) => {
+                let mut sends = Vec::new();
+                t.send(from, to, msg, deliver, at, &mut sends);
+                for (c, f) in sends {
+                    self.net.push(c, f);
+                }
+            }
+        }
+    }
+
     fn run_actions(&mut self, from: Endpoint, actions: Vec<CacheAction>) {
         for a in actions {
             match a {
-                CacheAction::Send { to, msg, at } => {
-                    let src = self.node_of(from);
-                    let dst = self.node_of(to);
-                    let class = if msg.carries_data() {
-                        MsgClass::Data
-                    } else {
-                        MsgClass::Control
-                    };
-                    let mut deliver = self.mesh.send(src, dst, class, at);
-                    if let Some(f) = self.fault.as_mut() {
-                        deliver = f.perturb(src, dst, deliver);
-                    }
-                    self.net.push(deliver, (to, msg));
-                }
+                CacheAction::Send { to, msg, at } => self.send_msg(from, to, msg, at),
                 CacheAction::ApplyRmw {
                     req,
                     line,
@@ -311,21 +355,12 @@ impl MemorySystem {
                     at,
                 } => {
                     // The home bank owns the only copy now: apply in place.
-                    let a = line.base_addr();
-                    let old = self.read_word(a);
-                    let (new, wrote) = rmw.apply(old);
-                    if wrote {
-                        self.write_word(a, new);
-                    }
-                    let src = self.node_of(from);
-                    let dst = self.node_of(Endpoint::Core(req));
-                    let mut deliver = self.mesh.send(src, dst, MsgClass::Control, at);
-                    if let Some(f) = self.fault.as_mut() {
-                        deliver = f.perturb(src, dst, deliver);
-                    }
-                    self.net.push(
-                        deliver,
-                        (Endpoint::Core(req), Msg::FarDone { req, line, req_id }),
+                    self.apply_rmw(req, line.base_addr(), rmw, at);
+                    self.send_msg(
+                        from,
+                        Endpoint::Core(req),
+                        Msg::FarDone { req, line, req_id },
+                        at,
                     );
                 }
                 CacheAction::Emit(ev) => {
@@ -356,21 +391,85 @@ impl MemorySystem {
         }
     }
 
-    fn node_of(&self, e: Endpoint) -> NodeId {
-        match e {
-            Endpoint::Core(c) => NodeId::new(c.index() as u16),
-            Endpoint::Dir(t) => NodeId::new(t as u16),
-        }
-    }
-
     /// Reads the 64-bit word containing `addr` from the functional store.
     pub fn read_word(&self, addr: Addr) -> u64 {
         self.words.get(&(addr.raw() & !7)).copied().unwrap_or(0)
     }
 
     /// Writes the 64-bit word containing `addr` in the functional store.
+    ///
+    /// This raw entry point bypasses the oracle journal — use it only for
+    /// pre-seeding memory before a run (or in tests). Architectural writes
+    /// go through [`MemorySystem::store_word`] / [`MemorySystem::apply_rmw`].
     pub fn write_word(&mut self, addr: Addr, value: u64) {
         self.words.insert(addr.raw() & !7, value);
+    }
+
+    /// Architecturally applies an atomic RMW at `addr` on behalf of `core`:
+    /// reads the word, applies `rmw`, writes back if the operation writes,
+    /// and journals the application when the oracle is enabled. Returns the
+    /// observed old value (the RMW's architectural return value).
+    pub fn apply_rmw(&mut self, core: CoreId, addr: Addr, rmw: RmwKind, now: Cycle) -> u64 {
+        let old = self.read_word(addr);
+        let (new, wrote) = rmw.apply(old);
+        if wrote {
+            self.write_word(addr, new);
+        }
+        if let Some(j) = self.journal.as_mut() {
+            j.push(OpRecord {
+                core,
+                at: now,
+                kind: OpKind::Rmw {
+                    addr,
+                    rmw,
+                    observed_old: old,
+                },
+            });
+        }
+        old
+    }
+
+    /// Architecturally commits a plain store by `core`, journaling it when
+    /// the oracle is enabled.
+    pub fn store_word(&mut self, core: CoreId, addr: Addr, value: u64, now: Cycle) {
+        self.write_word(addr, value);
+        if let Some(j) = self.journal.as_mut() {
+            j.push(OpRecord {
+                core,
+                at: now,
+                kind: OpKind::Store { addr, value },
+            });
+        }
+    }
+
+    /// The full functional word store (word address → value).
+    pub fn words(&self) -> &HashMap<u64, u64> {
+        &self.words
+    }
+
+    /// The oracle journal, when `CheckConfig::oracle` is enabled.
+    pub fn journal(&self) -> Option<&[OpRecord]> {
+        self.journal.as_deref()
+    }
+
+    /// Transport counters, present only when lossy chaos is active (the
+    /// delay-only injector has no transport behaviour to count).
+    pub fn transport_stats(&self) -> Option<&TransportStats> {
+        self.transport
+            .as_ref()
+            .filter(|t| t.lossy())
+            .map(|t| t.stats())
+    }
+
+    /// Whether the lossy transport has fully drained (no un-ACKed messages,
+    /// no buffered early arrivals). Vacuously true without lossy chaos.
+    pub fn transport_idle(&self) -> bool {
+        self.transport.as_ref().is_none_or(|t| t.idle())
+    }
+
+    /// The oldest un-ACKed transport transaction, for stall diagnostics.
+    pub fn oldest_inflight(&self) -> Option<InflightProbe> {
+        self.transport.as_ref().and_then(|t| t.oldest_inflight())
     }
 
     /// Memory-system statistics.
@@ -466,21 +565,6 @@ impl Codec for MemStats {
     }
 }
 
-impl Codec for FaultState {
-    fn encode(&self, w: &mut Writer) {
-        self.rng.encode(w);
-        w.put_u64(self.max_extra);
-        self.last.encode(w);
-    }
-    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
-        Ok(FaultState {
-            rng: SplitMix64::decode(r)?,
-            max_extra: r.get_u64()?,
-            last: HashMap::decode(r)?,
-        })
-    }
-}
-
 impl Persist for MemorySystem {
     // `tiles` is config-derived. A checkpoint is only taken when no sticky
     // protocol error is set (the machine refuses otherwise), so `err` is not
@@ -500,13 +584,8 @@ impl Persist for MemorySystem {
         self.words.encode(w);
         self.starts.encode(w);
         self.stats.encode(w);
-        match &self.fault {
-            None => w.put_u8(0),
-            Some(f) => {
-                w.put_u8(1);
-                f.encode(w);
-            }
-        }
+        self.transport.encode(w);
+        self.journal.encode(w);
     }
     fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), PersistError> {
         self.mesh.restore(r)?;
@@ -527,11 +606,16 @@ impl Persist for MemorySystem {
         self.words = HashMap::decode(r)?;
         self.starts = HashMap::decode(r)?;
         self.stats = MemStats::decode(r)?;
-        let fault = Option::<FaultState>::decode(r)?;
-        if fault.is_some() != self.fault.is_some() {
+        let transport = Option::<Transport>::decode(r)?;
+        if transport.is_some() != self.transport.is_some() {
             return Err(PersistError::Corrupt("chaos-mode presence mismatch"));
         }
-        self.fault = fault;
+        self.transport = transport;
+        let journal = Option::<Vec<OpRecord>>::decode(r)?;
+        if journal.is_some() != self.journal.is_some() {
+            return Err(PersistError::Corrupt("oracle-journal presence mismatch"));
+        }
+        self.journal = journal;
         self.err = None;
         Ok(())
     }

@@ -28,7 +28,11 @@ pub const MAGIC: &[u8; 8] = b"ROWCKPT\n";
 
 /// Current checkpoint format version. Bump on any layout change; restore
 /// refuses other versions with [`PersistError::VersionMismatch`].
-pub const FORMAT_VERSION: u32 = 1;
+///
+/// v2: the memory-system payload gained the optional lossy-transport state
+/// (sequence numbers, in-flight retransmission tracking, receive buffers,
+/// counters) and the optional oracle journal.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Writes `bytes` to `path` atomically: the data lands in `<path>.tmp` first
 /// and is renamed over `path` only once fully flushed, so a reader (or a

@@ -10,6 +10,8 @@
 //!   magic/version/config-hash/checksum validation) backing
 //!   [`Machine::checkpoint`](machine::Machine::checkpoint) and crash-resilient
 //!   sweeps.
+//! * [`shrink`] — the failing-chaos-config shrinker: greedy knob
+//!   elimination plus per-knob binary search, for minimal fault repros.
 //!
 //! # Example
 //!
@@ -30,9 +32,11 @@
 pub mod checkpoint;
 pub mod experiment;
 pub mod machine;
+pub mod shrink;
 
 pub use experiment::{
     run_benchmark, run_benchmark_checkpointed, run_eager, run_far, run_lazy, run_microbench,
     run_row, run_row_fwd, ExperimentConfig, RowVariant,
 };
 pub use machine::{Machine, RewindReport, RunResult, SimError, SimTimeout};
+pub use shrink::shrink_chaos;

@@ -8,11 +8,12 @@ use row_check::{check_coherence, StallReport};
 use row_common::config::CheckConfig;
 use row_common::ids::CoreId;
 use row_common::persist::{fnv1a, Codec, Persist, PersistError, Reader, Writer};
-use row_common::stats::{AccuracyCounter, RunningMean};
+use row_common::stats::{AccuracyCounter, RunningMean, TransportStats};
 use row_common::{Cycle, SystemConfig};
 use row_cpu::instr::InstrStream;
 use row_cpu::{Core, CoreStats};
 use row_mem::{MemorySystem, ProtocolError};
+use row_oracle::OracleMismatch;
 
 use crate::checkpoint::{FORMAT_VERSION, MAGIC};
 
@@ -66,6 +67,10 @@ pub enum SimError {
     /// checkpoint with per-cycle checking (`CheckConfig::rewind_every`); the
     /// report localizes the first offending cycle.
     Rewind(Box<RewindReport>),
+    /// The differential end-state oracle (`CheckConfig::oracle`) found the
+    /// run's journal inconsistent with a sequential replay — an atomic was
+    /// lost, duplicated, or mis-applied even though the run completed.
+    Oracle(Box<OracleMismatch>),
 }
 
 impl std::fmt::Display for SimError {
@@ -76,6 +81,7 @@ impl std::fmt::Display for SimError {
             SimError::Protocol(e) => write!(f, "protocol error: {e}"),
             SimError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
             SimError::Rewind(r) => r.fmt(f),
+            SimError::Oracle(m) => write!(f, "oracle mismatch: {m}"),
         }
     }
 }
@@ -150,6 +156,9 @@ pub struct RunResult {
     pub branch_miss_rate: f64,
     /// Fills served cache-to-cache from remote private caches.
     pub remote_fills: u64,
+    /// Recoverable-transport counters, present only when the run used lossy
+    /// chaos (drop/duplicate/corrupt injection).
+    pub transport: Option<TransportStats>,
 }
 
 impl RunResult {
@@ -280,6 +289,7 @@ impl Machine {
         if self.check.invariant_every.is_some() {
             check_coherence(&self.mem, &self.check).map_err(SimError::Protocol)?;
         }
+        self.check_oracle()?;
         Ok(Some(self.collect()))
     }
 
@@ -389,6 +399,20 @@ impl Machine {
             self.now += 1;
         }
         Ok(self.cores.iter().all(|c| c.finished()))
+    }
+
+    /// End-of-run differential check: replay the memory system's journal
+    /// through `row-oracle`'s sequential golden model and compare RMW return
+    /// values, per-core atomic counts, and final memory state.
+    fn check_oracle(&self) -> Result<(), SimError> {
+        if !self.check.oracle {
+            return Ok(());
+        }
+        let journal = self.mem.journal().unwrap_or(&[]);
+        let retired: Vec<u64> = self.cores.iter().map(|c| c.stats().atomics).collect();
+        row_oracle::check(journal, self.mem.words(), &retired)
+            .map(drop)
+            .map_err(|m| SimError::Oracle(Box::new(m)))
     }
 
     fn timeout_error(&self, limit: u64) -> SimError {
@@ -579,6 +603,7 @@ impl Machine {
                 miss as f64 / preds as f64
             },
             remote_fills: self.mem.stats().remote_fills,
+            transport: self.mem.transport_stats().copied(),
         }
     }
 }

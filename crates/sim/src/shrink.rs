@@ -1,0 +1,159 @@
+//! Failing-seed shrinker for chaos configurations.
+//!
+//! When a chaos run fails (watchdog stall, protocol violation, oracle
+//! mismatch), the raw failing [`FaultConfig`] usually has every knob turned
+//! up, which makes the repro noisy: most of the injected faults are
+//! irrelevant to the bug. [`shrink_chaos`] minimizes the configuration while
+//! preserving the failure, the way property-testing shrinkers do:
+//!
+//! 1. **Greedy elimination** — try zeroing each knob (extra latency, drop,
+//!    duplicate, corrupt) outright, keeping any zeroing that still fails,
+//!    and repeat until no knob can be removed.
+//! 2. **Binary search** — for each surviving knob, binary-search the
+//!    smallest value that still fails.
+//!
+//! The predicate runs a full simulation per probe, so the driver should use
+//! a workload that fails quickly. Total probes are bounded by
+//! `O(knobs² + knobs·log(max value))` — a few dozen runs in practice.
+
+use row_common::config::FaultConfig;
+
+/// The tunable fault knobs, in shrink order.
+const KNOBS: usize = 4;
+
+fn get(cfg: &FaultConfig, k: usize) -> u64 {
+    match k {
+        0 => cfg.max_extra_latency,
+        1 => u64::from(cfg.drop_ppm),
+        2 => u64::from(cfg.dup_ppm),
+        3 => u64::from(cfg.corrupt_ppm),
+        _ => unreachable!("knob index"),
+    }
+}
+
+fn set(cfg: &mut FaultConfig, k: usize, v: u64) {
+    match k {
+        0 => cfg.max_extra_latency = v,
+        1 => cfg.drop_ppm = v as u32,
+        2 => cfg.dup_ppm = v as u32,
+        3 => cfg.corrupt_ppm = v as u32,
+        _ => unreachable!("knob index"),
+    }
+}
+
+/// Minimizes `initial` — which must fail — under the failure predicate
+/// `fails`, returning the smallest configuration found that still fails.
+/// The RNG seed is never changed; only fault intensities shrink.
+///
+/// The returned configuration is guaranteed to satisfy `fails` (it is only
+/// ever moved to probed-and-failing candidates).
+pub fn shrink_chaos(
+    initial: FaultConfig,
+    mut fails: impl FnMut(&FaultConfig) -> bool,
+) -> FaultConfig {
+    let mut cur = initial;
+    // Phase 1: greedily zero whole knobs until fixpoint.
+    loop {
+        let mut progress = false;
+        for k in 0..KNOBS {
+            if get(&cur, k) == 0 {
+                continue;
+            }
+            let mut cand = cur;
+            set(&mut cand, k, 0);
+            if fails(&cand) {
+                cur = cand;
+                progress = true;
+            }
+        }
+        if !progress {
+            break;
+        }
+    }
+    // Phase 2: binary-search each surviving knob down to its minimal
+    // failing value. `hi` always names a probed-and-failing value.
+    for k in 0..KNOBS {
+        let mut hi = get(&cur, k);
+        if hi == 0 {
+            continue;
+        }
+        let mut lo = 0u64;
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            let mut cand = cur;
+            set(&mut cand, k, mid);
+            if fails(&cand) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        set(&mut cur, k, hi);
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full() -> FaultConfig {
+        FaultConfig {
+            seed: 7,
+            max_extra_latency: 40,
+            drop_ppm: 10_000,
+            dup_ppm: 10_000,
+            corrupt_ppm: 10_000,
+        }
+    }
+
+    #[test]
+    fn single_knob_threshold_shrinks_to_threshold() {
+        let mut probes = 0u32;
+        let min = shrink_chaos(full(), |c| {
+            probes += 1;
+            c.drop_ppm >= 137
+        });
+        assert_eq!(min.drop_ppm, 137);
+        assert_eq!(min.max_extra_latency, 0);
+        assert_eq!(min.dup_ppm, 0);
+        assert_eq!(min.corrupt_ppm, 0);
+        assert_eq!(min.seed, 7, "seed must never change");
+        assert!(probes < 64, "shrink took {probes} probes");
+    }
+
+    #[test]
+    fn conjunction_keeps_both_knobs_minimal() {
+        let min = shrink_chaos(full(), |c| c.dup_ppm > 0 && c.max_extra_latency >= 5);
+        assert_eq!(min.dup_ppm, 1);
+        assert_eq!(min.max_extra_latency, 5);
+        assert_eq!(min.drop_ppm, 0);
+        assert_eq!(min.corrupt_ppm, 0);
+    }
+
+    #[test]
+    fn result_always_fails() {
+        // An awkward predicate (fails only on even drop rates above 100):
+        // whatever comes out must itself satisfy it.
+        let pred = |c: &FaultConfig| c.drop_ppm > 100 && c.drop_ppm.is_multiple_of(2);
+        let mut cfg = full();
+        cfg.drop_ppm = 10_000;
+        assert!(pred(&cfg));
+        let min = shrink_chaos(cfg, pred);
+        assert!(pred(&min), "shrunk config no longer fails: {min:?}");
+    }
+
+    #[test]
+    fn everything_irrelevant_shrinks_to_nothing() {
+        let min = shrink_chaos(full(), |_| true);
+        assert_eq!(
+            (
+                min.max_extra_latency,
+                min.drop_ppm,
+                min.dup_ppm,
+                min.corrupt_ppm
+            ),
+            (0, 0, 0, 0)
+        );
+    }
+}

@@ -5,6 +5,8 @@
 //! norush table1
 //! norush run <benchmark> [--cores N] [--instr N] [--seed S] [--policy P]
 //!            [--check [K]] [--watchdog N] [--rewind K] [--chaos SEED]
+//!            [--chaos-latency N] [--chaos-drop P] [--chaos-dup P]
+//!            [--chaos-corrupt P] [--oracle] [--chaos-shrink]
 //!            [--checkpoint-every K] [--ckpt-dir D] [--resume]
 //! norush compare <benchmark> [--cores N] [--instr N] [--seed S]
 //! norush microbench [--iters N] [--fenced]
@@ -61,6 +63,25 @@ impl Args {
             None => Ok(default),
         }
     }
+
+    /// Parses `--{name}` as a fault probability in `[0, 0.05]` and converts
+    /// it to parts-per-million; absent means 0 (off).
+    fn prob_ppm(&self, name: &str) -> Result<u32, Box<dyn std::error::Error>> {
+        let Some(v) = self.flags.get(name) else {
+            return Ok(0);
+        };
+        let p: f64 = v
+            .parse()
+            .map_err(|e| format!("--{name}: `{v}` is not a number ({e})"))?;
+        if !(0.0..=0.05).contains(&p) {
+            return Err(format!(
+                "--{name}: probability {v} out of range [0, 0.05] \
+                 (rates above 5% defeat bounded retry)"
+            )
+            .into());
+        }
+        Ok((p * 1e6).round() as u32)
+    }
 }
 
 fn bench_by_name(name: &str) -> Result<Benchmark, String> {
@@ -96,17 +117,65 @@ fn system_for(policy: &str, exp: &ExperimentConfig) -> Result<SystemConfig, Stri
     })
 }
 
-fn run_with(sys: &SystemConfig, bench: Benchmark, exp: &ExperimentConfig) -> RunResult {
+fn try_run_with(
+    sys: &SystemConfig,
+    bench: Benchmark,
+    exp: &ExperimentConfig,
+) -> Result<RunResult, norush::SimError> {
     let profile = bench.profile().with_instructions(exp.instructions);
     let streams: Vec<Box<dyn InstrStream>> = (0..exp.cores)
         .map(|t| Box::new(ProfileStream::new(profile, t, exp.cores, exp.seed)) as _)
         .collect();
-    Machine::new(sys, streams)
-        .run(exp.cycle_limit)
-        .unwrap_or_else(|e| {
-            eprintln!("simulation failed:\n{e}");
-            std::process::exit(1);
-        })
+    Machine::new(sys, streams).run(exp.cycle_limit)
+}
+
+fn run_with(sys: &SystemConfig, bench: Benchmark, exp: &ExperimentConfig) -> RunResult {
+    try_run_with(sys, bench, exp).unwrap_or_else(|e| {
+        eprintln!("simulation failed:\n{e}");
+        std::process::exit(1);
+    })
+}
+
+/// A failing chaos run with `--chaos-shrink`: minimize the fault config
+/// while the failure persists, print the minimal repro, and save it to
+/// `chaos_repro.txt` (the artifact CI uploads).
+fn shrink_and_report(
+    sys: &SystemConfig,
+    bench: Benchmark,
+    exp: &ExperimentConfig,
+    initial: FaultConfig,
+) {
+    eprintln!("shrinking the failing chaos config (one run per probe)...");
+    let min = norush::sim::shrink_chaos(initial, |cand| {
+        let mut probe = *exp;
+        probe.check.chaos = Some(*cand);
+        let mut s = *sys;
+        s.check = probe.check;
+        try_run_with(&s, bench, &probe).is_err()
+    });
+    let repro = format!(
+        "norush run {} --cores {} --instr {} --seed {} --chaos {} \
+         --chaos-latency {} --chaos-drop {} --chaos-dup {} --chaos-corrupt {}",
+        bench.name(),
+        exp.cores,
+        exp.instructions,
+        exp.seed,
+        min.seed,
+        min.max_extra_latency,
+        min.drop_ppm as f64 / 1e6,
+        min.dup_ppm as f64 / 1e6,
+        min.corrupt_ppm as f64 / 1e6,
+    );
+    eprintln!(
+        "minimal failing chaos config: latency {} drop {}ppm dup {}ppm corrupt {}ppm",
+        min.max_extra_latency, min.drop_ppm, min.dup_ppm, min.corrupt_ppm
+    );
+    eprintln!("repro: {repro}");
+    if let Err(e) = std::fs::write("chaos_repro.txt", format!("{repro}\n")) {
+        eprintln!("cannot write chaos_repro.txt: {e}");
+    } else {
+        eprintln!("wrote chaos_repro.txt");
+    }
 }
 
 fn summarize(name: &str, r: &RunResult, baseline: Option<u64>) {
@@ -151,6 +220,34 @@ fn exp_from(args: &Args) -> Result<ExperimentConfig, Box<dyn std::error::Error>>
         exp.check.chaos = Some(FaultConfig::with_seed(1));
     } else if args.flags.contains_key("chaos") {
         exp.check.chaos = Some(FaultConfig::with_seed(args.num("chaos", 1)?));
+    }
+    // Lossy chaos: `--chaos-drop/-dup/-corrupt P` inject per-message faults
+    // at probability P (≤ 0.05), `--chaos-latency N` caps the delivery
+    // jitter. Any of them implies `--chaos` (seed 1 unless given).
+    let latency = args
+        .flags
+        .contains_key("chaos-latency")
+        .then(|| args.num("chaos-latency", 0))
+        .transpose()?;
+    let drop_ppm = args.prob_ppm("chaos-drop")?;
+    let dup_ppm = args.prob_ppm("chaos-dup")?;
+    let corrupt_ppm = args.prob_ppm("chaos-corrupt")?;
+    if latency.is_some() || drop_ppm > 0 || dup_ppm > 0 || corrupt_ppm > 0 {
+        let f = exp
+            .check
+            .chaos
+            .get_or_insert(FaultConfig::with_seed(args.num("chaos", 1)?));
+        if let Some(l) = latency {
+            f.max_extra_latency = l;
+        }
+        f.drop_ppm = drop_ppm;
+        f.dup_ppm = dup_ppm;
+        f.corrupt_ppm = corrupt_ppm;
+    }
+    // `--oracle`: journal every architectural write and differentially
+    // check the finished run against a sequential golden model.
+    if args.switches.contains("oracle") {
+        exp.check.oracle = true;
     }
     Ok(exp)
 }
@@ -222,9 +319,35 @@ fn cmd_run(args: &Args) -> CliResult {
             args.switches.contains("resume"),
         )
     } else {
-        run_with(&sys, bench, &exp)
+        match try_run_with(&sys, bench, &exp) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("simulation failed:\n{e}");
+                if args.switches.contains("chaos-shrink") {
+                    if let Some(initial) = exp.check.chaos {
+                        shrink_and_report(&sys, bench, &exp, initial);
+                    } else {
+                        eprintln!("--chaos-shrink: no chaos config to shrink");
+                    }
+                }
+                std::process::exit(1);
+            }
+        }
     };
     println!("{bench} on {} cores, policy {policy}:", exp.cores);
+    if let Some(f) = exp.check.chaos {
+        println!(
+            "  chaos             seed {} latency {} drop {}ppm dup {}ppm corrupt {}ppm{}",
+            f.seed,
+            f.max_extra_latency,
+            f.drop_ppm,
+            f.dup_ppm,
+            f.corrupt_ppm,
+            if exp.check.oracle { ", oracle on" } else { "" }
+        );
+    } else if exp.check.oracle {
+        println!("  oracle            on");
+    }
     println!("  cycles            {}", r.cycles);
     println!("  IPC               {:.2}", r.ipc());
     println!("  atomics           {}", r.total.atomics);
@@ -235,6 +358,20 @@ fn cmd_run(args: &Args) -> CliResult {
     println!("  miss latency      {:.0} cycles", r.miss_latency.mean());
     if let Some(acc) = r.accuracy {
         println!("  RoW accuracy      {:.0}%", 100.0 * acc.accuracy());
+    }
+    if let Some(t) = r.transport {
+        println!(
+            "  transport         sent {} delivered {} acks {}",
+            t.sent, t.delivered, t.acks_sent
+        );
+        println!(
+            "  injected faults   drops {} dups {} corrupts {}",
+            t.drops_injected, t.dups_injected, t.corrupts_injected
+        );
+        println!(
+            "  recovered         retries {} nack-rtx {} dup-dropped {} corrupt-dropped {} giveups {}",
+            t.retries, t.nack_retransmits, t.dup_dropped, t.corrupt_dropped, t.giveups
+        );
     }
     Ok(())
 }
@@ -408,6 +545,16 @@ fn usage() -> CliResult {
     println!("                            violation, replay from it and report the first");
     println!("                            offending cycle");
     println!("              --chaos SEED  seeded message-delivery perturbation");
+    println!("              --chaos-latency N  cap on injected delivery jitter (cycles)");
+    println!("              --chaos-drop P     drop each message with probability P (<= 0.05)");
+    println!("              --chaos-dup P      duplicate each message with probability P");
+    println!("              --chaos-corrupt P  corrupt payloads with probability P;");
+    println!("                                 lossy faults engage the recoverable transport");
+    println!("                                 (sequencing, dedup, checksums, retransmission)");
+    println!("              --oracle      differentially check the finished run against a");
+    println!("                            sequential golden model (journal replay)");
+    println!("              --chaos-shrink     on failure, minimize the chaos config while");
+    println!("                                 the failure persists; writes chaos_repro.txt");
     println!("checkpointing (run): --checkpoint-every K --ckpt-dir D --resume");
     println!("policies: eager lazy row row-fwd far");
     Ok(())

@@ -19,6 +19,7 @@
 //! | [`workloads`] | `row-workloads` | benchmark models + the Fig. 2 microbenchmark |
 //! | [`sim`] | `row-sim` | the multicore machine and per-figure experiment runner |
 //! | [`check`] | `row-check` | robustness layer: invariant sweep + stall diagnostics |
+//! | [`oracle`] | `row-oracle` | differential end-state oracle (sequential golden model) |
 //!
 //! # Quickstart
 //!
@@ -44,6 +45,7 @@ pub use row_core as core_row;
 pub use row_cpu as cpu;
 pub use row_mem as mem;
 pub use row_noc as noc;
+pub use row_oracle as oracle;
 pub use row_sim as sim;
 pub use row_workloads as workloads;
 

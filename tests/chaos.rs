@@ -4,12 +4,32 @@
 //! preserved; cross-link reordering and extra latency are fair game), so
 //! every functional property — exact atomic sums, linearizability, the
 //! coherence invariant sweep — must hold for every seed.
+//!
+//! *Lossy* chaos goes further: messages are dropped, duplicated, and
+//! payload-corrupted, and the recoverable transport (sequence numbers,
+//! dedup, checksums + NACK, timeout retransmission) must mask all of it —
+//! verified here by exact sums, the differential oracle, and exactly-once
+//! delivery accounting.
 
 use norush::common::config::{AtomicPolicy, CheckConfig, RowConfig};
 use norush::common::ids::{Addr, Pc};
 use norush::cpu::instr::{Instr, InstrStream, Op, RmwKind, VecStream};
-use norush::sim::Machine;
+use norush::sim::{Machine, SimError};
 use norush::SystemConfig;
+
+/// A lossy-chaos system: delay jitter plus drop/dup/corrupt injection at
+/// the given parts-per-million rates, with the differential oracle armed.
+fn lossy_sys(policy: AtomicPolicy, cores: usize, seed: u64, ppm: [u32; 3]) -> SystemConfig {
+    let mut sys = SystemConfig::small(cores)
+        .with_policy(policy)
+        .with_chaos(seed);
+    let f = sys.check.chaos.as_mut().expect("chaos enabled");
+    f.drop_ppm = ppm[0];
+    f.dup_ppm = ppm[1];
+    f.corrupt_ppm = ppm[2];
+    sys.check.oracle = true;
+    sys
+}
 
 fn faa_program(n: u64, addrs: &[u64], seed: u64) -> Vec<Instr> {
     let mut rng = norush::common::rng::SplitMix64::new(seed);
@@ -160,6 +180,154 @@ fn checkpoint_restore_is_bit_exact_under_chaos() {
 
     assert_eq!(format!("{ra:?}"), format!("{rb:?}"));
     assert_eq!(final_a, final_b, "chaos run must restore bit-exactly");
+}
+
+/// Exactly-once delivery under a duplicate-heavy stream: one in five
+/// messages is duplicated, yet after the transport drains, every sent
+/// message was delivered to the protocol exactly once and every surplus
+/// copy was dropped by sequence-number dedup.
+#[test]
+fn duplicate_heavy_stream_delivers_exactly_once() {
+    let sys = lossy_sys(AtomicPolicy::Eager, 4, 0xd0d0_0001, [0, 200_000, 0]);
+    let mut m = Machine::new(&sys, streams(4, 50, &[0xf000]));
+    m.run(50_000_000).expect("drains under heavy duplication");
+    assert_eq!(m.memory().read_word(Addr::new(0xf000)), 200);
+    // The cores drained, but un-ACKed leftovers (lost ACKs) may still be
+    // retrying; tick the memory system until the transport goes idle.
+    let start = m.now();
+    for i in 0..300_000u64 {
+        if m.memory().transport_idle() {
+            break;
+        }
+        let _ = m.memory_mut().tick(start + i);
+    }
+    assert!(m.memory().transport_idle(), "transport must drain");
+    let t = *m.memory().transport_stats().expect("lossy stats present");
+    assert!(t.dups_injected > 0, "duplication must have fired: {t:?}");
+    assert!(t.dup_dropped >= t.dups_injected, "dedup absorbs every copy");
+    assert_eq!(t.delivered, t.sent, "exactly-once delivery: {t:?}");
+}
+
+/// Drop + retry must converge: under drops, duplicates, *and* corruption,
+/// every policy reaches the same oracle-verified final state as a fault-free
+/// run, with the transport's retry machinery demonstrably exercised.
+#[test]
+fn lossy_chaos_converges_to_fault_free_state_for_all_policies() {
+    let addrs = [0xf000, 0xf040];
+    for (i, policy) in [
+        AtomicPolicy::Eager,
+        AtomicPolicy::Lazy,
+        AtomicPolicy::Row(RowConfig::best()),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        // Fault-free reference.
+        let clean_sys = SystemConfig::small(4).with_policy(policy);
+        let mut clean = Machine::new(&clean_sys, streams(4, 60, &addrs));
+        clean.run(50_000_000).expect("clean run drains");
+        let want: u64 = addrs
+            .iter()
+            .map(|&a| clean.memory().read_word(Addr::new(a)))
+            .sum();
+        assert_eq!(want, 240);
+
+        // Same program under lossy chaos with the oracle armed: `run`
+        // succeeding implies the journal replayed cleanly.
+        let sys = lossy_sys(policy, 4, 0x10ff_0000 + i as u64, [60_000, 30_000, 15_000]);
+        let mut m = Machine::new(&sys, streams(4, 60, &addrs));
+        let r = m.run(50_000_000).expect("lossy run drains, oracle passes");
+        let got: u64 = addrs
+            .iter()
+            .map(|&a| m.memory().read_word(Addr::new(a)))
+            .sum();
+        assert_eq!(got, want, "policy {policy:?} diverged under lossy chaos");
+        let t = r.transport.expect("lossy runs report transport stats");
+        assert!(t.drops_injected > 0, "drops must have fired: {t:?}");
+        assert!(
+            t.retries + t.nack_retransmits > 0,
+            "recovery must have been exercised: {t:?}"
+        );
+        assert_eq!(t.giveups, 0, "rates this low must never exhaust retries");
+    }
+}
+
+/// Lossy chaos is deterministic end to end: the same seed reproduces the
+/// same cycle count *and* the same retry/dup/corrupt counters, bit for bit.
+#[test]
+fn same_seed_reproduces_transport_counters_exactly() {
+    let run = || {
+        let sys = lossy_sys(
+            AtomicPolicy::Eager,
+            4,
+            0x5eed_1055,
+            [20_000, 20_000, 10_000],
+        );
+        let mut m = Machine::new(&sys, streams(4, 40, &[0xf000]));
+        let r = m.run(50_000_000).expect("drains");
+        (r.cycles, r.transport.expect("stats"))
+    };
+    let (cycles_a, ta) = run();
+    let (cycles_b, tb) = run();
+    assert_eq!(cycles_a, cycles_b, "same seed, same timing");
+    assert_eq!(ta, tb, "same seed, same transport counters");
+    assert!(ta.retries > 0 || ta.nack_retransmits > 0, "{ta:?}");
+}
+
+/// The oracle actually bites: a raw (unjournaled) pre-seed makes the
+/// machine's observed RMW return values diverge from the sequential replay,
+/// and the run must fail with a structured `SimError::Oracle`.
+#[test]
+fn oracle_catches_unjournaled_state_divergence() {
+    let mut sys = SystemConfig::small(2);
+    sys.check.oracle = true;
+    let mut m = Machine::new(&sys, streams(2, 20, &[0xf000]));
+    // `write_word` bypasses the journal, so the golden model never sees
+    // this 7 — exactly the shape of a lost/misapplied write.
+    m.memory_mut().write_word(Addr::new(0xf000), 7);
+    let err = m
+        .run(50_000_000)
+        .expect_err("oracle must flag the divergence");
+    assert!(matches!(err, SimError::Oracle(_)), "got {err}");
+    assert!(err.to_string().contains("oracle"), "{err}");
+}
+
+/// Checkpoint/restore stays bit-exact when the *lossy* transport is live:
+/// sequence numbers, in-flight retransmission state, receive buffers, and
+/// every counter ride through Persist, so a restored machine replays the
+/// identical recovery schedule.
+#[test]
+fn checkpoint_restore_is_bit_exact_under_lossy_chaos() {
+    let addrs = [0xf000, 0xf040];
+    let sys = lossy_sys(
+        AtomicPolicy::Eager,
+        4,
+        0xc0ff_ee02,
+        [50_000, 30_000, 10_000],
+    );
+    let mk = || Machine::new(&sys, streams(4, 60, &addrs));
+
+    // Snapshot well past the first retransmission timeouts so the image
+    // captures genuinely mid-retry transport state.
+    let mut a = mk();
+    assert!(a.run_for(5_000).expect("clean prefix").is_none());
+    let snap = a.checkpoint().expect("mid-retry checkpoint");
+    let ra = a.run_for(50_000_000).expect("run").expect("drains");
+    let final_a = a.checkpoint().expect("final checkpoint");
+
+    let mut b = mk();
+    b.restore(&snap).expect("restore");
+    let rb = b.run_for(50_000_000).expect("run").expect("drains");
+    let final_b = b.checkpoint().expect("final checkpoint");
+
+    assert_eq!(format!("{ra:?}"), format!("{rb:?}"));
+    assert_eq!(final_a, final_b, "lossy chaos run must restore bit-exactly");
+    let (ta, tb) = (ra.transport.expect("stats"), rb.transport.expect("stats"));
+    assert_eq!(ta, tb, "transport counters round-trip through Persist");
+    assert!(
+        ta.drops_injected > 0 && ta.retries > 0,
+        "the checkpoint window must actually contain retry traffic: {ta:?}"
+    );
 }
 
 /// `CheckConfig::default()` leaves chaos off; `with_chaos` turns it on

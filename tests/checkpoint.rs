@@ -96,6 +96,19 @@ fn round_trip_is_bit_exact_row() {
     );
 }
 
+/// Bit-exactness must also hold with the lossy transport live: the v2
+/// payload (channel sequence numbers, in-flight retransmissions, receive
+/// buffers, transport counters) rides through Persist like everything else.
+#[test]
+fn round_trip_is_bit_exact_under_lossy_chaos() {
+    let mut sys = SystemConfig::small(4).with_chaos(0xbead_0001);
+    let f = sys.check.chaos.as_mut().expect("chaos on");
+    f.drop_ppm = 30_000;
+    f.dup_ppm = 20_000;
+    f.corrupt_ppm = 10_000;
+    assert_round_trip_bit_exact(&sys);
+}
+
 /// `run_checkpointed` + `restore` is the crash-recovery path: kill a run
 /// after some checkpoints landed on disk, restore the newest file into a
 /// fresh machine, and the finished result matches the uninterrupted run.
