@@ -4,11 +4,9 @@
 //! dispatch on atomic-intensive workloads and caps the MLP that eager
 //! execution exploits.
 
-use row_bench::{banner, parallel_map, scale};
-use row_common::config::AtomicPolicy;
-use row_cpu::instr::InstrStream;
-use row_sim::Machine;
-use row_workloads::{Benchmark, ProfileStream};
+use row_bench::{banner, norm, run_sweep, scale, Table};
+use row_sim::{Sweep, Variant};
+use row_workloads::Benchmark;
 
 const DEPTHS: [usize; 5] = [1, 2, 4, 8, 16];
 
@@ -16,36 +14,27 @@ fn main() {
     banner("Ablation", "Atomic Queue entries (eager execution)");
     let exp = scale();
     let benches = [Benchmark::Canneal, Benchmark::Sps, Benchmark::Pc];
-    let rows = parallel_map(benches.to_vec(), |&b| {
-        let profile = b.profile().with_instructions(exp.instructions);
-        let run = |aq: usize| {
-            let mut sys = exp.system().with_policy(AtomicPolicy::Eager);
-            sys.core.aq_entries = aq;
-            let streams: Vec<Box<dyn InstrStream>> = (0..exp.cores)
-                .map(|t| {
-                    Box::new(ProfileStream::new(profile, t, exp.cores, exp.seed))
-                        as Box<dyn InstrStream>
-                })
-                .collect();
-            Machine::new(&sys, streams)
-                .run(exp.cycle_limit)
-                .expect("finishes")
-                .cycles as f64
-        };
-        let base = run(16);
-        let vs: Vec<f64> = DEPTHS.iter().map(|&d| run(d) / base).collect();
-        (b, vs)
-    });
-    print!("{:15}", "benchmark");
-    for d in DEPTHS {
-        print!(" {:>8}", d);
+    let variants: Vec<Variant> = DEPTHS
+        .iter()
+        .map(|&d| Variant {
+            name: format!("aq{d}"),
+            ..Variant::eager().with_aq_entries(d)
+        })
+        .collect();
+    let sweep = Sweep::grid("ablation_aq", &exp, &benches, &variants, &[]);
+    let r = run_sweep(&sweep);
+    let mut headers = vec!["benchmark".to_string()];
+    headers.extend(DEPTHS.iter().map(|d| d.to_string()));
+    let mut table = Table::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
+    for &b in &benches {
+        let mut row = vec![b.name().to_string()];
+        row.extend(
+            DEPTHS
+                .iter()
+                .map(|&d| format!("{:.3}", norm(&r, b, &format!("aq{d}"), "aq16"))),
+        );
+        table.row(row);
     }
-    println!("   (normalized to AQ=16)");
-    for (b, vs) in rows {
-        print!("{:15}", b.name());
-        for v in vs {
-            print!(" {:>8.3}", v);
-        }
-        println!();
-    }
+    table.print();
+    println!("\n(normalized to AQ=16)");
 }

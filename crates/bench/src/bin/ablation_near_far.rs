@@ -4,8 +4,8 @@
 //! Far atomics never lock a cacheline, so they sidestep contention entirely,
 //! but they pay a NoC round trip per operation and destroy atomic locality.
 
-use row_bench::{banner, parallel_map, scale};
-use row_sim::{run_eager, run_far, run_lazy, run_row_fwd, RowVariant};
+use row_bench::{banner, norm, run_sweep, scale, Table};
+use row_sim::{RowVariant, Sweep, Variant};
 use row_workloads::Benchmark;
 
 fn main() {
@@ -18,30 +18,22 @@ fn main() {
         Benchmark::Sps,
         Benchmark::Pc,
     ];
-    let rows = parallel_map(benches.to_vec(), |&b| {
-        let e = run_eager(b, &exp).expect("eager").cycles as f64;
-        let l = run_lazy(b, &exp).expect("lazy").cycles as f64 / e;
-        let row = run_row_fwd(b, RowVariant::RwDirUd, &exp)
-            .expect("row")
-            .cycles as f64
-            / e;
-        let far = run_far(b, &exp).expect("far").cycles as f64 / e;
-        (b, l, row, far)
-    });
-    println!(
-        "{:15} {:>8} {:>8} {:>8} {:>8}",
-        "benchmark", "eager", "lazy", "RoW+Fwd", "far"
-    );
-    for (b, l, row, far) in rows {
-        println!(
-            "{:15} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
-            b.name(),
-            1.0,
-            l,
-            row,
-            far
-        );
+    let row_fwd = Variant::row_fwd(RowVariant::RwDirUd);
+    let row_name = row_fwd.name.clone();
+    let variants = [Variant::eager(), Variant::lazy(), row_fwd, Variant::far()];
+    let sweep = Sweep::grid("ablation_near_far", &exp, &benches, &variants, &[]);
+    let r = run_sweep(&sweep);
+    let mut table = Table::new(&["benchmark", "eager", "lazy", "RoW+Fwd", "far"]);
+    for &b in &benches {
+        table.row([
+            b.name().to_string(),
+            "1.000".to_string(),
+            format!("{:.3}", norm(&r, b, "lazy", "eager")),
+            format!("{:.3}", norm(&r, b, &row_name, "eager")),
+            format!("{:.3}", norm(&r, b, "far", "eager")),
+        ]);
     }
+    table.print();
     println!("\nfar avoids lock-holding on hot lines but pays a round trip per");
     println!("atomic and loses locality — the paper's reason to stay near + RoW.");
 }

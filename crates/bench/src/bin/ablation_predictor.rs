@@ -4,40 +4,24 @@
 //! non-contended atomics into shared counters, degrading the contended apps
 //! (a single-entry predictor is 0.3% *worse* than always-eager on average).
 
-use row_bench::{banner, parallel_map, scale};
+use row_bench::{banner, norm, run_sweep, scale, Table};
 use row_common::config::{AtomicPolicy, DetectorKind, PredictorKind, RowConfig};
-use row_sim::{run_benchmark, run_eager};
+use row_sim::{Sweep, Variant};
 use row_workloads::Benchmark;
 
 const ENTRIES: [usize; 5] = [1, 4, 16, 64, 256];
 
-fn history_row(exp: &row_sim::ExperimentConfig) {
-    // Section VII: history does not help contention prediction because
-    // atomics are uncorrelated. Compare U/D vs gshare-style History.
-    println!("\nhistory ablation (64 entries, normalized to eager):");
-    println!("{:15} {:>8} {:>8}", "benchmark", "U/D", "History");
-    let rows = parallel_map(
-        vec![
-            Benchmark::Canneal,
-            Benchmark::Tpcc,
-            Benchmark::Sps,
-            Benchmark::Pc,
-        ],
-        |&b| {
-            let e = run_eager(b, exp).expect("eager").cycles as f64;
-            let mk = |pred| {
-                let cfg = RowConfig::new(DetectorKind::rw_dir_default(), pred);
-                run_benchmark(b, AtomicPolicy::Row(cfg), false, exp)
-                    .expect("row")
-                    .cycles as f64
-                    / e
-            };
-            (b, mk(PredictorKind::UpDown), mk(PredictorKind::History))
-        },
-    );
-    for (b, ud, hist) in rows {
-        println!("{:15} {:>8.3} {:>8.3}", b.name(), ud, hist);
-    }
+fn entries_variant(n: usize) -> Variant {
+    let mut cfg = RowConfig::new(DetectorKind::rw_dir_default(), PredictorKind::UpDown);
+    cfg.predictor_entries = n;
+    Variant::custom(format!("e{n}"), AtomicPolicy::Row(cfg))
+}
+
+fn predictor_variant(name: &str, pred: PredictorKind) -> Variant {
+    Variant::custom(
+        name,
+        AtomicPolicy::Row(RowConfig::new(DetectorKind::rw_dir_default(), pred)),
+    )
 }
 
 fn main() {
@@ -50,33 +34,55 @@ fn main() {
         Benchmark::Sps,
         Benchmark::Pc,
     ];
-    let rows = parallel_map(benches.to_vec(), |&b| {
-        let e = run_eager(b, &exp).expect("eager").cycles as f64;
-        let vs: Vec<f64> = ENTRIES
-            .iter()
-            .map(|&n| {
-                let mut cfg = RowConfig::new(DetectorKind::rw_dir_default(), PredictorKind::UpDown);
-                cfg.predictor_entries = n;
-                run_benchmark(b, AtomicPolicy::Row(cfg), false, &exp)
-                    .expect("row")
-                    .cycles as f64
-                    / e
-            })
-            .collect();
-        (b, vs)
-    });
-    print!("{:15}", "benchmark");
-    for n in ENTRIES {
-        print!(" {:>8}", n);
+    let mut variants = vec![Variant::eager()];
+    variants.extend(ENTRIES.iter().map(|&n| entries_variant(n)));
+    let sweep = Sweep::grid("ablation_predictor_entries", &exp, &benches, &variants, &[]);
+    let r = run_sweep(&sweep);
+    let mut headers = vec!["benchmark".to_string()];
+    headers.extend(ENTRIES.iter().map(|n| n.to_string()));
+    let mut table = Table::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
+    for &b in &benches {
+        let mut row = vec![b.name().to_string()];
+        row.extend(
+            ENTRIES
+                .iter()
+                .map(|&n| format!("{:.3}", norm(&r, b, &format!("e{n}"), "eager"))),
+        );
+        table.row(row);
     }
-    println!("   (normalized to eager)");
-    for (b, vs) in rows {
-        print!("{:15}", b.name());
-        for v in vs {
-            print!(" {:>8.3}", v);
-        }
-        println!();
-    }
+    table.print();
+    println!("(normalized to eager)");
     println!("\npaper: fewer entries → aliasing; contended apps lose their lazy win.");
-    history_row(&exp);
+
+    // Section VII: history does not help contention prediction because
+    // atomics are uncorrelated. Compare U/D vs gshare-style History.
+    println!("\nhistory ablation (64 entries, normalized to eager):");
+    let hist_benches = [
+        Benchmark::Canneal,
+        Benchmark::Tpcc,
+        Benchmark::Sps,
+        Benchmark::Pc,
+    ];
+    let hist_variants = [
+        Variant::eager(),
+        predictor_variant("U/D", PredictorKind::UpDown),
+        predictor_variant("History", PredictorKind::History),
+    ];
+    let hist_sweep = Sweep::grid(
+        "ablation_predictor_history",
+        &exp,
+        &hist_benches,
+        &hist_variants,
+        &[],
+    );
+    let hr = run_sweep(&hist_sweep);
+    let mut hist_table = Table::new(&["benchmark", "U/D", "History"]);
+    for &b in &hist_benches {
+        hist_table.row([
+            b.name().to_string(),
+            format!("{:.3}", norm(&hr, b, "U/D", "eager")),
+            format!("{:.3}", norm(&hr, b, "History", "eager")),
+        ]);
+    }
+    hist_table.print();
 }

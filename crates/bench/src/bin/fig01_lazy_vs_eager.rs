@@ -1,29 +1,36 @@
-//! Fig. 1: normalized execution time of lazy vs eager atomics, sorted from
-//! best to worst eager-vs-lazy speedup.
+//! Fig. 1: normalized execution time of lazy vs eager atomics.
 
-use row_bench::{banner, parallel_map, scale};
-use row_sim::{run_eager, run_lazy};
+use row_bench::{banner, norm, run_sweep, scale, Table};
+use row_sim::{Sweep, Variant};
 use row_workloads::Benchmark;
 
 fn main() {
     banner("Fig. 1", "lazy execution time normalized to eager");
     let exp = scale();
-    let rows = parallel_map(Benchmark::all().to_vec(), |&b| {
-        let e = run_eager(b, &exp).expect("eager run");
-        let l = run_lazy(b, &exp).expect("lazy run");
-        (b, l.cycles as f64 / e.cycles as f64)
-    });
-    println!("{:15} {:>12}", "benchmark", "lazy/eager");
-    for (b, r) in &rows {
-        let tag = if *r > 1.02 {
+    let benches = Benchmark::all().to_vec();
+    let sweep = Sweep::grid(
+        "fig01",
+        &exp,
+        &benches,
+        &[Variant::eager(), Variant::lazy()],
+        &[],
+    );
+    let r = run_sweep(&sweep);
+    let mut table = Table::new(&["benchmark", "lazy/eager", "verdict"]);
+    let mut ratios = Vec::new();
+    for &b in &benches {
+        let ratio = norm(&r, b, "lazy", "eager");
+        let tag = if ratio > 1.02 {
             "eager wins"
-        } else if *r < 0.98 {
+        } else if ratio < 0.98 {
             "lazy wins"
         } else {
             "tie"
         };
-        println!("{:15} {:>12.3}  {}", b.name(), r, tag);
+        table.row([b.name().to_string(), format!("{ratio:.3}"), tag.to_string()]);
+        ratios.push(ratio);
     }
-    let gm = row_common::stats::geomean(&rows.iter().map(|(_, r)| *r).collect::<Vec<_>>());
+    table.print();
+    let gm = row_common::stats::geomean(&ratios);
     println!("\ngeomean lazy/eager: {gm:.3} (paper: green left, red right, blue flat)");
 }

@@ -1,41 +1,58 @@
 //! Fig. 2: cycles per iteration of the RMW microbenchmark, on fenced
 //! (Kentsfield-like) and unfenced (Coffee-Lake-like) core models.
 
-use row_bench::{banner, parallel_map};
+use row_bench::{banner, run_sweep, scale, Table};
 use row_common::config::FenceModel;
-use row_sim::run_microbench;
+use row_sim::{JobSpec, Sweep};
 use row_workloads::{MicroRmw, MicroVariant};
+
+const MODELS: [(&str, FenceModel); 2] = [
+    ("Intel i5-9400F-like (unfenced)", FenceModel::Unfenced),
+    ("Intel Xeon X3210-like (fenced)", FenceModel::Fenced),
+];
+
+fn fence_tag(model: FenceModel) -> &'static str {
+    match model {
+        FenceModel::Unfenced => "unfenced",
+        FenceModel::Fenced => "fenced",
+    }
+}
 
 fn main() {
     banner("Fig. 2", "microbenchmark cycles/iteration");
-    let iters: u64 = std::env::var("NORUSH_MB_ITERS")
+    let iterations: u64 = std::env::var("NORUSH_MB_ITERS")
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(1_000);
-    for (label, model) in [
-        ("Intel i5-9400F-like (unfenced)", FenceModel::Unfenced),
-        ("Intel Xeon X3210-like (fenced)", FenceModel::Fenced),
-    ] {
-        println!("{label}:");
-        println!(
-            "{:6} {:>9} {:>14} {:>9} {:>13}",
-            "", "plain", "plain+mfence", "lock", "lock+mfence"
-        );
-        let cells: Vec<(MicroRmw, MicroVariant)> = MicroRmw::ALL
-            .into_iter()
-            .flat_map(|r| MicroVariant::ALL.into_iter().map(move |v| (r, v)))
-            .collect();
-        let results = parallel_map(cells, |&(r, v)| {
-            run_microbench(r, v, model, iters).expect("microbench run")
-        });
-        for (i, rmw) in MicroRmw::ALL.into_iter().enumerate() {
-            print!("{:6}", rmw.name());
-            for (j, _) in MicroVariant::ALL.into_iter().enumerate() {
-                let w = [9, 14, 9, 13][j];
-                print!(" {:>w$.1}", results[i * 4 + j], w = w);
+    let mut sweep = Sweep::new("fig02", &scale());
+    for (_, model) in MODELS {
+        for rmw in MicroRmw::ALL {
+            for variant in MicroVariant::ALL {
+                sweep.push(
+                    format!("{}/{}/{}", rmw.name(), variant.name(), fence_tag(model)),
+                    JobSpec::Micro {
+                        rmw,
+                        variant,
+                        fence: model,
+                        iterations,
+                    },
+                );
             }
-            println!();
         }
+    }
+    let r = run_sweep(&sweep);
+    for (label, model) in MODELS {
+        println!("{label}:");
+        let mut table = Table::new(&["rmw", "plain", "plain+mfence", "lock", "lock+mfence"]);
+        for rmw in MicroRmw::ALL {
+            let cpi = |variant: MicroVariant| {
+                let cell = format!("{}/{}/{}", rmw.name(), variant.name(), fence_tag(model));
+                format!("{:.1}", r.cycles(&cell) / iterations as f64)
+            };
+            let [a, b, c, d] = MicroVariant::ALL;
+            table.row([rmw.name().to_string(), cpi(a), cpi(b), cpi(c), cpi(d)]);
+        }
+        table.print();
         println!();
     }
 }

@@ -2,36 +2,44 @@
 //! older not-yet-executed instructions at eager issue, and younger
 //! already-started instructions at lazy issue.
 
-use row_bench::{banner, parallel_map, scale};
-use row_sim::{run_eager, run_lazy};
+use row_bench::{banner, run_sweep, scale, Table};
+use row_sim::{Sweep, Variant};
 use row_workloads::Benchmark;
 
 fn main() {
     banner("Fig. 4", "independent instructions around atomics");
     let exp = scale();
-    let rows = parallel_map(Benchmark::atomic_intensive(), |&b| {
-        let e = run_eager(b, &exp).expect("eager run");
-        let l = run_lazy(b, &exp).expect("lazy run");
-        (
-            b,
-            e.total.older_unexecuted_at_issue.mean(),
-            l.total.younger_started_at_issue.mean(),
-        )
-    });
-    println!(
-        "{:15} {:>26} {:>26}",
-        "benchmark", "older unexecuted @ eager", "younger started @ lazy"
+    let benches = Benchmark::atomic_intensive();
+    let sweep = Sweep::grid(
+        "fig04",
+        &exp,
+        &benches,
+        &[Variant::eager(), Variant::lazy()],
+        &[],
     );
+    let r = run_sweep(&sweep);
+    let mut table = Table::new(&[
+        "benchmark",
+        "older unexecuted @ eager",
+        "younger started @ lazy",
+    ]);
     let (mut so, mut sy) = (0.0, 0.0);
-    for (b, older, younger) in &rows {
-        println!("{:15} {:>26.1} {:>26.1}", b.name(), older, younger);
+    for &b in &benches {
+        let older = r.stat(&format!("{}/eager", b.name())).older_unexecuted_mean;
+        let younger = r.stat(&format!("{}/lazy", b.name())).younger_started_mean;
+        table.row([
+            b.name().to_string(),
+            format!("{older:.1}"),
+            format!("{younger:.1}"),
+        ]);
         so += older;
         sy += younger;
     }
-    println!(
-        "{:15} {:>26.1} {:>26.1}   (paper: ~48 older on average)",
-        "mean",
-        so / rows.len() as f64,
-        sy / rows.len() as f64
-    );
+    table.row([
+        "mean".to_string(),
+        format!("{:.1}", so / benches.len() as f64),
+        format!("{:.1}", sy / benches.len() as f64),
+    ]);
+    table.print();
+    println!("\npaper: ~48 older unexecuted instructions on average at eager issue.");
 }

@@ -1,26 +1,24 @@
 //! Fig. 5: atomics per 10 kilo-instructions and the percentage of atomics
 //! that face contention under eager execution.
 
-use row_bench::{banner, parallel_map, scale};
-use row_sim::run_eager;
+use row_bench::{banner, run_sweep, scale, Table};
+use row_sim::{Sweep, Variant};
 use row_workloads::Benchmark;
 
 fn main() {
     banner("Fig. 5", "atomic intensity and contentiousness (eager)");
     let exp = scale();
-    let rows = parallel_map(Benchmark::all().to_vec(), |&b| {
-        let e = run_eager(b, &exp).expect("eager run");
-        (
-            b,
-            e.total.atomics_per_10k(),
-            100.0 * e.total.contended_fraction(),
-        )
-    });
-    println!(
-        "{:15} {:>15} {:>14}",
-        "benchmark", "atomics/10k", "contended %"
-    );
-    for (b, apk, cont) in rows {
-        println!("{:15} {:>15.1} {:>13.0}%", b.name(), apk, cont);
+    let benches = Benchmark::all().to_vec();
+    let sweep = Sweep::grid("fig05", &exp, &benches, &[Variant::eager()], &[]);
+    let r = run_sweep(&sweep);
+    let mut table = Table::new(&["benchmark", "atomics/10k", "contended %"]);
+    for &b in &benches {
+        let s = r.stat(&format!("{}/eager", b.name()));
+        table.row([
+            b.name().to_string(),
+            format!("{:.1}", s.atomics_per_10k()),
+            format!("{:.0}%", 100.0 * s.contended_fraction()),
+        ]);
     }
+    table.print();
 }

@@ -1,35 +1,44 @@
 //! Fig. 6: atomic latency breakdown (dispatch→issue, issue→lock,
 //! lock→unlock) for eager (first row) and lazy (second row) execution.
 
-use row_bench::{banner, parallel_map, scale};
-use row_sim::{run_eager, run_lazy};
+use row_bench::{banner, run_sweep, scale, Table};
+use row_sim::{Sweep, Variant};
 use row_workloads::Benchmark;
 
 fn main() {
     banner("Fig. 6", "atomic latency breakdown, eager vs lazy");
     let exp = scale();
-    let rows = parallel_map(Benchmark::atomic_intensive(), |&b| {
-        let e = run_eager(b, &exp).expect("eager run");
-        let l = run_lazy(b, &exp).expect("lazy run");
-        (b, e.total.breakdown, l.total.breakdown)
-    });
-    println!(
-        "{:15} {:6} {:>12} {:>12} {:>14} {:>8}",
-        "benchmark", "mode", "disp→issue", "issue→lock", "lock→unlock", "total"
+    let benches = Benchmark::atomic_intensive();
+    let sweep = Sweep::grid(
+        "fig06",
+        &exp,
+        &benches,
+        &[Variant::eager(), Variant::lazy()],
+        &[],
     );
-    for (b, e, l) in rows {
-        for (mode, bd) in [("eager", e), ("lazy", l)] {
-            println!(
-                "{:15} {:6} {:>12.1} {:>12.1} {:>14.1} {:>8.1}",
-                b.name(),
-                mode,
-                bd.dispatch_to_issue.mean(),
-                bd.issue_to_lock.mean(),
-                bd.lock_to_unlock.mean(),
-                bd.total_mean()
-            );
+    let r = run_sweep(&sweep);
+    let mut table = Table::new(&[
+        "benchmark",
+        "mode",
+        "disp→issue",
+        "issue→lock",
+        "lock→unlock",
+        "total",
+    ]);
+    for &b in &benches {
+        for mode in ["eager", "lazy"] {
+            let s = r.stat(&format!("{}/{mode}", b.name()));
+            table.row([
+                b.name().to_string(),
+                mode.to_string(),
+                format!("{:.1}", s.breakdown_dispatch_to_issue),
+                format!("{:.1}", s.breakdown_issue_to_lock),
+                format!("{:.1}", s.breakdown_lock_to_unlock),
+                format!("{:.1}", s.breakdown_total()),
+            ]);
         }
     }
+    table.print();
     println!("\npaper shape: lazy grows disp→issue (blue) but shrinks issue→lock");
     println!("(orange) and lock→unlock (yellow) on contended apps.");
 }

@@ -1,40 +1,38 @@
 //! Fig. 9: normalized execution time for eager, lazy, and the six RoW
 //! variants (EW/RW/RW+Dir × Up-Down/Sat), forwarding disabled.
 
-use row_bench::{banner, parallel_map, scale};
-use row_sim::{run_eager, run_lazy, run_row, RowVariant};
+use row_bench::{banner, geomean_norm, norm, run_sweep, scale, Table};
+use row_sim::{RowVariant, Sweep, Variant};
 use row_workloads::Benchmark;
 
 fn main() {
     banner("Fig. 9", "RoW variants vs eager and lazy (no forwarding)");
     let exp = scale();
-    let rows = parallel_map(Benchmark::atomic_intensive(), |&b| {
-        let e = run_eager(b, &exp).expect("eager").cycles as f64;
-        let l = run_lazy(b, &exp).expect("lazy").cycles as f64;
-        let vs: Vec<f64> = RowVariant::ALL
+    let benches = Benchmark::atomic_intensive();
+    let mut variants = vec![Variant::eager(), Variant::lazy()];
+    variants.extend(RowVariant::ALL.iter().map(|&v| Variant::row(v)));
+    let sweep = Sweep::grid("fig09", &exp, &benches, &variants, &[]);
+    let r = run_sweep(&sweep);
+    let columns: Vec<&str> = variants[1..].iter().map(|v| v.name.as_str()).collect();
+    let mut headers = vec!["benchmark"];
+    headers.extend(&columns);
+    let mut table = Table::new(&headers);
+    for &b in &benches {
+        let mut row = vec![b.name().to_string()];
+        row.extend(
+            columns
+                .iter()
+                .map(|&c| format!("{:.3}", norm(&r, b, c, "eager"))),
+        );
+        table.row(row);
+    }
+    let mut gm_row = vec!["geomean".to_string()];
+    gm_row.extend(
+        columns
             .iter()
-            .map(|&v| run_row(b, v, &exp).expect("row").cycles as f64 / e)
-            .collect();
-        (b, l / e, vs)
-    });
-    print!("{:15} {:>7}", "benchmark", "lazy");
-    for v in RowVariant::ALL {
-        print!(" {:>10}", v.name());
-    }
-    println!();
-    let mut sums = vec![0.0; 7];
-    for (b, lazy, vs) in &rows {
-        print!("{:15} {:>7.3}", b.name(), lazy);
-        sums[0] += lazy.ln();
-        for (i, v) in vs.iter().enumerate() {
-            print!(" {:>10.3}", v);
-            sums[i + 1] += v.ln();
-        }
-        println!();
-    }
-    print!("{:15}", "geomean");
-    for s in sums {
-        print!(" {:>9.3} ", (s / rows.len() as f64).exp());
-    }
-    println!("\n\npaper: RW+Dir_Sat best on average; EW fails on contended apps.");
+            .map(|&c| format!("{:.3}", geomean_norm(&r, &benches, c, "eager"))),
+    );
+    table.row(gm_row);
+    table.print();
+    println!("\npaper: RW+Dir_Sat best on average; EW fails on contended apps.");
 }

@@ -1,57 +1,59 @@
 //! Fig. 10: sensitivity of the RW+Dir contention detector to the latency
 //! threshold (0 … 2000 cycles, plus "inf").
 
-use row_bench::{banner, parallel_map, scale};
+use row_bench::{banner, geomean_norm, norm, run_sweep, scale, Table};
 use row_common::config::{AtomicPolicy, DetectorKind, PredictorKind, RowConfig};
-use row_sim::{run_benchmark, run_eager};
+use row_sim::{Sweep, Variant};
 use row_workloads::Benchmark;
 
 const THRESHOLDS: [u64; 6] = [0, 100, 400, 1000, 2000, u64::MAX];
+
+fn threshold_name(t: u64) -> String {
+    if t == u64::MAX {
+        "t=inf".to_string()
+    } else {
+        format!("t={t}")
+    }
+}
 
 fn main() {
     banner("Fig. 10", "RW+Dir latency-threshold sweep (U/D predictor)");
     let exp = scale();
     let benches = Benchmark::atomic_intensive();
-    let rows = parallel_map(benches, |&b| {
-        let e = run_eager(b, &exp).expect("eager").cycles as f64;
-        let vs: Vec<f64> = THRESHOLDS
+    let mut variants = vec![Variant::eager()];
+    variants.extend(THRESHOLDS.iter().map(|&t| {
+        Variant::custom(
+            threshold_name(t),
+            AtomicPolicy::Row(RowConfig::new(
+                DetectorKind::ReadyWindowDir {
+                    latency_threshold: t,
+                },
+                PredictorKind::UpDown,
+            )),
+        )
+    }));
+    let sweep = Sweep::grid("fig10", &exp, &benches, &variants, &[]);
+    let r = run_sweep(&sweep);
+    let columns: Vec<String> = THRESHOLDS.iter().map(|&t| threshold_name(t)).collect();
+    let mut headers = vec!["benchmark"];
+    headers.extend(columns.iter().map(String::as_str));
+    let mut table = Table::new(&headers);
+    for &b in &benches {
+        let mut row = vec![b.name().to_string()];
+        row.extend(
+            columns
+                .iter()
+                .map(|c| format!("{:.3}", norm(&r, b, c, "eager"))),
+        );
+        table.row(row);
+    }
+    let mut gm_row = vec!["geomean".to_string()];
+    gm_row.extend(
+        columns
             .iter()
-            .map(|&t| {
-                let cfg = RowConfig::new(
-                    DetectorKind::ReadyWindowDir {
-                        latency_threshold: t,
-                    },
-                    PredictorKind::UpDown,
-                );
-                run_benchmark(b, AtomicPolicy::Row(cfg), false, &exp)
-                    .expect("row")
-                    .cycles as f64
-                    / e
-            })
-            .collect();
-        (b, vs)
-    });
-    print!("{:15}", "benchmark");
-    for t in THRESHOLDS {
-        if t == u64::MAX {
-            print!(" {:>8}", "inf");
-        } else {
-            print!(" {:>8}", t);
-        }
-    }
-    println!();
-    let mut sums = vec![0.0; THRESHOLDS.len()];
-    for (b, vs) in &rows {
-        print!("{:15}", b.name());
-        for (i, v) in vs.iter().enumerate() {
-            print!(" {:>8.3}", v);
-            sums[i] += v.ln();
-        }
-        println!();
-    }
-    print!("{:15}", "geomean");
-    for s in sums {
-        print!(" {:>8.3}", (s / rows.len() as f64).exp());
-    }
-    println!("\n\npaper: optimum at 400; 400→2000 nearly flat; 0 penalizes canneal-like apps.");
+            .map(|c| format!("{:.3}", geomean_norm(&r, &benches, c, "eager"))),
+    );
+    table.row(gm_row);
+    table.print();
+    println!("\npaper: optimum at 400; 400→2000 nearly flat; 0 penalizes canneal-like apps.");
 }

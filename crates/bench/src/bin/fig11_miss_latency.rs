@@ -1,40 +1,37 @@
 //! Fig. 11: average L1D miss latency for eager, lazy, and RoW with the
 //! RW+Dir U/D and Sat predictors.
 
-use row_bench::{banner, parallel_map, scale};
-use row_sim::{run_eager, run_lazy, run_row, RowVariant};
+use row_bench::{banner, run_sweep, scale, Table};
+use row_sim::{RowVariant, Sweep, Variant};
 use row_workloads::Benchmark;
 
 fn main() {
     banner("Fig. 11", "mean L1D miss latency (all memory instructions)");
     let exp = scale();
-    let rows = parallel_map(Benchmark::atomic_intensive(), |&b| {
-        let e = run_eager(b, &exp).expect("eager");
-        let l = run_lazy(b, &exp).expect("lazy");
-        let ud = run_row(b, RowVariant::RwDirUd, &exp).expect("row ud");
-        let sat = run_row(b, RowVariant::RwDirSat, &exp).expect("row sat");
-        (
-            b,
-            e.miss_latency.mean(),
-            l.miss_latency.mean(),
-            ud.miss_latency.mean(),
-            sat.miss_latency.mean(),
-        )
-    });
-    println!(
-        "{:15} {:>9} {:>9} {:>12} {:>12}",
-        "benchmark", "eager", "lazy", "RW+Dir_U/D", "RW+Dir_Sat"
-    );
-    for (b, e, l, ud, sat) in rows {
-        println!(
-            "{:15} {:>9.0} {:>9.0} {:>12.0} {:>12.0}",
-            b.name(),
-            e,
-            l,
-            ud,
-            sat
-        );
+    let benches = Benchmark::atomic_intensive();
+    let variants = [
+        Variant::eager(),
+        Variant::lazy(),
+        Variant::row(RowVariant::RwDirUd),
+        Variant::row(RowVariant::RwDirSat),
+    ];
+    let sweep = Sweep::grid("fig11", &exp, &benches, &variants, &[]);
+    let r = run_sweep(&sweep);
+    let mut headers = vec!["benchmark"];
+    headers.extend(variants.iter().map(|v| v.name.as_str()));
+    let mut table = Table::new(&headers);
+    for &b in &benches {
+        let mut row = vec![b.name().to_string()];
+        row.extend(variants.iter().map(|v| {
+            format!(
+                "{:.0}",
+                r.stat(&format!("{}/{}", b.name(), v.name))
+                    .miss_latency_mean
+            )
+        }));
+        table.row(row);
     }
+    table.print();
     println!("\npaper: eager nearly doubles lazy's miss latency on pc/sps/tpcc;");
     println!("RoW tracks lazy there and stays flat on non-contended apps.");
 }

@@ -1,39 +1,44 @@
 //! Fig. 12: contention-prediction accuracy of the Up/Down and
 //! Saturate-on-Contention predictors (RW+Dir detection).
 
-use row_bench::{banner, parallel_map, scale};
-use row_sim::{run_row, RowVariant};
+use row_bench::{banner, run_sweep, scale, Table};
+use row_sim::{RowVariant, Sweep, Variant};
 use row_workloads::Benchmark;
 
 fn main() {
     banner("Fig. 12", "contention-prediction accuracy");
     let exp = scale();
-    let rows = parallel_map(Benchmark::atomic_intensive(), |&b| {
-        let ud = run_row(b, RowVariant::RwDirUd, &exp).expect("row ud");
-        let sat = run_row(b, RowVariant::RwDirSat, &exp).expect("row sat");
-        (
-            b,
-            ud.accuracy.expect("RoW tracks accuracy"),
-            sat.accuracy.expect("RoW tracks accuracy"),
-        )
-    });
-    println!("{:15} {:>8} {:>8}", "benchmark", "U/D", "Sat");
-    let (mut su, mut ss, mut n) = (0.0, 0.0, 0);
-    for (b, ud, sat) in rows {
-        println!(
-            "{:15} {:>7.0}% {:>7.0}%",
-            b.name(),
-            100.0 * ud.accuracy(),
-            100.0 * sat.accuracy()
-        );
-        su += ud.accuracy();
-        ss += sat.accuracy();
-        n += 1;
+    let benches = Benchmark::atomic_intensive();
+    let variants = [
+        Variant::row(RowVariant::RwDirUd),
+        Variant::row(RowVariant::RwDirSat),
+    ];
+    let sweep = Sweep::grid("fig12", &exp, &benches, &variants, &[]);
+    let r = run_sweep(&sweep);
+    let accuracy = |b: Benchmark, v: &Variant| {
+        r.stat(&format!("{}/{}", b.name(), v.name))
+            .accuracy
+            .expect("RoW tracks accuracy")
+            .accuracy()
+    };
+    let mut table = Table::new(&["benchmark", "U/D", "Sat"]);
+    let (mut su, mut ss) = (0.0, 0.0);
+    for &b in &benches {
+        let (ud, sat) = (accuracy(b, &variants[0]), accuracy(b, &variants[1]));
+        table.row([
+            b.name().to_string(),
+            format!("{:.0}%", 100.0 * ud),
+            format!("{:.0}%", 100.0 * sat),
+        ]);
+        su += ud;
+        ss += sat;
     }
-    println!(
-        "{:15} {:>7.0}% {:>7.0}%   (paper: 86% U/D, 73% Sat)",
-        "mean",
-        100.0 * su / n as f64,
-        100.0 * ss / n as f64
-    );
+    let n = benches.len() as f64;
+    table.row([
+        "mean".to_string(),
+        format!("{:.0}%", 100.0 * su / n),
+        format!("{:.0}%", 100.0 * ss / n),
+    ]);
+    table.print();
+    println!("\npaper: 86% U/D, 73% Sat on average.");
 }

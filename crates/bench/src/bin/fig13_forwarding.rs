@@ -2,62 +2,52 @@
 //! RW+Dir RoW variants with and without the locality override, normalized to
 //! eager without forwarding.
 
-use row_bench::{banner, parallel_map, scale};
-use row_common::config::AtomicPolicy;
-use row_sim::{run_benchmark, run_eager, run_lazy, run_row, run_row_fwd, RowVariant};
+use row_bench::{banner, geomean_norm, norm, run_sweep, scale, Table};
+use row_sim::{RowVariant, Sweep, Variant};
 use row_workloads::Benchmark;
 
 fn main() {
     banner("Fig. 13", "forwarding to atomics (locality override)");
     let exp = scale();
-    let rows = parallel_map(Benchmark::atomic_intensive(), |&b| {
-        let e = run_eager(b, &exp).expect("eager").cycles as f64;
-        let l = run_lazy(b, &exp).expect("lazy").cycles as f64 / e;
-        let ef = run_benchmark(b, AtomicPolicy::Eager, true, &exp)
-            .expect("eager fwd")
-            .cycles as f64
-            / e;
-        let ud = run_row(b, RowVariant::RwDirUd, &exp).expect("ud").cycles as f64 / e;
-        let udf = run_row_fwd(b, RowVariant::RwDirUd, &exp).expect("ud fwd");
-        let satf = run_row_fwd(b, RowVariant::RwDirSat, &exp)
-            .expect("sat fwd")
-            .cycles as f64
-            / e;
-        (
-            b,
-            l,
-            ef,
-            ud,
-            udf.cycles as f64 / e,
-            satf,
-            udf.total.locality_overrides,
-        )
-    });
-    println!(
-        "{:15} {:>7} {:>10} {:>9} {:>12} {:>13} {:>10}",
-        "benchmark", "lazy", "eager+Fwd", "UD_noFwd", "UD+Fwd", "Sat+Fwd", "overrides"
-    );
-    let mut sums = [0.0f64; 5];
-    let mut n = 0;
-    for (b, l, ef, ud, udf, satf, ov) in &rows {
-        println!(
-            "{:15} {:>7.3} {:>10.3} {:>9.3} {:>12.3} {:>13.3} {:>10}",
-            b.name(),
-            l,
-            ef,
-            ud,
-            udf,
-            satf,
-            ov
+    let benches = Benchmark::atomic_intensive();
+    let variants = [
+        Variant::eager(),
+        Variant::lazy(),
+        Variant::eager_fwd(),
+        Variant::row(RowVariant::RwDirUd),
+        Variant::row_fwd(RowVariant::RwDirUd),
+        Variant::row_fwd(RowVariant::RwDirSat),
+    ];
+    let sweep = Sweep::grid("fig13", &exp, &benches, &variants, &[]);
+    let r = run_sweep(&sweep);
+    let columns: Vec<&str> = variants[1..].iter().map(|v| v.name.as_str()).collect();
+    let mut headers = vec!["benchmark"];
+    headers.extend(&columns);
+    headers.push("overrides");
+    let mut table = Table::new(&headers);
+    let udf = variants[4].name.as_str();
+    for &b in &benches {
+        let mut row = vec![b.name().to_string()];
+        row.extend(
+            columns
+                .iter()
+                .map(|&c| format!("{:.3}", norm(&r, b, c, "eager"))),
         );
-        for (s, v) in sums.iter_mut().zip([l, ef, ud, udf, satf]) {
-            *s += v.ln();
-        }
-        n += 1;
+        row.push(
+            r.stat(&format!("{}/{udf}", b.name()))
+                .locality_overrides
+                .to_string(),
+        );
+        table.row(row);
     }
-    print!("{:15}", "geomean");
-    for s in sums {
-        print!(" {:>9.3}", (s / n as f64).exp());
-    }
-    println!("\n\npaper: RoW(RW+Dir_U/D)+Fwd best overall; cq recovers via the override.");
+    let mut gm_row = vec!["geomean".to_string()];
+    gm_row.extend(
+        columns
+            .iter()
+            .map(|&c| format!("{:.3}", geomean_norm(&r, &benches, c, "eager"))),
+    );
+    gm_row.push(String::new());
+    table.row(gm_row);
+    table.print();
+    println!("\npaper: RoW(RW+Dir_U/D)+Fwd best overall; cq recovers via the override.");
 }

@@ -1,93 +1,42 @@
 //! The paper's headline: RoW (RW+Dir_U/D + forwarding) vs the eager
 //! baseline, average and maximum reduction, plus the hardware budget.
 //!
-//! Besides the console table, writes `BENCH_headline.json` (schema documented
-//! in `results/README.md`) so CI and scripts can diff runs without scraping
-//! stdout.
+//! Besides the console table, the sweep engine writes `BENCH_headline.json`
+//! (the shared per-figure schema documented in `results/README.md`) so CI
+//! and scripts can diff runs without scraping stdout.
 
-use std::time::Instant;
-
-use row_bench::{banner, parallel_map, scale};
+use row_bench::{banner, norm, run_sweep, scale, Table};
 use row_common::config::RowConfig;
 use row_core::RowEngine;
-use row_sim::{run_eager, run_row_fwd, RowVariant, RunResult};
+use row_sim::{RowVariant, Sweep, Variant};
 use row_workloads::Benchmark;
-
-struct Row {
-    bench: Benchmark,
-    eager: RunResult,
-    row: RunResult,
-    wall_eager_s: f64,
-    wall_row_s: f64,
-}
-
-fn atomics_per_kilo_instr(r: &RunResult) -> f64 {
-    if r.total.committed == 0 {
-        0.0
-    } else {
-        1000.0 * r.total.atomics as f64 / r.total.committed as f64
-    }
-}
-
-/// Transport retransmissions across both runs of a row (0 unless the suite
-/// is ever pointed at a lossy-chaos configuration).
-fn transport_retries(r: &RunResult) -> u64 {
-    r.transport.map_or(0, |t| t.retries + t.nack_retransmits)
-}
-
-fn json_row(r: &Row) -> String {
-    format!(
-        concat!(
-            "    {{\"benchmark\": \"{}\", \"cycles_eager\": {}, \"cycles_row\": {}, ",
-            "\"ratio\": {:.6}, \"ipc_eager\": {:.4}, \"ipc_row\": {:.4}, ",
-            "\"atomics_per_kilo_instr\": {:.3}, ",
-            "\"transport_retries_eager\": {}, \"transport_retries_row\": {}, ",
-            "\"transport_giveups\": {}, ",
-            "\"wall_time_s_eager\": {:.3}, \"wall_time_s_row\": {:.3}}}"
-        ),
-        r.bench.name(),
-        r.eager.cycles,
-        r.row.cycles,
-        r.row.cycles as f64 / r.eager.cycles as f64,
-        r.eager.ipc(),
-        r.row.ipc(),
-        atomics_per_kilo_instr(&r.eager),
-        transport_retries(&r.eager),
-        transport_retries(&r.row),
-        r.eager.transport.map_or(0, |t| t.giveups) + r.row.transport.map_or(0, |t| t.giveups),
-        r.wall_eager_s,
-        r.wall_row_s,
-    )
-}
 
 fn main() {
     banner("Headline", "RoW vs always-eager (Section VI summary)");
     let exp = scale();
-    let rows = parallel_map(Benchmark::all().to_vec(), |&b| {
-        let t0 = Instant::now();
-        let eager = run_eager(b, &exp).expect("eager");
-        let wall_eager_s = t0.elapsed().as_secs_f64();
-        let t1 = Instant::now();
-        let row = run_row_fwd(b, RowVariant::RwDirUd, &exp).expect("row");
-        let wall_row_s = t1.elapsed().as_secs_f64();
-        Row {
-            bench: b,
-            eager,
-            row,
-            wall_eager_s,
-            wall_row_s,
-        }
-    });
+    let benches = Benchmark::all().to_vec();
+    let row_variant = Variant::row_fwd(RowVariant::RwDirUd);
+    let sweep = Sweep::grid(
+        "headline",
+        &exp,
+        &benches,
+        &[Variant::eager(), row_variant.clone()],
+        &[],
+    );
+    let r = run_sweep(&sweep);
+    let row = row_variant.name.as_str();
+    let mut table = Table::new(&["benchmark", "RoW/eager"]);
     let mut best = (Benchmark::Pc, 1.0f64);
     let mut ratios = Vec::new();
-    for r in &rows {
-        let ratio = r.row.cycles as f64 / r.eager.cycles as f64;
-        println!("{:15} RoW/eager = {ratio:.3}", r.bench.name());
+    for &b in &benches {
+        let ratio = norm(&r, b, row, "eager");
+        table.row([b.name().to_string(), format!("{ratio:.3}")]);
         ratios.push(ratio);
         if ratio < best.1 {
-            best = (r.bench, ratio);
+            best = (b, ratio);
         }
     }
+    table.print();
     let gm = row_common::stats::geomean(&ratios);
     println!("\nall-apps geomean reduction: {:.1}%", 100.0 * (1.0 - gm));
     println!(
@@ -101,17 +50,4 @@ fn main() {
         engine.storage_bits(16) / 8
     );
     println!("paper: 9.2% avg (up to 43%) on atomic-intensive apps; 4.0% across all.");
-
-    let body: Vec<String> = rows.iter().map(json_row).collect();
-    let json = format!(
-        "{{\n  \"schema\": \"norush-headline-v2\",\n  \"cores\": {},\n  \"instructions_per_core\": {},\n  \"geomean_ratio\": {:.6},\n  \"benchmarks\": [\n{}\n  ]\n}}\n",
-        exp.cores,
-        exp.instructions,
-        gm,
-        body.join(",\n"),
-    );
-    match std::fs::write("BENCH_headline.json", &json) {
-        Ok(()) => println!("wrote BENCH_headline.json"),
-        Err(e) => eprintln!("could not write BENCH_headline.json: {e}"),
-    }
 }

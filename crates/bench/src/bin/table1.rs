@@ -53,4 +53,17 @@ fn main() {
     );
     cfg.validate()
         .expect("Table I configuration is self-consistent");
+
+    // Table I runs no simulations, but still emits the shared results file
+    // (zero jobs) so `BENCH_*.json` collection covers every binary.
+    let sweep = row_sim::Sweep::new("table1", &row_bench::scale());
+    let results = sweep
+        .run(&row_sim::SweepOptions {
+            workers: row_bench::sweep_cli().workers,
+            results_path: Some(std::path::PathBuf::from("BENCH_table1.json")),
+            ..row_sim::SweepOptions::default()
+        })
+        .expect("empty sweep cannot fail");
+    assert!(results.jobs.is_empty());
+    eprintln!("wrote BENCH_table1.json");
 }

@@ -15,6 +15,8 @@
 //! * [`persist`] — the versioned binary snapshot codec
 //!   ([`Codec`][persist::Codec]/[`Persist`][persist::Persist]) behind
 //!   deterministic checkpoint/restore.
+//! * [`json`] — a minimal JSON reader/writer backing the per-figure
+//!   `BENCH_<fig>.json` results files and sweep resume.
 //!
 //! # Example
 //!
@@ -32,6 +34,7 @@
 pub mod clock;
 pub mod config;
 pub mod ids;
+pub mod json;
 pub mod persist;
 pub mod rmw;
 pub mod rng;

@@ -410,6 +410,209 @@ impl Codec for AccuracyCounter {
     }
 }
 
+/// Every scalar metric one sweep job produces, in a form that serializes
+/// to the per-figure `BENCH_<fig>.json` records and parses back losslessly
+/// (sweep resume re-renders cached jobs byte-identically to fresh runs).
+///
+/// This is the figure-facing projection of a simulation run: the sim crate
+/// converts its `RunResult` into one of these, the bench harness formats
+/// tables from them, and the sweep engine persists them.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct JobStats {
+    /// Parallel-phase execution time in cycles.
+    pub cycles: u64,
+    /// Instructions committed, all cores.
+    pub committed: u64,
+    /// Atomic RMWs committed.
+    pub atomics: u64,
+    /// Atomics whose detector marked them contended.
+    pub contended_atomics: u64,
+    /// Atomics executed eagerly (includes locality-override flips).
+    pub atomics_eager: u64,
+    /// Atomics executed lazily.
+    pub atomics_lazy: u64,
+    /// Atomics fed by store→atomic forwarding.
+    pub atomics_forwarded: u64,
+    /// Predicted-lazy atomics flipped eager by the locality override.
+    pub locality_overrides: u64,
+    /// Fills served cache-to-cache from remote private caches.
+    pub remote_fills: u64,
+    /// Mean L1D miss latency in cycles (Fig. 11).
+    pub miss_latency_mean: f64,
+    /// Mean older not-yet-executed instructions at eager issue (Fig. 4).
+    pub older_unexecuted_mean: f64,
+    /// Mean younger already-started instructions at lazy issue (Fig. 4).
+    pub younger_started_mean: f64,
+    /// Mean dispatch→issue segment of the atomic latency (Fig. 6).
+    pub breakdown_dispatch_to_issue: f64,
+    /// Mean issue→lock segment (Fig. 6).
+    pub breakdown_issue_to_lock: f64,
+    /// Mean lock→unlock segment (Fig. 6).
+    pub breakdown_lock_to_unlock: f64,
+    /// Fraction of branch predictions that missed.
+    pub branch_miss_rate: f64,
+    /// RoW contention-prediction quadrants, when the RoW policy ran.
+    pub accuracy: Option<AccuracyCounter>,
+    /// Recoverable-transport counters, when the run used lossy chaos.
+    pub transport: Option<TransportStats>,
+}
+
+impl JobStats {
+    /// Instructions per cycle across the whole machine.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Atomics per 10 000 committed instructions (Fig. 5).
+    pub fn atomics_per_10k(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.atomics as f64 * 10_000.0 / self.committed as f64
+        }
+    }
+
+    /// Fraction of atomics detected contended (Fig. 5).
+    pub fn contended_fraction(&self) -> f64 {
+        if self.atomics == 0 {
+            0.0
+        } else {
+            self.contended_atomics as f64 / self.atomics as f64
+        }
+    }
+
+    /// Mean dispatch→unlock atomic latency (Fig. 6 total).
+    pub fn breakdown_total(&self) -> f64 {
+        self.breakdown_dispatch_to_issue
+            + self.breakdown_issue_to_lock
+            + self.breakdown_lock_to_unlock
+    }
+
+    /// Timeout retries plus NACK retransmissions (0 without lossy chaos).
+    pub fn transport_retries(&self) -> u64 {
+        self.transport.map_or(0, |t| t.retries + t.nack_retransmits)
+    }
+
+    /// Serializes to one JSON object (no trailing newline), field order
+    /// fixed so identical stats always render identically.
+    pub fn to_json(&self) -> String {
+        use crate::json::fmt_f64;
+        let accuracy = match &self.accuracy {
+            None => "null".to_string(),
+            Some(a) => format!(
+                "{{\"true_contended\": {}, \"true_uncontended\": {}, \"false_contended\": {}, \"false_uncontended\": {}}}",
+                a.true_contended, a.true_uncontended, a.false_contended, a.false_uncontended
+            ),
+        };
+        let transport = match &self.transport {
+            None => "null".to_string(),
+            Some(t) => format!(
+                concat!(
+                    "{{\"sent\": {}, \"delivered\": {}, \"retries\": {}, \"nack_retransmits\": {}, ",
+                    "\"drops_injected\": {}, \"dups_injected\": {}, \"corrupts_injected\": {}, ",
+                    "\"dup_dropped\": {}, \"corrupt_dropped\": {}, \"acks_sent\": {}, \"giveups\": {}}}"
+                ),
+                t.sent, t.delivered, t.retries, t.nack_retransmits,
+                t.drops_injected, t.dups_injected, t.corrupts_injected,
+                t.dup_dropped, t.corrupt_dropped, t.acks_sent, t.giveups
+            ),
+        };
+        format!(
+            concat!(
+                "{{\"cycles\": {}, \"committed\": {}, \"atomics\": {}, \"contended_atomics\": {}, ",
+                "\"atomics_eager\": {}, \"atomics_lazy\": {}, \"atomics_forwarded\": {}, ",
+                "\"locality_overrides\": {}, \"remote_fills\": {}, ",
+                "\"miss_latency_mean\": {}, \"older_unexecuted_mean\": {}, \"younger_started_mean\": {}, ",
+                "\"breakdown_dispatch_to_issue\": {}, \"breakdown_issue_to_lock\": {}, ",
+                "\"breakdown_lock_to_unlock\": {}, \"branch_miss_rate\": {}, ",
+                "\"accuracy\": {}, \"transport\": {}}}"
+            ),
+            self.cycles,
+            self.committed,
+            self.atomics,
+            self.contended_atomics,
+            self.atomics_eager,
+            self.atomics_lazy,
+            self.atomics_forwarded,
+            self.locality_overrides,
+            self.remote_fills,
+            fmt_f64(self.miss_latency_mean),
+            fmt_f64(self.older_unexecuted_mean),
+            fmt_f64(self.younger_started_mean),
+            fmt_f64(self.breakdown_dispatch_to_issue),
+            fmt_f64(self.breakdown_issue_to_lock),
+            fmt_f64(self.breakdown_lock_to_unlock),
+            fmt_f64(self.branch_miss_rate),
+            accuracy,
+            transport,
+        )
+    }
+
+    /// Parses a [`JobStats::to_json`] object back.
+    ///
+    /// Returns `None` when any required field is missing or ill-typed (the
+    /// caller treats that as "cell absent" and re-runs the job).
+    pub fn from_json(v: &crate::json::Value) -> Option<JobStats> {
+        let u = |k: &str| v.get(k).and_then(crate::json::Value::as_u64);
+        let f = |k: &str| v.get(k).and_then(crate::json::Value::as_f64);
+        let accuracy = match v.get("accuracy") {
+            None | Some(crate::json::Value::Null) => None,
+            Some(a) => {
+                let q = |k: &str| a.get(k).and_then(crate::json::Value::as_u64);
+                Some(AccuracyCounter {
+                    true_contended: q("true_contended")?,
+                    true_uncontended: q("true_uncontended")?,
+                    false_contended: q("false_contended")?,
+                    false_uncontended: q("false_uncontended")?,
+                })
+            }
+        };
+        let transport = match v.get("transport") {
+            None | Some(crate::json::Value::Null) => None,
+            Some(t) => {
+                let q = |k: &str| t.get(k).and_then(crate::json::Value::as_u64);
+                Some(TransportStats {
+                    sent: q("sent")?,
+                    delivered: q("delivered")?,
+                    retries: q("retries")?,
+                    nack_retransmits: q("nack_retransmits")?,
+                    drops_injected: q("drops_injected")?,
+                    dups_injected: q("dups_injected")?,
+                    corrupts_injected: q("corrupts_injected")?,
+                    dup_dropped: q("dup_dropped")?,
+                    corrupt_dropped: q("corrupt_dropped")?,
+                    acks_sent: q("acks_sent")?,
+                    giveups: q("giveups")?,
+                })
+            }
+        };
+        Some(JobStats {
+            cycles: u("cycles")?,
+            committed: u("committed")?,
+            atomics: u("atomics")?,
+            contended_atomics: u("contended_atomics")?,
+            atomics_eager: u("atomics_eager")?,
+            atomics_lazy: u("atomics_lazy")?,
+            atomics_forwarded: u("atomics_forwarded")?,
+            locality_overrides: u("locality_overrides")?,
+            remote_fills: u("remote_fills")?,
+            miss_latency_mean: f("miss_latency_mean")?,
+            older_unexecuted_mean: f("older_unexecuted_mean")?,
+            younger_started_mean: f("younger_started_mean")?,
+            breakdown_dispatch_to_issue: f("breakdown_dispatch_to_issue")?,
+            breakdown_issue_to_lock: f("breakdown_issue_to_lock")?,
+            breakdown_lock_to_unlock: f("breakdown_lock_to_unlock")?,
+            branch_miss_rate: f("branch_miss_rate")?,
+            accuracy,
+            transport,
+        })
+    }
+}
+
 /// Geometric mean of a slice of ratios, ignoring non-positive entries.
 /// Returns 1.0 for an empty slice.
 pub fn geomean(values: &[f64]) -> f64 {
@@ -539,6 +742,68 @@ mod tests {
         assert_eq!(a.sent, 20);
         assert_eq!(a.retries, 6);
         assert_eq!(crate::persist::roundtrip(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn job_stats_round_trip_through_json() {
+        let s = JobStats {
+            cycles: 123_456,
+            committed: 48_000,
+            atomics: 300,
+            contended_atomics: 120,
+            atomics_eager: 180,
+            atomics_lazy: 120,
+            atomics_forwarded: 7,
+            locality_overrides: 3,
+            remote_fills: 99,
+            miss_latency_mean: 161.25,
+            older_unexecuted_mean: 48.5,
+            younger_started_mean: 1.0 / 3.0,
+            breakdown_dispatch_to_issue: 10.125,
+            breakdown_issue_to_lock: 0.0,
+            breakdown_lock_to_unlock: 5e-3,
+            branch_miss_rate: 0.0123,
+            accuracy: Some(AccuracyCounter {
+                true_contended: 1,
+                true_uncontended: 2,
+                false_contended: 3,
+                false_uncontended: 4,
+            }),
+            transport: Some(TransportStats {
+                sent: 10,
+                delivered: 10,
+                retries: 1,
+                ..TransportStats::default()
+            }),
+        };
+        let json = s.to_json();
+        let v = crate::json::parse(&json).expect("valid JSON");
+        let back = JobStats::from_json(&v).expect("complete record");
+        assert_eq!(back, s);
+        // Re-serialization is byte-identical — what sweep resume relies on.
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn job_stats_none_fields_and_derived_rates() {
+        let s = JobStats {
+            cycles: 100,
+            committed: 250,
+            atomics: 10,
+            contended_atomics: 4,
+            ..JobStats::default()
+        };
+        let v = crate::json::parse(&s.to_json()).unwrap();
+        let back = JobStats::from_json(&v).unwrap();
+        assert_eq!(back.accuracy, None);
+        assert_eq!(back.transport, None);
+        assert_eq!(back.transport_retries(), 0);
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert!((s.atomics_per_10k() - 400.0).abs() < 1e-12);
+        assert!((s.contended_fraction() - 0.4).abs() < 1e-12);
+        // Missing required field => None, not a panic.
+        let broken = crate::json::parse("{\"cycles\": 1}").unwrap();
+        assert!(JobStats::from_json(&broken).is_none());
     }
 
     #[test]

@@ -226,6 +226,16 @@ impl Core {
         &self.stats
     }
 
+    /// Moves the statistics out of the core, leaving zeroed counters.
+    ///
+    /// Result assembly at the end of a run uses this instead of cloning:
+    /// the accumulators (histogram-free, but still several means) are the
+    /// largest part of a core's result footprint, and the core is done
+    /// counting once its trace has drained.
+    pub fn take_stats(&mut self) -> CoreStats {
+        std::mem::take(&mut self.stats)
+    }
+
     /// Branch-predictor statistics.
     pub fn branch_stats(&self) -> &crate::branch::BranchStats {
         self.bp.stats()

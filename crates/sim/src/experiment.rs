@@ -137,6 +137,18 @@ impl RowVariant {
     }
 }
 
+/// One seeded [`ProfileStream`] per core for `bench` at this scale — the
+/// instruction traces every benchmark runner (and the sweep engine) feeds
+/// into [`Machine::new`].
+pub fn bench_streams(bench: Benchmark, exp: &ExperimentConfig) -> Vec<Box<dyn InstrStream>> {
+    let profile = bench.profile().with_instructions(exp.instructions);
+    (0..exp.cores)
+        .map(|t| {
+            Box::new(ProfileStream::new(profile, t, exp.cores, exp.seed)) as Box<dyn InstrStream>
+        })
+        .collect()
+}
+
 /// Runs `bench` under `policy`, with or without store→atomic forwarding.
 ///
 /// # Errors
@@ -151,13 +163,7 @@ pub fn run_benchmark(
         .system()
         .with_policy(policy)
         .with_forward_to_atomics(forwarding);
-    let profile = bench.profile().with_instructions(exp.instructions);
-    let streams: Vec<Box<dyn InstrStream>> = (0..exp.cores)
-        .map(|t| {
-            Box::new(ProfileStream::new(profile, t, exp.cores, exp.seed)) as Box<dyn InstrStream>
-        })
-        .collect();
-    Machine::new(&sys, streams).run(exp.cycle_limit)
+    Machine::new(&sys, bench_streams(bench, exp)).run(exp.cycle_limit)
 }
 
 /// Like [`run_benchmark`], but crash-resilient: a checkpoint file is written
@@ -182,18 +188,37 @@ pub fn run_benchmark_checkpointed(
         .system()
         .with_policy(policy)
         .with_forward_to_atomics(forwarding);
-    let profile = bench.profile().with_instructions(exp.instructions);
-    let streams: Vec<Box<dyn InstrStream>> = (0..exp.cores)
-        .map(|t| {
-            Box::new(ProfileStream::new(profile, t, exp.cores, exp.seed)) as Box<dyn InstrStream>
-        })
-        .collect();
-    let mut m = Machine::new(&sys, streams);
+    let mut m = Machine::new(&sys, bench_streams(bench, exp));
     if resume && path.exists() {
         let bytes = crate::checkpoint::read_checkpoint(path).map_err(SimError::Checkpoint)?;
         m.restore(&bytes)?;
     }
     m.run_checkpointed(exp.cycle_limit, every, path)
+}
+
+/// Runs one Fig. 2 microbenchmark cell against an explicit cycle budget and
+/// returns the full [`RunResult`] (cycles per iteration = `cycles /
+/// iterations`). The sweep engine uses this form so a timed-out cell can be
+/// retried with a raised budget.
+///
+/// # Errors
+/// Propagates any [`SimError`] (cycle-budget timeout, watchdog stall, or protocol violation).
+pub fn run_microbench_result(
+    rmw: MicroRmw,
+    variant: MicroVariant,
+    fence_model: FenceModel,
+    iterations: u64,
+    cycle_limit: u64,
+) -> Result<RunResult, SimError> {
+    let sys = SystemConfig::small(1).with_fence_model(fence_model);
+    let cfg = MicrobenchConfig::paper_like(rmw, variant, iterations);
+    let stream: Box<dyn InstrStream> = Box::new(MicrobenchStream::new(cfg));
+    Machine::new(&sys, vec![stream]).run(cycle_limit)
+}
+
+/// Default cycle budget for a microbenchmark cell of `iterations`.
+pub fn microbench_cycle_limit(iterations: u64) -> u64 {
+    iterations.saturating_mul(50_000)
 }
 
 /// Runs one Fig. 2 microbenchmark cell and returns cycles per iteration.
@@ -206,10 +231,13 @@ pub fn run_microbench(
     fence_model: FenceModel,
     iterations: u64,
 ) -> Result<f64, SimError> {
-    let sys = SystemConfig::small(1).with_fence_model(fence_model);
-    let cfg = MicrobenchConfig::paper_like(rmw, variant, iterations);
-    let stream: Box<dyn InstrStream> = Box::new(MicrobenchStream::new(cfg));
-    let r = Machine::new(&sys, vec![stream]).run(iterations * 50_000)?;
+    let r = run_microbench_result(
+        rmw,
+        variant,
+        fence_model,
+        iterations,
+        microbench_cycle_limit(iterations),
+    )?;
     Ok(r.cycles as f64 / iterations as f64)
 }
 
@@ -223,13 +251,7 @@ pub fn run_far(bench: Benchmark, exp: &ExperimentConfig) -> Result<RunResult, Si
         .system()
         .with_policy(AtomicPolicy::Eager)
         .with_placement(AtomicPlacement::Far);
-    let profile = bench.profile().with_instructions(exp.instructions);
-    let streams: Vec<Box<dyn InstrStream>> = (0..exp.cores)
-        .map(|t| {
-            Box::new(ProfileStream::new(profile, t, exp.cores, exp.seed)) as Box<dyn InstrStream>
-        })
-        .collect();
-    Machine::new(&sys, streams).run(exp.cycle_limit)
+    Machine::new(&sys, bench_streams(bench, exp)).run(exp.cycle_limit)
 }
 
 /// Convenience: eager baseline for normalization.

@@ -12,6 +12,11 @@
 //!   sweeps.
 //! * [`shrink`] — the failing-chaos-config shrinker: greedy knob
 //!   elimination plus per-knob binary search, for minimal fault repros.
+//! * [`sweep`] — the declarative sweep engine: each figure as a
+//!   [`Sweep`] of `(benchmark × variant × seed)` [`Job`]s executed by a
+//!   scoped-thread worker pool with deterministic job-order aggregation,
+//!   timeout retry, incremental `BENCH_<figure>.json` persistence
+//!   ([`FigureResults`]) and fingerprint-matched resume.
 //!
 //! # Example
 //!
@@ -33,10 +38,16 @@ pub mod checkpoint;
 pub mod experiment;
 pub mod machine;
 pub mod shrink;
+pub mod sweep;
 
 pub use experiment::{
-    run_benchmark, run_benchmark_checkpointed, run_eager, run_far, run_lazy, run_microbench,
-    run_row, run_row_fwd, ExperimentConfig, RowVariant,
+    bench_streams, microbench_cycle_limit, run_benchmark, run_benchmark_checkpointed, run_eager,
+    run_far, run_lazy, run_microbench, run_microbench_result, run_row, run_row_fwd,
+    ExperimentConfig, RowVariant,
 };
 pub use machine::{Machine, RewindReport, RunResult, SimError, SimTimeout};
 pub use shrink::shrink_chaos;
+pub use sweep::{
+    available_workers, FigureResults, Job, JobRecord, JobSpec, Sweep, SweepCheckpoint, SweepError,
+    SweepEvent, SweepOptions, Variant,
+};

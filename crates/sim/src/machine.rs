@@ -293,6 +293,42 @@ impl Machine {
         Ok(Some(self.collect()))
     }
 
+    /// Moves each core's statistics into the result instead of cloning them:
+    /// the cores are drained, so the counters have nothing further to
+    /// accumulate, and a 32-core `paper`-scale sweep assembles thousands of
+    /// results.
+    fn collect(&mut self) -> RunResult {
+        let (mut preds, mut miss) = (0u64, 0u64);
+        let mut accuracy: Option<AccuracyCounter> = None;
+        for c in &self.cores {
+            preds += c.branch_stats().predictions;
+            miss += c.branch_stats().mispredictions;
+            if let Some(a) = c.row_accuracy() {
+                accuracy.get_or_insert_with(AccuracyCounter::new).merge(a);
+            }
+        }
+        let per_core: Vec<CoreStats> = self.cores.iter_mut().map(Core::take_stats).collect();
+        let mut total = CoreStats::default();
+        for s in &per_core {
+            total.merge(s);
+        }
+        let cycles = total.finished_at.map(|c| c.raw()).unwrap_or(0);
+        RunResult {
+            cycles,
+            total,
+            per_core,
+            miss_latency: self.mem.stats().miss_latency_all,
+            accuracy,
+            branch_miss_rate: if preds == 0 {
+                0.0
+            } else {
+                miss as f64 / preds as f64
+            },
+            remote_fills: self.mem.stats().remote_fills,
+            transport: self.mem.transport_stats().copied(),
+        }
+    }
+
     /// Runs to the absolute cycle `limit` like [`Machine::run`], writing a
     /// checkpoint file to `path` (atomically) every `every` cycles, so a
     /// killed process can [`Machine::restore`] and continue.
@@ -571,40 +607,6 @@ impl Machine {
         self.now = now;
         self.rewind_ckpt = None;
         Ok(())
-    }
-
-    fn collect(&self) -> RunResult {
-        let per_core: Vec<CoreStats> = self.cores.iter().map(|c| c.stats().clone()).collect();
-        let mut total = CoreStats::default();
-        for s in &per_core {
-            total.merge(s);
-        }
-        let cycles = total.finished_at.map(|c| c.raw()).unwrap_or(0);
-        let mut accuracy: Option<AccuracyCounter> = None;
-        for c in &self.cores {
-            if let Some(a) = c.row_accuracy() {
-                accuracy.get_or_insert_with(AccuracyCounter::new).merge(a);
-            }
-        }
-        let (mut preds, mut miss) = (0u64, 0u64);
-        for c in &self.cores {
-            preds += c.branch_stats().predictions;
-            miss += c.branch_stats().mispredictions;
-        }
-        RunResult {
-            cycles,
-            total,
-            per_core,
-            miss_latency: self.mem.stats().miss_latency_all,
-            accuracy,
-            branch_miss_rate: if preds == 0 {
-                0.0
-            } else {
-                miss as f64 / preds as f64
-            },
-            remote_fills: self.mem.stats().remote_fills,
-            transport: self.mem.transport_stats().copied(),
-        }
     }
 }
 

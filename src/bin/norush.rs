@@ -8,7 +8,7 @@
 //!            [--chaos-latency N] [--chaos-drop P] [--chaos-dup P]
 //!            [--chaos-corrupt P] [--oracle] [--chaos-shrink]
 //!            [--checkpoint-every K] [--ckpt-dir D] [--resume]
-//! norush compare <benchmark> [--cores N] [--instr N] [--seed S]
+//! norush compare <benchmark> [--cores N] [--instr N] [--seed S] [--jobs N]
 //! norush microbench [--iters N] [--fenced]
 //! norush record <benchmark> <file> [--instr N] [--tid T] [--threads N]
 //! norush replay <file> [--policy P]
@@ -18,7 +18,9 @@
 
 use norush::common::config::{AtomicPlacement, AtomicPolicy, FaultConfig, FenceModel, RowConfig};
 use norush::cpu::instr::InstrStream;
-use norush::sim::{run_microbench, ExperimentConfig, Machine, RunResult};
+use norush::sim::{
+    run_microbench, ExperimentConfig, Machine, RunResult, Sweep, SweepOptions, Variant,
+};
 use norush::workloads::{Benchmark, MicroRmw, MicroVariant, ProfileStream, TraceFileStream};
 use norush::SystemConfig;
 
@@ -129,13 +131,6 @@ fn try_run_with(
     Machine::new(sys, streams).run(exp.cycle_limit)
 }
 
-fn run_with(sys: &SystemConfig, bench: Benchmark, exp: &ExperimentConfig) -> RunResult {
-    try_run_with(sys, bench, exp).unwrap_or_else(|e| {
-        eprintln!("simulation failed:\n{e}");
-        std::process::exit(1);
-    })
-}
-
 /// A failing chaos run with `--chaos-shrink`: minimize the fault config
 /// while the failure persists, print the minimal repro, and save it to
 /// `chaos_repro.txt` (the artifact CI uploads).
@@ -178,16 +173,16 @@ fn shrink_and_report(
     }
 }
 
-fn summarize(name: &str, r: &RunResult, baseline: Option<u64>) {
+fn summarize(name: &str, s: &norush::common::stats::JobStats, baseline: Option<u64>) {
     let norm = baseline
-        .map(|b| format!("{:>8.3}", r.cycles as f64 / b as f64))
+        .map(|b| format!("{:>8.3}", s.cycles as f64 / b as f64))
         .unwrap_or_else(|| "       -".into());
     println!(
         "{name:10} {:>10} {norm} {:>6.2} {:>8} {:>7.0}%",
-        r.cycles,
-        r.ipc(),
-        r.total.atomics,
-        100.0 * r.total.contended_fraction(),
+        s.cycles,
+        s.ipc(),
+        s.atomics,
+        100.0 * s.contended_fraction(),
     );
 }
 
@@ -376,6 +371,23 @@ fn cmd_run(args: &Args) -> CliResult {
     Ok(())
 }
 
+/// Parses `--jobs N` (worker threads for `compare`); absent means all host
+/// cores. Mirrors the `--chaos-*` range-validation style.
+fn jobs_from(args: &Args) -> Result<usize, Box<dyn std::error::Error>> {
+    let Some(v) = args.flags.get("jobs") else {
+        return Ok(norush::sim::available_workers());
+    };
+    let n: usize = v
+        .parse()
+        .map_err(|e| format!("--jobs: `{v}` is not a worker count ({e})"))?;
+    if !(1..=4096).contains(&n) {
+        return Err(
+            format!("--jobs: {n} out of range [1, 4096] (need at least one worker)").into(),
+        );
+    }
+    Ok(n)
+}
+
 fn cmd_compare(args: &Args) -> CliResult {
     let bench = bench_by_name(
         args.positional
@@ -383,20 +395,35 @@ fn cmd_compare(args: &Args) -> CliResult {
             .ok_or("usage: compare <benchmark>")?,
     )?;
     let exp = exp_from(args)?;
+    let jobs = jobs_from(args)?;
     println!(
         "{bench} on {} cores ({} instructions/thread):\n",
         exp.cores, exp.instructions
     );
+    let variants = [
+        Variant::eager(),
+        Variant::lazy(),
+        Variant::custom(
+            "row",
+            AtomicPolicy::Row(RowConfig::best().with_locality_override(false)),
+        ),
+        Variant::custom("row-fwd", AtomicPolicy::Row(RowConfig::best())).with_forwarding(),
+        Variant::far(),
+    ];
+    let sweep = Sweep::grid("compare", &exp, &[bench], &variants, &[]);
+    let r = sweep.run(&SweepOptions {
+        workers: jobs,
+        ..SweepOptions::default()
+    })?;
     println!(
         "{:10} {:>10} {:>8} {:>6} {:>8} {:>8}",
         "policy", "cycles", "vs eager", "IPC", "atomics", "cont"
     );
     let mut baseline = None;
-    for policy in ["eager", "lazy", "row", "row-fwd", "far"] {
-        let sys = system_for(policy, &exp)?;
-        let r = run_with(&sys, bench, &exp);
-        summarize(policy, &r, baseline);
-        baseline.get_or_insert(r.cycles);
+    for v in &variants {
+        let s = r.stat(&format!("{}/{}", bench.name(), v.name));
+        summarize(&v.name, s, baseline);
+        baseline.get_or_insert(s.cycles);
     }
     Ok(())
 }
@@ -533,7 +560,7 @@ fn usage() -> CliResult {
     println!("  list                               calibrated benchmark models");
     println!("  table1                             Table I system parameters");
     println!("  run <bench> [--policy P] [...]     one simulation with stats");
-    println!("  compare <bench> [...]              eager/lazy/row/row-fwd/far table");
+    println!("  compare <bench> [--jobs N] [...]   eager/lazy/row/row-fwd/far table");
     println!("  microbench [--iters N] [--fenced]  Fig. 2 cycles/iteration");
     println!("  record <bench> <file> [...]        capture a trace file");
     println!("  replay <file> [--policy P]         replay a trace file");
