@@ -446,6 +446,16 @@ pub struct CheckConfig {
     /// (`row-oracle`): per-atomic RMW return values and the final memory
     /// state must match, or the run fails with a structured mismatch.
     pub oracle: bool,
+    /// Stream the apply-order journal through an *online* per-operation
+    /// linearizability checker as the run executes (`row-oracle`): each
+    /// journaled RMW's observed old value is checked against a sequential
+    /// golden model the moment it is journaled, so a violation aborts the
+    /// run at the offending operation instead of (or long before) the
+    /// end-of-run replay. Memory stays O(live words) — the journal is
+    /// drained as it is checked — which is what makes multi-hundred-million
+    /// cycle soaks affordable. Takes precedence over `oracle` at drain time
+    /// (the online checker's finish pass covers the same end-state checks).
+    pub oracle_online: bool,
 }
 
 /// The full simulated system: the paper's Table I.

@@ -86,6 +86,97 @@ impl SplitMix64 {
     }
 }
 
+/// A Zipf-distributed sampler over `[0, n)` (YCSB-style, Gray et al.).
+///
+/// Rank 0 is the most popular key; `theta` controls skew (0 = uniform,
+/// 0.99 = the YCSB default "hotspot" skew). Construction is O(n) (zeta
+/// precomputation); sampling is O(1). The sampler is a pure function of
+/// `(n, theta)` plus the caller's RNG, so streams that persist their RNG
+/// state can rebuild the sampler from config instead of serializing it.
+///
+/// # Example
+/// ```
+/// use row_common::rng::{SplitMix64, ZipfSampler};
+/// let zipf = ZipfSampler::new(100, 0.99);
+/// let mut rng = SplitMix64::new(1);
+/// let k = zipf.sample(&mut rng);
+/// assert!(k < 100);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `[0, n)` with skew `theta` in `[0, 1)∪(1, ∞)`.
+    /// `theta` exactly 1.0 is nudged (the closed form has a pole there).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `theta` is negative or non-finite.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipf over an empty key space");
+        assert!(
+            theta.is_finite() && theta >= 0.0,
+            "zipf theta {theta} out of range"
+        );
+        let theta = if (theta - 1.0).abs() < 1e-9 {
+            1.0 - 1e-9
+        } else {
+            theta
+        };
+        let zeta = |m: u64| -> f64 { (1..=m).map(|i| 1.0 / (i as f64).powf(theta)).sum() };
+        let zetan = zeta(n);
+        let zeta2 = zeta(n.min(2));
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        ZipfSampler {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
+    }
+
+    /// Number of keys in the sampled space.
+    pub const fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// `true` when the key space is a single key.
+    pub const fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The (possibly nudged) skew parameter.
+    pub const fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draws one key rank in `[0, n)`; rank 0 is the hottest.
+    pub fn sample(&self, rng: &mut SplitMix64) -> u64 {
+        if self.n == 1 {
+            // Keep the RNG stream advancing identically regardless of n.
+            let _ = rng.next_u64();
+            return 0;
+        }
+        let u = rng.unit_f64();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+}
+
 impl crate::persist::Codec for SplitMix64 {
     fn encode(&self, w: &mut crate::persist::Writer) {
         w.put_u64(self.state);
@@ -161,6 +252,51 @@ mod tests {
         let total: u64 = (0..n).map(|_| r.geometric_gap(10.0)).sum();
         let mean = total as f64 / n as f64;
         assert!((8.0..12.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_roughly_uniform() {
+        let zipf = ZipfSampler::new(10, 0.0);
+        let mut rng = SplitMix64::new(11);
+        let mut counts = [0u64; 10];
+        for _ in 0..10_000 {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        for (k, &c) in counts.iter().enumerate() {
+            assert!((700..1300).contains(&c), "key {k} drawn {c} times");
+        }
+    }
+
+    #[test]
+    fn zipf_high_theta_concentrates_on_hot_keys() {
+        let zipf = ZipfSampler::new(1000, 0.99);
+        let mut rng = SplitMix64::new(12);
+        let hot = (0..10_000).filter(|_| zipf.sample(&mut rng) < 10).count();
+        // Under uniform, the top 10 of 1000 keys would get ~1% of draws;
+        // YCSB-skew gives them roughly half.
+        assert!(hot > 3000, "only {hot} of 10000 draws hit the top 10 keys");
+    }
+
+    #[test]
+    fn zipf_is_deterministic_and_in_range() {
+        let zipf = ZipfSampler::new(64, 0.99);
+        let mut a = SplitMix64::new(13);
+        let mut b = SplitMix64::new(13);
+        for _ in 0..1000 {
+            let x = zipf.sample(&mut a);
+            assert_eq!(x, zipf.sample(&mut b));
+            assert!(x < 64);
+        }
+        // theta == 1.0 is nudged off the pole, not a panic.
+        let z1 = ZipfSampler::new(8, 1.0);
+        assert!(z1.theta() < 1.0);
+        let mut r = SplitMix64::new(14);
+        assert!(z1.sample(&mut r) < 8);
+        // A single-key space always returns 0 but still consumes RNG.
+        let z = ZipfSampler::new(1, 0.5);
+        let before = r.clone();
+        assert_eq!(z.sample(&mut r), 0);
+        assert_ne!(r, before);
     }
 
     #[test]

@@ -151,6 +151,159 @@ impl Histogram {
     }
 }
 
+/// Sub-buckets per power-of-two octave in a [`LogHistogram`].
+const LOG_HIST_SUBS: usize = 4;
+
+/// Total buckets in a [`LogHistogram`]: 4 exact buckets for 0..=3 plus 4
+/// sub-buckets for each octave `[2^m, 2^(m+1))`, `m` in 2..=63.
+const LOG_HIST_BUCKETS: usize = LOG_HIST_SUBS + 62 * LOG_HIST_SUBS;
+
+/// A log-bucketed latency histogram with sub-buckets per octave.
+///
+/// The plain [`Histogram`] has power-of-two buckets, so a p999 read off it
+/// can be up to 2x away from the true sample. This variant splits every
+/// octave `[2^m, 2^(m+1))` into 4 linear sub-buckets, bounding the relative
+/// quantization error to ~25% while staying a fixed 252-slot array — small
+/// enough to sit in per-core stats and cheap enough for the commit path.
+/// Values 0..=3 get exact buckets.
+///
+/// # Example
+/// ```
+/// use row_common::stats::LogHistogram;
+/// let mut h = LogHistogram::new();
+/// for v in [10u64, 20, 30, 40, 5000] {
+///     h.add(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// let p50 = h.percentile(0.5);
+/// assert!((20..=40).contains(&p50), "p50 {p50}");
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LogHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogHistogram {
+            buckets: vec![0; LOG_HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Bucket index for a sample.
+    fn bucket(sample: u64) -> usize {
+        if sample < LOG_HIST_SUBS as u64 {
+            return sample as usize;
+        }
+        let msb = 63 - sample.leading_zeros() as usize;
+        let sub = ((sample >> (msb - 2)) & 0b11) as usize;
+        (msb - 1) * LOG_HIST_SUBS + sub
+    }
+
+    /// Inclusive upper bound of bucket `i` (the value `percentile` reports).
+    fn bucket_upper(i: usize) -> u64 {
+        if i < LOG_HIST_SUBS {
+            return i as u64;
+        }
+        let msb = i / LOG_HIST_SUBS + 1;
+        let sub = (i % LOG_HIST_SUBS) as u64;
+        // Last sub-bucket of the top octave would overflow; saturate.
+        let base = 1u128 << msb;
+        let width = 1u128 << (msb - 2);
+        let upper = base + width * (sub as u128 + 1) - 1;
+        u64::try_from(upper).unwrap_or(u64::MAX)
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, sample: u64) {
+        self.buckets[Self::bucket(sample)] += 1;
+        self.count += 1;
+        self.sum += sample as u128;
+        self.max = self.max.max(sample);
+    }
+
+    /// Number of samples.
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of all samples, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Largest sample seen.
+    pub const fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Upper bound of the sub-bucket containing the `q` quantile (`q` in
+    /// \[0,1\]), clamped to the largest sample. Returns 0 for an empty
+    /// histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Self::bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Codec for LogHistogram {
+    fn encode(&self, w: &mut Writer) {
+        self.buckets.encode(w);
+        w.put_u64(self.count);
+        w.put_u128(self.sum);
+        w.put_u64(self.max);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let buckets = Vec::<u64>::decode(r)?;
+        if buckets.len() != LOG_HIST_BUCKETS {
+            return Err(PersistError::Corrupt("log histogram bucket count"));
+        }
+        Ok(LogHistogram {
+            buckets,
+            count: r.get_u64()?,
+            sum: r.get_u128()?,
+            max: r.get_u64()?,
+        })
+    }
+}
+
 /// The three-segment atomic latency breakdown of Fig. 6:
 /// dispatch→issue, issue→lock, lock→unlock.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -694,6 +847,50 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(), 2);
         assert_eq!(a.max(), 20);
+    }
+
+    #[test]
+    fn log_histogram_buckets_are_contiguous_and_ordered() {
+        // Every sample must land in a bucket whose bounds contain it, and
+        // bucket indices must be monotone in the sample value.
+        let mut last = 0usize;
+        for v in (0u64..4096).chain([u64::MAX / 2, u64::MAX]) {
+            let b = LogHistogram::bucket(v);
+            assert!(b >= last, "bucket index regressed at {v}");
+            assert!(v <= LogHistogram::bucket_upper(b), "{v} above its bucket");
+            last = b;
+        }
+        assert!(LogHistogram::bucket(u64::MAX) < LOG_HIST_BUCKETS);
+    }
+
+    #[test]
+    fn log_histogram_percentiles_are_tight() {
+        let mut h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.add(v);
+        }
+        // Sub-bucketing bounds relative error to ~25%; the pow2 Histogram
+        // would report up to 2x here.
+        let p50 = h.percentile(0.5);
+        assert!((500..=640).contains(&p50), "p50 {p50}");
+        let p99 = h.percentile(0.99);
+        assert!((990..=1000).contains(&p99), "p99 {p99}");
+        assert_eq!(h.percentile(1.0), 1000);
+        assert!(h.percentile(0.5) <= h.percentile(0.999));
+        assert_eq!(LogHistogram::new().percentile(0.5), 0);
+    }
+
+    #[test]
+    fn log_histogram_merge_and_roundtrip() {
+        let mut a = LogHistogram::new();
+        a.add(3);
+        a.add(70);
+        let mut b = LogHistogram::new();
+        b.add(5000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 5000);
+        assert_eq!(crate::persist::roundtrip(&a).unwrap(), a);
     }
 
     #[test]

@@ -926,6 +926,9 @@ impl Core {
             locked.saturating_since(mem_issued),
             now.saturating_since(locked),
         );
+        self.stats
+            .atomic_latency
+            .add(now.saturating_since(a.dispatched_at));
         if let Some(row) = self.row.as_mut() {
             row.complete(a.pc, a.predicted_contended, a.contended);
         }
@@ -950,6 +953,9 @@ impl Core {
             done.saturating_since(mem_issued),
             now.saturating_since(done),
         );
+        self.stats
+            .atomic_latency
+            .add(now.saturating_since(a.dispatched_at));
     }
 
     // ------------------------------------------------------------------

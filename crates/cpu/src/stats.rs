@@ -1,7 +1,7 @@
 //! Per-core statistics: everything the paper's figures need.
 
 use row_common::persist::{Codec, PersistError, Reader, Writer};
-use row_common::stats::{AtomicLatencyBreakdown, RunningMean};
+use row_common::stats::{AtomicLatencyBreakdown, LogHistogram, RunningMean};
 use row_common::Cycle;
 
 /// Counters and accumulators gathered by one core over a run.
@@ -34,6 +34,9 @@ pub struct CoreStats {
     pub lock_reacquires: u64,
     /// Fig. 6 latency breakdown of committed atomics.
     pub breakdown: AtomicLatencyBreakdown,
+    /// Full dispatch→unlock latency distribution of committed atomics,
+    /// log-bucketed so soak runs can report p50/p99/p999 per policy.
+    pub atomic_latency: LogHistogram,
     /// Fig. 4, first bar: instructions older than an atomic not yet executed
     /// when the atomic issued its memory request.
     pub older_unexecuted_at_issue: RunningMean,
@@ -79,6 +82,7 @@ impl CoreStats {
         self.deadlock_breaks += other.deadlock_breaks;
         self.lock_reacquires += other.lock_reacquires;
         self.breakdown.merge(&other.breakdown);
+        self.atomic_latency.merge(&other.atomic_latency);
         self.older_unexecuted_at_issue
             .merge(&other.older_unexecuted_at_issue);
         self.younger_started_at_issue
@@ -105,6 +109,7 @@ impl Codec for CoreStats {
         w.put_u64(self.deadlock_breaks);
         w.put_u64(self.lock_reacquires);
         self.breakdown.encode(w);
+        self.atomic_latency.encode(w);
         self.older_unexecuted_at_issue.encode(w);
         self.younger_started_at_issue.encode(w);
         self.finished_at.encode(w);
@@ -124,6 +129,7 @@ impl Codec for CoreStats {
             deadlock_breaks: r.get_u64()?,
             lock_reacquires: r.get_u64()?,
             breakdown: AtomicLatencyBreakdown::decode(r)?,
+            atomic_latency: LogHistogram::decode(r)?,
             older_unexecuted_at_issue: RunningMean::decode(r)?,
             younger_started_at_issue: RunningMean::decode(r)?,
             finished_at: Option::<Cycle>::decode(r)?,

@@ -322,7 +322,12 @@ impl DirBank {
                 );
             }
             Some(Entry::Shared(mut s)) => {
-                // No forward involved: serve and add the sharer immediately.
+                // Serve from the L3 copy, but block until the requester's
+                // Unblock arrives. Every fill sends an Unblock; if this grant
+                // did not block, that Unblock could land while a *later*
+                // transaction holds the entry Blocked and release it
+                // prematurely (dropping a CollectingAcks phase or replaying
+                // the queue before the new owner has data).
                 let at = self.data_ready(line, now);
                 actions.push(CacheAction::Send {
                     to: Endpoint::Core(req),
@@ -335,7 +340,14 @@ impl DirBank {
                     at,
                 });
                 s.insert(req);
-                self.entries.insert(line, Entry::Shared(s));
+                self.entries.insert(
+                    line,
+                    Entry::Blocked(Box::new(BlockInfo {
+                        next: Entry2::Shared(s),
+                        phase: Phase::AwaitUnblock,
+                        queue: VecDeque::new(),
+                    })),
+                );
             }
             Some(Entry::Exclusive(owner)) => {
                 self.stats.forwards += 1;
@@ -892,7 +904,7 @@ mod tests {
     }
 
     #[test]
-    fn gets_on_shared_is_nonblocking() {
+    fn gets_on_shared_blocks_until_unblock() {
         let mut d = bank();
         let line = LineAddr::new(3);
         let mut a = Vec::new();
@@ -912,7 +924,9 @@ mod tests {
             panic!()
         };
         assert_eq!(s.len(), 2);
-        // Third reader: served directly, stays Shared, no blocking.
+        // Third reader: served from L3, but the entry blocks until the
+        // reader's Unblock arrives — the fill's Unblock must pair with THIS
+        // transaction so it can never release a later one prematurely.
         let mut a = Vec::new();
         d.handle_msg(Msg::GetS { req: c(2), line }, Cycle::new(40), &mut a)
             .unwrap();
@@ -923,10 +937,28 @@ mod tests {
                 ..
             }
         ));
+        assert_eq!(d.state(line), DirState::Blocked);
+        unblock(&mut d, c(2), line, Cycle::new(50));
         let DirState::Shared(s) = d.state(line) else {
             panic!()
         };
         assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn stray_unblock_on_stable_entry_leaves_state_untouched() {
+        // A duplicated (chaos) or stale Unblock must never mutate a stable
+        // entry: deleting it would let the next requester take an exclusive
+        // grant while the old owner still holds the line (SWMR violation).
+        let mut d = bank();
+        let line = LineAddr::new(9);
+        let mut a = Vec::new();
+        d.handle_msg(Msg::GetS { req: c(0), line }, Cycle::ZERO, &mut a)
+            .unwrap();
+        unblock(&mut d, c(0), line, Cycle::new(10));
+        assert_eq!(d.state(line), DirState::Exclusive(c(0)));
+        unblock(&mut d, c(0), line, Cycle::new(20)); // duplicate
+        assert_eq!(d.state(line), DirState::Exclusive(c(0)));
     }
 
     #[test]
@@ -947,6 +979,7 @@ mod tests {
         let mut a = Vec::new();
         d.handle_msg(Msg::GetS { req: c(2), line }, Cycle::new(40), &mut a)
             .unwrap();
+        unblock(&mut d, c(2), line, Cycle::new(45));
 
         let mut a = Vec::new();
         d.handle_msg(Msg::GetX { req: c(2), line }, Cycle::new(50), &mut a)

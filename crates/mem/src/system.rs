@@ -70,11 +70,25 @@ pub struct MemorySystem {
     /// recoverable transport (sequencing, ACK/NACK, retransmission).
     transport: Option<Transport>,
     /// Apply-order journal of architectural writes for the differential
-    /// oracle (`CheckConfig::oracle`); `None` when the oracle is off.
+    /// oracle (`CheckConfig::oracle` or `CheckConfig::oracle_online`);
+    /// `None` when both are off. In online mode the simulation loop drains
+    /// it every cycle via [`MemorySystem::drain_journal_into`].
     journal: Option<Vec<OpRecord>>,
+    /// Armed test-only atomicity bug (lost + duplicated FAA); see
+    /// [`MemorySystem::inject_net_zero_faa_for_test`].
+    bug: Option<NetZeroFaaBug>,
     /// First protocol error observed; sticky so the simulation loop can
     /// surface it even though core-facing entry points stay infallible.
     err: Option<ProtocolError>,
+}
+
+/// State of the injected net-zero lost+duplicated-FAA bug: count down to the
+/// victim FAA, lose it (journal without applying), then apply the *next* FAA
+/// on the same word twice while journaling it once. The end state nets out.
+#[derive(Clone, Copy, Debug)]
+struct NetZeroFaaBug {
+    countdown: u64,
+    dup_word: Option<u64>,
 }
 
 impl MemorySystem {
@@ -105,7 +119,8 @@ impl MemorySystem {
                 ..MemStats::default()
             },
             transport: cfg.check.chaos.map(Transport::new),
-            journal: cfg.check.oracle.then(Vec::new),
+            journal: (cfg.check.oracle || cfg.check.oracle_online).then(Vec::new),
+            bug: None,
             err: None,
         }
     }
@@ -411,9 +426,33 @@ impl MemorySystem {
     /// observed old value (the RMW's architectural return value).
     pub fn apply_rmw(&mut self, core: CoreId, addr: Addr, rmw: RmwKind, now: Cycle) -> u64 {
         let old = self.read_word(addr);
-        let (new, wrote) = rmw.apply(old);
-        if wrote {
-            self.write_word(addr, new);
+        let (_, wrote) = rmw.apply(old);
+        let mut applications: u32 = u32::from(wrote);
+        if let (Some(bug), RmwKind::Faa(_)) = (self.bug.as_mut(), rmw) {
+            let word = addr.raw() & !7;
+            if bug.dup_word == Some(word) {
+                // The compensating half: apply this FAA twice while
+                // journaling it once. Combined with the lost half below, the
+                // word's end state (and every per-core journal count) is
+                // exactly what a correct run produces.
+                applications = 2;
+                self.bug = None;
+            } else if bug.dup_word.is_none() {
+                if bug.countdown == 0 {
+                    // The victim: journal the application (claiming the
+                    // machine performed it) but skip the functional write.
+                    applications = 0;
+                    bug.dup_word = Some(word);
+                } else {
+                    bug.countdown -= 1;
+                }
+            }
+        }
+        let mut cur = old;
+        for _ in 0..applications {
+            let (next, _) = rmw.apply(cur);
+            self.write_word(addr, next);
+            cur = next;
         }
         if let Some(j) = self.journal.as_mut() {
             j.push(OpRecord {
@@ -450,6 +489,31 @@ impl MemorySystem {
     /// The oracle journal, when `CheckConfig::oracle` is enabled.
     pub fn journal(&self) -> Option<&[OpRecord]> {
         self.journal.as_deref()
+    }
+
+    /// Moves all journaled records accumulated since the last drain into
+    /// `out` (appending), leaving the journal empty but allocated. This is
+    /// how the online checker consumes the apply order in O(live ops)
+    /// memory: the journal never grows beyond one drain interval. No-op
+    /// when journaling is off.
+    pub fn drain_journal_into(&mut self, out: &mut Vec<OpRecord>) {
+        if let Some(j) = self.journal.as_mut() {
+            out.append(j);
+        }
+    }
+
+    /// Test instrumentation: arms a *net-zero* atomicity bug. After
+    /// `countdown` more FAA applications, one FAA is "lost" (journaled but
+    /// not applied) and the next FAA on the same word is applied twice
+    /// (journaled once). End-of-run word values and per-core journal counts
+    /// are indistinguishable from a correct run — only a per-operation
+    /// return-value check can see it. Not persisted across
+    /// checkpoint/restore; arm it after any restore.
+    pub fn inject_net_zero_faa_for_test(&mut self, countdown: u64) {
+        self.bug = Some(NetZeroFaaBug {
+            countdown,
+            dup_word: None,
+        });
     }
 
     /// Transport counters, present only when lossy chaos is active (the

@@ -32,6 +32,10 @@ use std::collections::HashMap;
 use row_common::ids::{Addr, CoreId};
 use row_mem::{OpKind, OpRecord};
 
+pub mod online;
+
+pub use online::OnlineChecker;
+
 /// Masks an address down to its 64-bit word base, matching the timing
 /// machine's functional store keying.
 fn word_base(addr: Addr) -> u64 {
@@ -40,7 +44,7 @@ fn word_base(addr: Addr) -> u64 {
 
 /// The golden model: a flat word store applied to sequentially, with no
 /// timing, caches, network, or concurrency anywhere near it.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, PartialEq, Debug, Default)]
 pub struct SequentialMachine {
     words: HashMap<u64, u64>,
 }
@@ -79,6 +83,11 @@ impl SequentialMachine {
     /// The words written so far (word base address → value).
     pub fn words(&self) -> &HashMap<u64, u64> {
         &self.words
+    }
+
+    /// Mutable word store, for restoring a checkpointed golden model.
+    pub(crate) fn words_mut(&mut self) -> &mut HashMap<u64, u64> {
+        &mut self.words
     }
 }
 

@@ -32,7 +32,11 @@ pub const MAGIC: &[u8; 8] = b"ROWCKPT\n";
 /// v2: the memory-system payload gained the optional lossy-transport state
 /// (sequence numbers, in-flight retransmission tracking, receive buffers,
 /// counters) and the optional oracle journal.
-pub const FORMAT_VERSION: u32 = 2;
+///
+/// v3: per-core stats gained the atomic-latency log histogram, and the
+/// machine payload gained the optional online linearizability checker
+/// (golden word store, per-core counters, journal tail) after the cores.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// Writes `bytes` to `path` atomically: the data lands in `<path>.tmp` first
 /// and is renamed over `path` only once fully flushed, so a reader (or a

@@ -49,6 +49,7 @@ impl ExperimentConfig {
                 rewind_every: None,
                 chaos: None,
                 oracle: false,
+                oracle_online: false,
             },
         }
     }

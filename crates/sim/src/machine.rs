@@ -12,8 +12,8 @@ use row_common::stats::{AccuracyCounter, RunningMean, TransportStats};
 use row_common::{Cycle, SystemConfig};
 use row_cpu::instr::InstrStream;
 use row_cpu::{Core, CoreStats};
-use row_mem::{MemorySystem, ProtocolError};
-use row_oracle::OracleMismatch;
+use row_mem::{MemorySystem, OpRecord, ProtocolError};
+use row_oracle::{OnlineChecker, OracleMismatch};
 
 use crate::checkpoint::{FORMAT_VERSION, MAGIC};
 
@@ -187,6 +187,13 @@ pub struct Machine {
     /// Last in-memory checkpoint for rewind-on-violation
     /// (`CheckConfig::rewind_every`).
     rewind_ckpt: Option<(Cycle, Vec<u8>)>,
+    /// Streaming per-operation linearizability checker
+    /// (`CheckConfig::oracle_online`); fed by draining the memory system's
+    /// journal every cycle, so journal memory stays O(one cycle's ops).
+    online: Option<OnlineChecker>,
+    /// Reused drain buffer for the online checker (avoids a per-cycle
+    /// allocation on the hot path).
+    online_buf: Vec<OpRecord>,
 }
 
 impl Machine {
@@ -214,7 +221,18 @@ impl Machine {
             now: Cycle::ZERO,
             cfg_hash: fnv1a(format!("{cfg:?}").as_bytes()),
             rewind_ckpt: None,
+            online: cfg
+                .check
+                .oracle_online
+                .then(|| OnlineChecker::new(cfg.cores)),
+            online_buf: Vec::new(),
         }
+    }
+
+    /// The online linearizability checker, when `CheckConfig::oracle_online`
+    /// is enabled (triage reads its journal tail and counters).
+    pub fn online_checker(&self) -> Option<&OnlineChecker> {
+        self.online.as_ref()
     }
 
     /// The current simulation cycle (advances across `run*` calls; set by
@@ -397,6 +415,7 @@ impl Machine {
                 let e = e.clone();
                 return Err(self.maybe_rewind(SimError::Protocol(e), now));
             }
+            self.pump_online()?;
             if let Some(k) = every {
                 if now.raw().is_multiple_of(k) {
                     if let Err(e) = check_coherence(&self.mem, &self.check) {
@@ -437,15 +456,43 @@ impl Machine {
         Ok(self.cores.iter().all(|c| c.finished()))
     }
 
-    /// End-of-run differential check: replay the memory system's journal
-    /// through `row-oracle`'s sequential golden model and compare RMW return
-    /// values, per-core atomic counts, and final memory state.
-    fn check_oracle(&self) -> Result<(), SimError> {
+    /// Drains the memory system's journal into the online checker,
+    /// validating each record per-operation. Called every cycle when
+    /// `CheckConfig::oracle_online` is on; O(records journaled this cycle).
+    fn pump_online(&mut self) -> Result<(), SimError> {
+        let Some(checker) = self.online.as_mut() else {
+            return Ok(());
+        };
+        self.online_buf.clear();
+        self.mem.drain_journal_into(&mut self.online_buf);
+        for rec in &self.online_buf {
+            checker
+                .observe(rec)
+                .map_err(|m| SimError::Oracle(Box::new(m)))?;
+        }
+        Ok(())
+    }
+
+    /// End-of-run differential check. In online mode
+    /// (`CheckConfig::oracle_online`), the per-operation stream has already
+    /// been validated; only the finish pass (exactly-once per core, final
+    /// memory state) remains. Otherwise (`CheckConfig::oracle`), replay the
+    /// retained journal through `row-oracle`'s sequential golden model and
+    /// compare RMW return values, per-core atomic counts, and final state.
+    fn check_oracle(&mut self) -> Result<(), SimError> {
+        let retired: Vec<u64> = self.cores.iter().map(|c| c.stats().atomics).collect();
+        if self.online.is_some() {
+            self.pump_online()?;
+            let checker = self.online.as_ref().expect("checked above");
+            return checker
+                .finish(self.mem.words(), &retired)
+                .map(drop)
+                .map_err(|m| SimError::Oracle(Box::new(m)));
+        }
         if !self.check.oracle {
             return Ok(());
         }
         let journal = self.mem.journal().unwrap_or(&[]);
-        let retired: Vec<u64> = self.cores.iter().map(|c| c.stats().atomics).collect();
         row_oracle::check(journal, self.mem.words(), &retired)
             .map(drop)
             .map_err(|m| SimError::Oracle(Box::new(m)))
@@ -544,6 +591,7 @@ impl Machine {
         for c in &self.cores {
             c.persist(&mut w);
         }
+        self.online.encode(&mut w);
         let checksum = fnv1a(w.bytes());
         w.put_u64(checksum);
         Ok(w.into_bytes())
@@ -601,9 +649,14 @@ impl Machine {
         for c in self.cores.iter_mut() {
             c.restore(&mut r)?;
         }
+        let online = Option::<OnlineChecker>::decode(&mut r)?;
+        if online.is_some() != self.online.is_some() {
+            return Err(PersistError::Corrupt("online-checker presence mismatch"));
+        }
         if !r.is_empty() {
             return Err(PersistError::Corrupt("trailing bytes in checkpoint"));
         }
+        self.online = online;
         self.now = now;
         self.rewind_ckpt = None;
         Ok(())

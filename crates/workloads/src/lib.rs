@@ -13,6 +13,8 @@
 //! * [`microbench`] — the Fig. 2 single-thread RMW microbenchmark.
 //! * [`kernels`] — exact-pattern synchronization kernels (producer/consumer,
 //!   shared counters, concurrent queue) for examples and shape tests.
+//! * [`lockservice`] — the sharded lock/counter service under open-loop
+//!   arrival ([`LockServiceStream`]), the soak harness's workload family.
 //! * [`trace`] — record any stream to a trace file and replay it bit-exactly
 //!   (the Sniper-trace analogue).
 //!
@@ -33,11 +35,13 @@
 #![warn(missing_docs)]
 
 pub mod kernels;
+pub mod lockservice;
 pub mod microbench;
 pub mod profile;
 pub mod suite;
 pub mod trace;
 
+pub use lockservice::{LockServiceConfig, LockServiceStream, ServiceKernel};
 pub use microbench::{MicroRmw, MicroVariant, MicrobenchConfig, MicrobenchStream};
 pub use profile::{ProfileStream, WorkloadProfile};
 pub use suite::Benchmark;

@@ -1,0 +1,559 @@
+//! Sharded lock/counter service under open-loop arrival — the soak
+//! harness's adversarial workload family (ROADMAP item 5).
+//!
+//! Models a service of `shards` lock shards and `keys` counters with
+//! Zipf-skewed key popularity (hot keys get most of the traffic), a
+//! reader/writer mix, and *open-loop* arrival: operations are spaced by
+//! geometric gaps that an arrival process dictates, not by the service's
+//! completion rate, so backpressure shows up as latency rather than reduced
+//! offered load. Bursty epochs periodically shrink the gap by
+//! `burst_factor`, alternating calm and storm phases inside one run.
+//!
+//! Three kernel shapes ([`ServiceKernel`]) cover the contention regimes the
+//! related work singles out: plain FAA counters (monotone return-value
+//! chains — the online oracle's bread and butter), an MPMC ticket queue
+//! (two FAA words plus a payload store per enqueue — the multi-word-CAS
+//! regime of Big Atomics), and a seqlock-style multi-word register (version
+//! FAA, data stores, version FAA — the wait-free multi-word register
+//! shape). All operations are lock-free instruction sequences: streams are
+//! pre-resolved traces, so kernels avoid outcome-dependent control flow by
+//! construction.
+
+use row_common::ids::{Addr, Pc};
+use row_common::persist::{Codec, PersistError, Reader, Writer};
+use row_common::rng::{SplitMix64, ZipfSampler};
+
+use row_cpu::instr::{Instr, InstrStream, Op, RmwKind};
+
+/// Address-space layout: distinct regions per structure, disjoint from the
+/// profile generator's regions (which sit below `0xa000_0000`).
+const SHARD_BASE: u64 = 0xd000_0000;
+const KEY_BASE: u64 = 0xd100_0000;
+const QUEUE_BASE: u64 = 0xd200_0000;
+const QUEUE_STRIDE: u64 = 1024;
+const QUEUE_SLOTS: u64 = 8;
+const REG_BASE: u64 = 0xd400_0000;
+const REG_STRIDE: u64 = 256;
+const FILLER_BASE: u64 = 0xe000_0000;
+const FILLER_STRIDE: u64 = 0x0100_0000;
+
+/// PCs of the service's static instruction sites.
+mod pcs {
+    pub const SHARD_TICKET: u64 = 0x3000;
+    pub const SHARD_OWNER: u64 = 0x3040;
+    pub const KEY_FAA: u64 = 0x3080;
+    pub const KEY_LOAD: u64 = 0x30c0;
+    pub const Q_HEAD: u64 = 0x3100;
+    pub const Q_SLOT: u64 = 0x3140;
+    pub const Q_TAIL: u64 = 0x3180;
+    pub const Q_LOAD: u64 = 0x31c0;
+    pub const REG_VER: u64 = 0x3200;
+    pub const REG_DATA: u64 = 0x3240;
+    pub const REG_LOAD: u64 = 0x3280;
+    pub const FILLER_ALU: u64 = 0x3300;
+    pub const FILLER_LOAD: u64 = 0x3340;
+}
+
+/// The service's data-structure kernel.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ServiceKernel {
+    /// Per-key FAA counters behind per-shard FAA tickets.
+    Counter,
+    /// Per-shard MPMC ticket queue: FAA head, payload store, FAA tail.
+    MpmcQueue,
+    /// Per-key seqlock-style register: FAA version, data stores, FAA version.
+    MultiWordRegister,
+}
+
+impl ServiceKernel {
+    /// All kernels, in soak rotation order.
+    pub const ALL: [ServiceKernel; 3] = [
+        ServiceKernel::Counter,
+        ServiceKernel::MpmcQueue,
+        ServiceKernel::MultiWordRegister,
+    ];
+
+    /// Stable display/CLI name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ServiceKernel::Counter => "counter",
+            ServiceKernel::MpmcQueue => "mpmc-queue",
+            ServiceKernel::MultiWordRegister => "mw-register",
+        }
+    }
+
+    /// Parses a CLI name back to a kernel.
+    pub fn parse(s: &str) -> Option<ServiceKernel> {
+        ServiceKernel::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+/// Shape of one lock-service run (all threads share one config).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct LockServiceConfig {
+    /// Lock shards; a key's shard is `key % shards`.
+    pub shards: u64,
+    /// Keys in the service.
+    pub keys: u64,
+    /// Zipf skew of key popularity (0 = uniform, 0.99 = YCSB hotspot).
+    pub zipf_theta: f64,
+    /// Fraction of operations that are reads.
+    pub read_fraction: f64,
+    /// Operations each thread issues.
+    pub ops_per_thread: u64,
+    /// Mean open-loop inter-operation gap, in filler instructions.
+    pub mean_gap: f64,
+    /// Operations per arrival epoch; odd epochs are bursts.
+    pub burst_epoch_ops: u64,
+    /// Burst gap divisor (≥ 1): gaps shrink by this during burst epochs.
+    pub burst_factor: f64,
+    /// The data-structure kernel.
+    pub kernel: ServiceKernel,
+}
+
+impl LockServiceConfig {
+    /// A soak-sized default for `kernel`: skewed, bursty, read-mostly-write.
+    pub fn soak(kernel: ServiceKernel) -> Self {
+        LockServiceConfig {
+            shards: 4,
+            keys: 64,
+            zipf_theta: 0.99,
+            read_fraction: 0.3,
+            ops_per_thread: 200,
+            mean_gap: 24.0,
+            burst_epoch_ops: 32,
+            burst_factor: 4.0,
+            kernel,
+        }
+    }
+
+    /// Validates all fields.
+    ///
+    /// # Errors
+    /// Describes the first out-of-range field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.shards == 0 || self.shards > 1 << 16 {
+            return Err(format!("shards = {} out of [1, 65536]", self.shards));
+        }
+        if self.keys == 0 || self.keys > 1 << 20 {
+            return Err(format!("keys = {} out of [1, 1048576]", self.keys));
+        }
+        if !self.zipf_theta.is_finite() || !(0.0..=4.0).contains(&self.zipf_theta) {
+            return Err(format!("zipf_theta = {} out of [0, 4]", self.zipf_theta));
+        }
+        if !(0.0..=1.0).contains(&self.read_fraction) {
+            return Err(format!(
+                "read_fraction = {} out of [0, 1]",
+                self.read_fraction
+            ));
+        }
+        if self.ops_per_thread == 0 {
+            return Err("ops_per_thread must be positive".to_string());
+        }
+        if !self.mean_gap.is_finite() || !(1.0..=100_000.0).contains(&self.mean_gap) {
+            return Err(format!("mean_gap = {} out of [1, 100000]", self.mean_gap));
+        }
+        if self.burst_epoch_ops == 0 {
+            return Err("burst_epoch_ops must be positive".to_string());
+        }
+        if !self.burst_factor.is_finite() || !(1.0..=1000.0).contains(&self.burst_factor) {
+            return Err(format!(
+                "burst_factor = {} out of [1, 1000]",
+                self.burst_factor
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic instruction stream for one thread of the service.
+#[derive(Clone, Debug)]
+pub struct LockServiceStream {
+    cfg: LockServiceConfig,
+    zipf: ZipfSampler,
+    tid: u64,
+    rng: SplitMix64,
+    ops_done: u64,
+    queue: std::collections::VecDeque<Instr>,
+    gap_left: u64,
+}
+
+impl LockServiceStream {
+    /// Creates the stream for thread `tid` of `threads` with a global `seed`.
+    ///
+    /// # Panics
+    /// Panics if the config does not validate or `tid >= threads`.
+    pub fn new(cfg: LockServiceConfig, tid: usize, threads: usize, seed: u64) -> Self {
+        cfg.validate().expect("invalid lock-service config");
+        assert!(tid < threads, "thread id out of range");
+        let mut root = SplitMix64::new(seed ^ 0x10c4_5e2f);
+        let rng = SplitMix64::new(root.next_u64().wrapping_add(tid as u64 * 0x9e37));
+        LockServiceStream {
+            cfg,
+            zipf: ZipfSampler::new(cfg.keys, cfg.zipf_theta),
+            tid: tid as u64,
+            rng,
+            ops_done: 0,
+            queue: std::collections::VecDeque::new(),
+            gap_left: 0,
+        }
+    }
+
+    fn shard_word(&self, key: u64) -> u64 {
+        SHARD_BASE + (key % self.cfg.shards) * 64
+    }
+
+    fn emit(&mut self, pc: u64, op: Op) {
+        self.queue.push_back(Instr::simple(Pc::new(pc), op));
+    }
+
+    fn faa(&mut self, pc: u64, addr: u64) {
+        self.emit(
+            pc,
+            Op::Atomic {
+                rmw: RmwKind::Faa(1),
+                addr: Addr::new(addr),
+            },
+        );
+    }
+
+    fn load(&mut self, pc: u64, addr: u64) {
+        self.emit(
+            pc,
+            Op::Load {
+                addr: Addr::new(addr),
+            },
+        );
+    }
+
+    fn store(&mut self, pc: u64, addr: u64, value: u64) {
+        self.emit(
+            pc,
+            Op::Store {
+                addr: Addr::new(addr),
+                value: Some(value),
+            },
+        );
+    }
+
+    /// A payload value tagged with the writing thread and op, so journal
+    /// tails read meaningfully during triage.
+    fn payload(&self) -> u64 {
+        (self.tid << 48) | self.ops_done
+    }
+
+    fn emit_write_op(&mut self, key: u64) {
+        let shard = self.shard_word(key);
+        match self.cfg.kernel {
+            ServiceKernel::Counter => {
+                // Take a shard ticket, then bump the key counter. One in
+                // eight writers also swaps the shard owner word, giving the
+                // oracle a non-FAA witness chain to order.
+                self.faa(pcs::SHARD_TICKET, shard);
+                if self.rng.chance(0.125) {
+                    self.emit(
+                        pcs::SHARD_OWNER,
+                        Op::Atomic {
+                            rmw: RmwKind::Swap(self.tid + 1),
+                            addr: Addr::new(shard + 8),
+                        },
+                    );
+                }
+                self.faa(pcs::KEY_FAA, KEY_BASE + key * 64);
+            }
+            ServiceKernel::MpmcQueue => {
+                // Ticket enqueue on the key's shard queue: claim a head
+                // ticket, publish the payload to a slot, bump the tail.
+                let q = QUEUE_BASE + (key % self.cfg.shards) * QUEUE_STRIDE;
+                let slot = self.rng.below(QUEUE_SLOTS);
+                let payload = self.payload();
+                self.faa(pcs::Q_HEAD, q);
+                self.store(pcs::Q_SLOT, q + 128 + slot * 64, payload);
+                self.faa(pcs::Q_TAIL, q + 64);
+            }
+            ServiceKernel::MultiWordRegister => {
+                // Seqlock-style publish: odd version while the data words
+                // are in flight, even again once both have landed.
+                let reg = REG_BASE + key * REG_STRIDE;
+                let payload = self.payload();
+                self.faa(pcs::REG_VER, reg);
+                self.store(pcs::REG_DATA, reg + 64, payload);
+                self.store(pcs::REG_DATA + 4, reg + 128, payload ^ u64::MAX);
+                self.faa(pcs::REG_VER + 4, reg);
+            }
+        }
+    }
+
+    fn emit_read_op(&mut self, key: u64) {
+        match self.cfg.kernel {
+            ServiceKernel::Counter => {
+                self.load(pcs::KEY_LOAD, KEY_BASE + key * 64);
+            }
+            ServiceKernel::MpmcQueue => {
+                let q = QUEUE_BASE + (key % self.cfg.shards) * QUEUE_STRIDE;
+                let slot = self.rng.below(QUEUE_SLOTS);
+                self.load(pcs::Q_LOAD, q + 64);
+                self.load(pcs::Q_LOAD + 4, q + 128 + slot * 64);
+            }
+            ServiceKernel::MultiWordRegister => {
+                let reg = REG_BASE + key * REG_STRIDE;
+                self.load(pcs::REG_LOAD, reg);
+                self.load(pcs::REG_LOAD + 4, reg + 64);
+                self.load(pcs::REG_LOAD + 8, reg + 128);
+                self.load(pcs::REG_LOAD + 12, reg);
+            }
+        }
+    }
+
+    fn emit_op(&mut self) {
+        let key = self.zipf.sample(&mut self.rng);
+        if self.rng.chance(self.cfg.read_fraction) {
+            self.emit_read_op(key);
+        } else {
+            self.emit_write_op(key);
+        }
+        self.ops_done += 1;
+        // Open-loop arrival: the next operation's slack is drawn from the
+        // arrival process, shrunk during burst epochs.
+        let epoch = (self.ops_done / self.cfg.burst_epoch_ops) % 2;
+        let gap = if epoch == 1 {
+            (self.cfg.mean_gap / self.cfg.burst_factor).max(1.0)
+        } else {
+            self.cfg.mean_gap
+        };
+        self.gap_left = self.rng.geometric_gap(gap);
+    }
+
+    fn emit_filler(&mut self) {
+        if self.rng.chance(0.25) {
+            let line = self.rng.below(256);
+            self.load(
+                pcs::FILLER_LOAD,
+                FILLER_BASE + self.tid * FILLER_STRIDE + line * 64,
+            );
+        } else {
+            self.emit(pcs::FILLER_ALU, Op::Alu { latency: 1 });
+        }
+    }
+}
+
+impl InstrStream for LockServiceStream {
+    fn next_instr(&mut self) -> Option<Instr> {
+        loop {
+            if let Some(i) = self.queue.pop_front() {
+                return Some(i);
+            }
+            if self.ops_done >= self.cfg.ops_per_thread {
+                return None;
+            }
+            if self.gap_left == 0 {
+                self.emit_op();
+            } else {
+                self.gap_left -= 1;
+                self.emit_filler();
+            }
+        }
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        self.rng.encode(w);
+        w.put_u64(self.ops_done);
+        self.queue.encode(w);
+        w.put_u64(self.gap_left);
+    }
+
+    fn load_state(&mut self, r: &mut Reader<'_>) -> Result<(), PersistError> {
+        self.rng = SplitMix64::decode(r)?;
+        self.ops_done = r.get_u64()?;
+        self.queue = std::collections::VecDeque::<Instr>::decode(r)?;
+        self.gap_left = r.get_u64()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(cfg: LockServiceConfig, tid: usize, seed: u64) -> Vec<Instr> {
+        let mut s = LockServiceStream::new(cfg, tid, 4, seed);
+        let mut v = Vec::new();
+        while let Some(i) = s.next_instr() {
+            v.push(i);
+        }
+        v
+    }
+
+    #[test]
+    fn stream_is_deterministic_and_finite() {
+        for kernel in ServiceKernel::ALL {
+            let cfg = LockServiceConfig::soak(kernel);
+            let a = collect(cfg, 1, 42);
+            let b = collect(cfg, 1, 42);
+            assert_eq!(a, b);
+            assert!(!a.is_empty());
+            assert_ne!(a, collect(cfg, 2, 42));
+        }
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_atomics_on_hot_keys() {
+        let cfg = LockServiceConfig {
+            read_fraction: 0.0,
+            ops_per_thread: 2_000,
+            ..LockServiceConfig::soak(ServiceKernel::Counter)
+        };
+        let v = collect(cfg, 0, 7);
+        let key_faas: Vec<u64> = v
+            .iter()
+            .filter_map(|i| match i.op {
+                Op::Atomic { addr, .. } if addr.raw() >= KEY_BASE && addr.raw() < QUEUE_BASE => {
+                    Some((addr.raw() - KEY_BASE) / 64)
+                }
+                _ => None,
+            })
+            .collect();
+        assert!(!key_faas.is_empty());
+        let hot = key_faas.iter().filter(|&&k| k < 6).count();
+        let frac = hot as f64 / key_faas.len() as f64;
+        assert!(
+            frac > 0.3,
+            "top 6 of 64 keys got {frac:.2} of writes; expected Zipf skew"
+        );
+    }
+
+    #[test]
+    fn read_fraction_is_roughly_respected() {
+        let cfg = LockServiceConfig {
+            read_fraction: 0.5,
+            ops_per_thread: 2_000,
+            ..LockServiceConfig::soak(ServiceKernel::Counter)
+        };
+        let v = collect(cfg, 0, 9);
+        let reads = v
+            .iter()
+            .filter(|i| matches!(i.op, Op::Load { addr } if addr.raw() >= KEY_BASE && addr.raw() < QUEUE_BASE))
+            .count() as f64;
+        let frac = reads / cfg.ops_per_thread as f64;
+        assert!((0.4..0.6).contains(&frac), "read fraction {frac}");
+    }
+
+    #[test]
+    fn bursty_epochs_change_arrival_spacing() {
+        let cfg = LockServiceConfig {
+            read_fraction: 0.0,
+            ops_per_thread: 512,
+            mean_gap: 40.0,
+            burst_epoch_ops: 64,
+            burst_factor: 8.0,
+            ..LockServiceConfig::soak(ServiceKernel::Counter)
+        };
+        // Gap between ops = filler instructions between atomic blocks.
+        let v = collect(cfg, 0, 11);
+        let mut gaps = Vec::new();
+        let mut run = 0u64;
+        for i in &v {
+            if matches!(i.op, Op::Atomic { .. } | Op::Store { .. }) {
+                if run > 0 {
+                    gaps.push(run);
+                }
+                run = 0;
+            } else {
+                run += 1;
+            }
+        }
+        // Gap k follows op k+1, whose epoch is ((k+1)/epoch_ops) % 2; odd
+        // epochs are bursts and must be clearly shorter on average.
+        let (mut calm, mut burst) = (Vec::new(), Vec::new());
+        for (k, &g) in gaps.iter().enumerate() {
+            let epoch = ((k as u64 + 1) / cfg.burst_epoch_ops) % 2;
+            if epoch == 1 {
+                burst.push(g);
+            } else {
+                calm.push(g);
+            }
+        }
+        let mean = |v: &[u64]| v.iter().sum::<u64>() as f64 / v.len() as f64;
+        let (calm, burst) = (mean(&calm), mean(&burst));
+        assert!(
+            burst < calm / 2.0,
+            "burst epoch gap {burst:.1} not well below calm {calm:.1}"
+        );
+    }
+
+    #[test]
+    fn kernels_emit_their_structure_shapes() {
+        let cfg = LockServiceConfig {
+            read_fraction: 0.0,
+            ops_per_thread: 64,
+            ..LockServiceConfig::soak(ServiceKernel::MpmcQueue)
+        };
+        let v = collect(cfg, 0, 13);
+        // Every enqueue is FAA head, store slot, FAA tail — so stores with
+        // values appear between pairs of queue-region FAAs.
+        let q_faas = v
+            .iter()
+            .filter(|i| matches!(i.op, Op::Atomic { addr, .. } if addr.raw() >= QUEUE_BASE && addr.raw() < REG_BASE))
+            .count() as u64;
+        let q_stores = v
+            .iter()
+            .filter(|i| matches!(i.op, Op::Store { value: Some(_), .. }))
+            .count() as u64;
+        assert_eq!(q_faas, 2 * cfg.ops_per_thread);
+        assert_eq!(q_stores, cfg.ops_per_thread);
+
+        let cfg = LockServiceConfig {
+            read_fraction: 0.0,
+            ops_per_thread: 64,
+            ..LockServiceConfig::soak(ServiceKernel::MultiWordRegister)
+        };
+        let v = collect(cfg, 0, 13);
+        let ver_faas = v
+            .iter()
+            .filter(|i| matches!(i.op, Op::Atomic { addr, .. } if addr.raw() >= REG_BASE))
+            .count() as u64;
+        assert_eq!(ver_faas, 2 * cfg.ops_per_thread, "seqlock version pairs");
+    }
+
+    #[test]
+    fn save_load_resumes_mid_stream_bit_exactly() {
+        let cfg = LockServiceConfig::soak(ServiceKernel::MpmcQueue);
+        let mut a = LockServiceStream::new(cfg, 2, 4, 21);
+        for _ in 0..500 {
+            a.next_instr();
+        }
+        let mut w = Writer::new();
+        a.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut b = LockServiceStream::new(cfg, 2, 4, 21);
+        let mut r = Reader::new(&bytes);
+        b.load_state(&mut r).unwrap();
+        for _ in 0..2_000 {
+            assert_eq!(a.next_instr(), b.next_instr());
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = LockServiceConfig::soak(ServiceKernel::Counter);
+        c.shards = 0;
+        assert!(c.validate().is_err());
+        let mut c = LockServiceConfig::soak(ServiceKernel::Counter);
+        c.zipf_theta = 5.0;
+        assert!(c.validate().is_err());
+        let mut c = LockServiceConfig::soak(ServiceKernel::Counter);
+        c.read_fraction = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = LockServiceConfig::soak(ServiceKernel::Counter);
+        c.burst_factor = 0.5;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn kernel_names_round_trip() {
+        for k in ServiceKernel::ALL {
+            assert_eq!(ServiceKernel::parse(k.name()), Some(k));
+        }
+        assert_eq!(ServiceKernel::parse("nope"), None);
+    }
+}

@@ -9,6 +9,7 @@
 //!            [--chaos-corrupt P] [--oracle] [--chaos-shrink]
 //!            [--checkpoint-every K] [--ckpt-dir D] [--resume]
 //! norush compare <benchmark> [--cores N] [--instr N] [--seed S] [--jobs N]
+//! norush soak [--phases N] [--policies P,Q] [--kernel K] [--seed S] [...]
 //! norush microbench [--iters N] [--fenced]
 //! norush record <benchmark> <file> [--instr N] [--tid T] [--threads N]
 //! norush replay <file> [--policy P]
@@ -16,13 +17,22 @@
 //!
 //! Policies: `eager` (default), `lazy`, `row`, `row-fwd`, `far`.
 
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
 use norush::common::config::{AtomicPlacement, AtomicPolicy, FaultConfig, FenceModel, RowConfig};
 use norush::cpu::instr::InstrStream;
 use norush::sim::{
-    run_microbench, ExperimentConfig, Machine, RunResult, Sweep, SweepOptions, Variant,
+    run_microbench, ExperimentConfig, Machine, RunResult, SimError, Sweep, SweepOptions, Variant,
 };
-use norush::workloads::{Benchmark, MicroRmw, MicroVariant, ProfileStream, TraceFileStream};
+use norush::workloads::{
+    Benchmark, LockServiceConfig, LockServiceStream, MicroRmw, MicroVariant, ProfileStream,
+    ServiceKernel, TraceFileStream,
+};
 use norush::SystemConfig;
+
+/// Schema tag of the machine-readable soak report.
+const SOAK_SCHEMA: &str = "norush-soak-v1";
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
 
@@ -66,11 +76,61 @@ impl Args {
         }
     }
 
+    /// Parses `--{name}` as an integer in `[lo, hi]`; absent means `default`.
+    /// The error explains the bound, mirroring the `--chaos-*` style.
+    fn num_in(
+        &self,
+        name: &str,
+        default: u64,
+        lo: u64,
+        hi: u64,
+        why: &str,
+    ) -> Result<u64, Box<dyn std::error::Error>> {
+        let Some(v) = self.flags.get(name) else {
+            return Ok(default);
+        };
+        let n: u64 = v
+            .parse()
+            .map_err(|e| format!("--{name}: `{v}` is not a number ({e})"))?;
+        if !(lo..=hi).contains(&n) {
+            return Err(format!("--{name}: {n} out of range [{lo}, {hi}] ({why})").into());
+        }
+        Ok(n)
+    }
+
+    /// Parses `--{name}` as a finite float in `[lo, hi]`; absent means
+    /// `default`. Same structured errors as [`Args::num_in`].
+    fn f64_in(
+        &self,
+        name: &str,
+        default: f64,
+        lo: f64,
+        hi: f64,
+        why: &str,
+    ) -> Result<f64, Box<dyn std::error::Error>> {
+        let Some(v) = self.flags.get(name) else {
+            return Ok(default);
+        };
+        let x: f64 = v
+            .parse()
+            .map_err(|e| format!("--{name}: `{v}` is not a number ({e})"))?;
+        if !x.is_finite() || !(lo..=hi).contains(&x) {
+            return Err(format!("--{name}: {v} out of range [{lo}, {hi}] ({why})").into());
+        }
+        Ok(x)
+    }
+
     /// Parses `--{name}` as a fault probability in `[0, 0.05]` and converts
     /// it to parts-per-million; absent means 0 (off).
     fn prob_ppm(&self, name: &str) -> Result<u32, Box<dyn std::error::Error>> {
+        self.prob_ppm_or(name, 0)
+    }
+
+    /// Like [`Args::prob_ppm`], but an absent flag means `default_ppm`
+    /// (soak arms baseline chaos unless explicitly zeroed).
+    fn prob_ppm_or(&self, name: &str, default_ppm: u32) -> Result<u32, Box<dyn std::error::Error>> {
         let Some(v) = self.flags.get(name) else {
-            return Ok(0);
+            return Ok(default_ppm);
         };
         let p: f64 = v
             .parse()
@@ -132,45 +192,45 @@ fn try_run_with(
 }
 
 /// A failing chaos run with `--chaos-shrink`: minimize the fault config
-/// while the failure persists, print the minimal repro, and save it to
-/// `chaos_repro.txt` (the artifact CI uploads).
+/// while `fails` keeps reproducing the failure, print the minimal repro
+/// command (`repro_cmd` renders one for a candidate config), and save it to
+/// `<repro_dir>/chaos_repro.txt` (the artifact CI uploads). Returns the
+/// minimal config so callers can record it.
 fn shrink_and_report(
-    sys: &SystemConfig,
-    bench: Benchmark,
-    exp: &ExperimentConfig,
+    repro_dir: &Path,
     initial: FaultConfig,
-) {
+    repro_cmd: &dyn Fn(&FaultConfig) -> String,
+    fails: &mut dyn FnMut(&FaultConfig) -> bool,
+) -> FaultConfig {
     eprintln!("shrinking the failing chaos config (one run per probe)...");
-    let min = norush::sim::shrink_chaos(initial, |cand| {
-        let mut probe = *exp;
-        probe.check.chaos = Some(*cand);
-        let mut s = *sys;
-        s.check = probe.check;
-        try_run_with(&s, bench, &probe).is_err()
-    });
-    let repro = format!(
-        "norush run {} --cores {} --instr {} --seed {} --chaos {} \
-         --chaos-latency {} --chaos-drop {} --chaos-dup {} --chaos-corrupt {}",
-        bench.name(),
-        exp.cores,
-        exp.instructions,
-        exp.seed,
-        min.seed,
-        min.max_extra_latency,
-        min.drop_ppm as f64 / 1e6,
-        min.dup_ppm as f64 / 1e6,
-        min.corrupt_ppm as f64 / 1e6,
-    );
+    let min = norush::sim::shrink_chaos(initial, fails);
+    let repro = repro_cmd(&min);
     eprintln!(
         "minimal failing chaos config: latency {} drop {}ppm dup {}ppm corrupt {}ppm",
         min.max_extra_latency, min.drop_ppm, min.dup_ppm, min.corrupt_ppm
     );
     eprintln!("repro: {repro}");
-    if let Err(e) = std::fs::write("chaos_repro.txt", format!("{repro}\n")) {
-        eprintln!("cannot write chaos_repro.txt: {e}");
+    let path = repro_dir.join("chaos_repro.txt");
+    if let Err(e) = std::fs::write(&path, format!("{repro}\n")) {
+        eprintln!("cannot write {}: {e}", path.display());
     } else {
-        eprintln!("wrote chaos_repro.txt");
+        eprintln!("wrote {}", path.display());
     }
+    min
+}
+
+/// Parses `--repro-dir` (where shrunk repros and triage bundles land),
+/// creating the directory. `run` defaults to the working directory; `soak`
+/// defaults to `soak_repro`.
+fn repro_dir_from(args: &Args, default: &str) -> Result<PathBuf, Box<dyn std::error::Error>> {
+    let dir = PathBuf::from(
+        args.flags
+            .get("repro-dir")
+            .map(String::as_str)
+            .unwrap_or(default),
+    );
+    std::fs::create_dir_all(&dir).map_err(|e| format!("--repro-dir {}: {e}", dir.display()))?;
+    Ok(dir)
 }
 
 fn summarize(name: &str, s: &norush::common::stats::JobStats, baseline: Option<u64>) {
@@ -320,7 +380,34 @@ fn cmd_run(args: &Args) -> CliResult {
                 eprintln!("simulation failed:\n{e}");
                 if args.switches.contains("chaos-shrink") {
                     if let Some(initial) = exp.check.chaos {
-                        shrink_and_report(&sys, bench, &exp, initial);
+                        let dir = repro_dir_from(args, ".")?;
+                        shrink_and_report(
+                            &dir,
+                            initial,
+                            &|min| {
+                                format!(
+                                    "norush run {} --cores {} --instr {} --seed {} --chaos {} \
+                                     --chaos-latency {} --chaos-drop {} --chaos-dup {} \
+                                     --chaos-corrupt {}",
+                                    bench.name(),
+                                    exp.cores,
+                                    exp.instructions,
+                                    exp.seed,
+                                    min.seed,
+                                    min.max_extra_latency,
+                                    min.drop_ppm as f64 / 1e6,
+                                    min.dup_ppm as f64 / 1e6,
+                                    min.corrupt_ppm as f64 / 1e6,
+                                )
+                            },
+                            &mut |cand| {
+                                let mut probe = exp;
+                                probe.check.chaos = Some(*cand);
+                                let mut s = sys;
+                                s.check = probe.check;
+                                try_run_with(&s, bench, &probe).is_err()
+                            },
+                        );
                     } else {
                         eprintln!("--chaos-shrink: no chaos config to shrink");
                     }
@@ -367,6 +454,606 @@ fn cmd_run(args: &Args) -> CliResult {
             "  recovered         retries {} nack-rtx {} dup-dropped {} corrupt-dropped {} giveups {}",
             t.retries, t.nack_retransmits, t.dup_dropped, t.corrupt_dropped, t.giveups
         );
+    }
+    Ok(())
+}
+
+/// Everything one `norush soak` run needs, parsed and range-checked up
+/// front so a bad flag fails before any phase starts.
+struct SoakSpec {
+    phases: usize,
+    cores: usize,
+    seed: u64,
+    policies: Vec<String>,
+    /// `None` rotates through [`ServiceKernel::ALL`] per phase.
+    kernel: Option<ServiceKernel>,
+    /// Workload shape shared by every phase (the kernel field is
+    /// overwritten per phase).
+    svc: LockServiceConfig,
+    chaos_seed: u64,
+    latency: u64,
+    drop_ppm: u32,
+    dup_ppm: u32,
+    corrupt_ppm: u32,
+    /// Per-phase multiplier on the lossy ppm rates (phase p runs at
+    /// `base * escalation^p`, capped at the CLI's 50 000 ppm bound).
+    escalation: f64,
+    phase_cycles: u64,
+    wall_secs: u64,
+    ckpt_every: u64,
+    watchdog: u64,
+    repro_dir: PathBuf,
+    out: PathBuf,
+    /// Test-only atomicity bug: lose the Nth FAA and double-apply the next
+    /// one on the same word (0 = off). Exercises the triage pipeline.
+    inject: u64,
+}
+
+fn soak_spec(args: &Args) -> Result<SoakSpec, Box<dyn std::error::Error>> {
+    let phases = args.num_in("phases", 3, 1, 64, "soak phases")? as usize;
+    let cores = args.num_in("cores", 4, 1, 512, "simulated cores")? as usize;
+    let policies: Vec<String> = args
+        .flags
+        .get("policies")
+        .map(String::as_str)
+        .unwrap_or("lazy,row")
+        .split(',')
+        .map(str::to_string)
+        .collect();
+    // Validate policy names up front with a throwaway config.
+    let probe = ExperimentConfig::quick();
+    for p in &policies {
+        system_for(p, &probe).map_err(|e| format!("--policies: {e}"))?;
+    }
+    let kernel = match args.flags.get("kernel").map(String::as_str) {
+        None | Some("rotate") => None,
+        Some(v) => Some(ServiceKernel::parse(v).ok_or_else(|| {
+            format!("--kernel: `{v}` is not one of counter, mpmc-queue, mw-register, rotate")
+        })?),
+    };
+    let svc = LockServiceConfig {
+        shards: args.num_in("shards", 4, 1, 1 << 16, "lock shards")?,
+        keys: args.num_in("keys", 64, 1, 1 << 20, "service keys")?,
+        zipf_theta: args.f64_in("zipf-theta", 0.99, 0.0, 4.0, "Zipf skew")?,
+        read_fraction: args.f64_in("read-frac", 0.3, 0.0, 1.0, "read fraction")?,
+        ops_per_thread: args.num_in("ops", 200, 1, 1_000_000, "ops per thread")?,
+        mean_gap: args.f64_in("mean-gap", 24.0, 1.0, 100_000.0, "open-loop gap")?,
+        burst_epoch_ops: args.num_in("burst-epoch", 32, 1, 1_000_000, "ops per epoch")?,
+        burst_factor: args.f64_in("burst-factor", 4.0, 1.0, 1_000.0, "burst gap divisor")?,
+        kernel: ServiceKernel::Counter,
+    };
+    svc.validate().map_err(|e| format!("soak workload: {e}"))?;
+    Ok(SoakSpec {
+        phases,
+        cores,
+        seed: args.num("seed", 42)?,
+        policies,
+        kernel,
+        svc,
+        chaos_seed: args.num("chaos", 1)?,
+        latency: args.num_in("chaos-latency", 40, 0, 100_000, "delivery jitter cap")?,
+        drop_ppm: args.prob_ppm_or("chaos-drop", 200)?,
+        dup_ppm: args.prob_ppm_or("chaos-dup", 200)?,
+        corrupt_ppm: args.prob_ppm_or("chaos-corrupt", 100)?,
+        escalation: args.f64_in("chaos-escalation", 4.0, 1.0, 100.0, "per-phase multiplier")?,
+        phase_cycles: args.num_in(
+            "phase-cycles",
+            2_000_000,
+            1_000,
+            1_000_000_000_000,
+            "per-phase cycle budget",
+        )?,
+        wall_secs: args.num_in("wall-secs", 600, 1, 86_400, "whole-soak wall budget")?,
+        ckpt_every: args.num_in(
+            "checkpoint-every",
+            250_000,
+            1_000,
+            1_000_000_000,
+            "checkpoint interval",
+        )?,
+        watchdog: args.num_in("watchdog", 2_000_000, 1_000, u64::MAX, "watchdog window")?,
+        repro_dir: repro_dir_from(args, "soak_repro")?,
+        out: PathBuf::from(
+            args.flags
+                .get("out")
+                .map(String::as_str)
+                .unwrap_or("soak_report.json"),
+        ),
+        inject: args.num_in("inject-net-zero-faa", 0, 0, 1_000_000_000, "FAA countdown")?,
+    })
+}
+
+impl SoakSpec {
+    fn kernel_for(&self, phase: usize) -> ServiceKernel {
+        self.kernel
+            .unwrap_or(ServiceKernel::ALL[phase % ServiceKernel::ALL.len()])
+    }
+
+    /// Per-phase workload seed; phase 0 uses `--seed` verbatim, so a
+    /// single-phase repro can name any phase's seed directly.
+    fn seed_for(&self, phase: usize) -> u64 {
+        self.seed.wrapping_add(phase as u64 * 0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// The phase's escalated chaos schedule; `None` once every component is
+    /// zeroed out (pure-functional soak, e.g. for bug-injection runs).
+    fn chaos_for(&self, phase: usize) -> Option<FaultConfig> {
+        let esc = |base: u32| -> u32 {
+            let scaled = (base as f64 * self.escalation.powi(phase as i32)).round() as u64;
+            scaled.min(50_000) as u32
+        };
+        let f = FaultConfig {
+            seed: self.chaos_seed.wrapping_add(phase as u64),
+            max_extra_latency: self.latency,
+            drop_ppm: esc(self.drop_ppm),
+            dup_ppm: esc(self.dup_ppm),
+            corrupt_ppm: esc(self.corrupt_ppm),
+        };
+        (f.max_extra_latency > 0 || f.lossy()).then_some(f)
+    }
+
+    fn svc_for(&self, phase: usize) -> LockServiceConfig {
+        LockServiceConfig {
+            kernel: self.kernel_for(phase),
+            ..self.svc
+        }
+    }
+
+    fn exp_for(&self, phase: usize) -> ExperimentConfig {
+        let mut exp = ExperimentConfig::quick();
+        exp.cores = self.cores;
+        exp.seed = self.seed_for(phase);
+        exp.cycle_limit = self.phase_cycles;
+        exp.check.invariant_every = Some(4_096);
+        exp.check.watchdog_window = Some(self.watchdog);
+        exp.check.oracle_online = true;
+        exp.check.chaos = self.chaos_for(phase);
+        exp
+    }
+
+    fn streams_for(&self, phase: usize) -> Vec<Box<dyn InstrStream>> {
+        let svc = self.svc_for(phase);
+        let seed = self.seed_for(phase);
+        (0..self.cores)
+            .map(|t| Box::new(LockServiceStream::new(svc, t, self.cores, seed)) as _)
+            .collect()
+    }
+
+    /// A fresh machine for one phase x policy cell, online checker armed.
+    fn machine_for(&self, phase: usize, policy: &str) -> Result<Machine, String> {
+        let exp = self.exp_for(phase);
+        let sys = system_for(policy, &exp)?;
+        let mut m = Machine::new(&sys, self.streams_for(phase));
+        if self.inject > 0 {
+            m.memory_mut().inject_net_zero_faa_for_test(self.inject);
+        }
+        Ok(m)
+    }
+
+    /// A single-phase command replaying one phase x policy cell exactly:
+    /// phase 0 with the failing phase's effective seeds, kernel, and chaos
+    /// rates spelled out (`--chaos-escalation 1` keeps them unscaled).
+    fn repro_cmd(&self, phase: usize, policy: &str, chaos: &FaultConfig) -> String {
+        let mut cmd = format!(
+            "norush soak --phases 1 --policies {policy} --kernel {} --cores {} --seed {} \
+             --ops {} --shards {} --keys {} --zipf-theta {} --read-frac {} --mean-gap {} \
+             --burst-epoch {} --burst-factor {} --phase-cycles {} --chaos {} \
+             --chaos-latency {} --chaos-drop {} --chaos-dup {} --chaos-corrupt {} \
+             --chaos-escalation 1",
+            self.kernel_for(phase).name(),
+            self.cores,
+            self.seed_for(phase),
+            self.svc.ops_per_thread,
+            self.svc.shards,
+            self.svc.keys,
+            self.svc.zipf_theta,
+            self.svc.read_fraction,
+            self.svc.mean_gap,
+            self.svc.burst_epoch_ops,
+            self.svc.burst_factor,
+            self.phase_cycles,
+            chaos.seed,
+            chaos.max_extra_latency,
+            chaos.drop_ppm as f64 / 1e6,
+            chaos.dup_ppm as f64 / 1e6,
+            chaos.corrupt_ppm as f64 / 1e6,
+        );
+        if self.inject > 0 {
+            cmd.push_str(&format!(" --inject-net-zero-faa {}", self.inject));
+        }
+        cmd
+    }
+}
+
+/// How one soak phase x policy cell ended.
+enum PhaseFailure {
+    /// The machine failed (violation, stall, timeout against the phase's
+    /// cycle budget, checkpoint error).
+    Sim(SimError),
+    /// The whole-soak wall budget ran out mid-phase.
+    Wall { at_cycle: u64 },
+}
+
+/// Drives one cell to completion in checkpointed slices: every `every`
+/// cycles the machine snapshot lands in `ckpt` (atomically), so a violation
+/// leaves a recent restore point for the triage bundle, and the wall-clock
+/// `deadline` is re-checked between slices.
+fn run_soak_phase(
+    m: &mut Machine,
+    cycle_budget: u64,
+    every: u64,
+    ckpt: &Path,
+    deadline: Instant,
+) -> Result<RunResult, PhaseFailure> {
+    let limit = m.now().raw().saturating_add(cycle_budget);
+    loop {
+        if Instant::now() >= deadline {
+            return Err(PhaseFailure::Wall {
+                at_cycle: m.now().raw(),
+            });
+        }
+        let remaining = limit - m.now().raw();
+        if remaining == 0 {
+            // Budget exhausted: surface the standard timeout diagnostics.
+            return match m.run(limit) {
+                Ok(r) => Ok(r),
+                Err(e) => Err(PhaseFailure::Sim(e)),
+            };
+        }
+        match m.run_for(every.min(remaining)).map_err(PhaseFailure::Sim)? {
+            Some(r) => return Ok(r),
+            None => {
+                let bytes = m.checkpoint().map_err(PhaseFailure::Sim)?;
+                norush::sim::checkpoint::write_checkpoint(ckpt, &bytes)
+                    .map_err(|e| PhaseFailure::Sim(SimError::Checkpoint(e)))?;
+            }
+        }
+    }
+}
+
+/// Per-cell latency summary for the report (units: cycles).
+struct LatSummary {
+    count: u64,
+    mean: f64,
+    p50: u64,
+    p99: u64,
+    p999: u64,
+    max: u64,
+}
+
+/// One phase x policy cell of the soak report.
+struct SoakOutcome {
+    phase: usize,
+    kernel: &'static str,
+    policy: String,
+    chaos: Option<FaultConfig>,
+    /// `"ok"`, `"violation"`, or `"wall-budget"`.
+    status: &'static str,
+    error: Option<String>,
+    cycles: u64,
+    ipc: f64,
+    atomics: u64,
+    lat: Option<LatSummary>,
+    /// Online-checker counters: (ops observed, RMWs, live words).
+    checker: Option<(u64, u64, usize)>,
+}
+
+/// On a cell failure: write the triage bundle (failure description, repro
+/// command, online-checker journal tail; the latest checkpoint is already in
+/// the repro dir) and, when chaos was active, shrink it to a minimal repro.
+fn soak_triage(
+    spec: &SoakSpec,
+    phase: usize,
+    policy: &str,
+    err: &SimError,
+    m: &Machine,
+    ckpt: &Path,
+) {
+    let chaos = spec.chaos_for(phase);
+    let mut desc = format!(
+        "soak failure\nphase: {phase}\npolicy: {policy}\nkernel: {}\nseed: {}\ncores: {}\n",
+        spec.kernel_for(phase).name(),
+        spec.seed_for(phase),
+        spec.cores,
+    );
+    match chaos {
+        Some(f) => desc.push_str(&format!(
+            "chaos: seed {} latency {} drop {}ppm dup {}ppm corrupt {}ppm\n",
+            f.seed, f.max_extra_latency, f.drop_ppm, f.dup_ppm, f.corrupt_ppm
+        )),
+        None => desc.push_str("chaos: off\n"),
+    }
+    if spec.inject > 0 {
+        desc.push_str(&format!(
+            "injected net-zero FAA bug: countdown {}\n",
+            spec.inject
+        ));
+    }
+    desc.push_str(&format!(
+        "checkpoint: {}\n",
+        if ckpt.exists() {
+            ckpt.display().to_string()
+        } else {
+            "none written before the failure".to_string()
+        }
+    ));
+    let unshrunk = chaos.unwrap_or(FaultConfig {
+        seed: 0,
+        max_extra_latency: 0,
+        drop_ppm: 0,
+        dup_ppm: 0,
+        corrupt_ppm: 0,
+    });
+    desc.push_str(&format!(
+        "repro: {}\nerror:\n{err}\n",
+        spec.repro_cmd(phase, policy, &unshrunk)
+    ));
+    let path = spec.repro_dir.join("soak_failure.txt");
+    if let Err(e) = std::fs::write(&path, &desc) {
+        eprintln!("cannot write {}: {e}", path.display());
+    } else {
+        eprintln!("wrote {}", path.display());
+    }
+    if let Some(checker) = m.online_checker() {
+        let mut tail = String::new();
+        for (idx, rec) in (checker.tail_start_index()..).zip(checker.tail()) {
+            tail.push_str(&format!("{idx}: {rec:?}\n"));
+        }
+        let path = spec.repro_dir.join("journal_tail.txt");
+        if let Err(e) = std::fs::write(&path, &tail) {
+            eprintln!("cannot write {}: {e}", path.display());
+        } else {
+            eprintln!(
+                "wrote {} ({} records from journal index {})",
+                path.display(),
+                checker.tail().count(),
+                checker.tail_start_index()
+            );
+        }
+    }
+    let Some(initial) = chaos else {
+        eprintln!("no chaos was active; nothing to shrink");
+        return;
+    };
+    shrink_and_report(
+        &spec.repro_dir,
+        initial,
+        &|min| spec.repro_cmd(phase, policy, min),
+        &mut |cand| {
+            let mut exp = spec.exp_for(phase);
+            exp.check.chaos = Some(*cand);
+            let Ok(sys) = system_for(policy, &exp) else {
+                return false;
+            };
+            let mut pm = Machine::new(&sys, spec.streams_for(phase));
+            if spec.inject > 0 {
+                pm.memory_mut().inject_net_zero_faa_for_test(spec.inject);
+            }
+            pm.run(spec.phase_cycles).is_err()
+        },
+    );
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the machine-readable soak report (`norush-soak-v1`; documented
+/// in `results/README.md`).
+fn soak_json(spec: &SoakSpec, outcomes: &[SoakOutcome], status: &str) -> String {
+    let mut runs = String::new();
+    for (i, o) in outcomes.iter().enumerate() {
+        if i > 0 {
+            runs.push_str(",\n");
+        }
+        let chaos = match &o.chaos {
+            Some(f) => format!(
+                "{{\"seed\": {}, \"latency\": {}, \"drop_ppm\": {}, \"dup_ppm\": {}, \
+                 \"corrupt_ppm\": {}}}",
+                f.seed, f.max_extra_latency, f.drop_ppm, f.dup_ppm, f.corrupt_ppm
+            ),
+            None => "null".to_string(),
+        };
+        let lat = match &o.lat {
+            Some(l) => format!(
+                "{{\"count\": {}, \"mean\": {:.2}, \"p50\": {}, \"p99\": {}, \"p999\": {}, \
+                 \"max\": {}}}",
+                l.count, l.mean, l.p50, l.p99, l.p999, l.max
+            ),
+            None => "null".to_string(),
+        };
+        let checker = match &o.checker {
+            Some((ops, rmws, live)) => {
+                format!("{{\"ops\": {ops}, \"rmws\": {rmws}, \"live_words\": {live}}}")
+            }
+            None => "null".to_string(),
+        };
+        let error = match &o.error {
+            Some(e) => format!("\"{}\"", json_escape(e)),
+            None => "null".to_string(),
+        };
+        runs.push_str(&format!(
+            "    {{\"phase\": {}, \"kernel\": \"{}\", \"policy\": \"{}\", \"chaos\": {chaos}, \
+             \"status\": \"{}\", \"cycles\": {}, \"ipc\": {:.4}, \"atomics\": {}, \
+             \"latency\": {lat}, \"checker\": {checker}, \"error\": {error}}}",
+            o.phase, o.kernel, o.policy, o.status, o.cycles, o.ipc, o.atomics,
+        ));
+    }
+    format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"{}\",\n",
+            "  \"status\": \"{}\",\n",
+            "  \"seed\": {},\n",
+            "  \"cores\": {},\n",
+            "  \"phases\": {},\n",
+            "  \"policies\": [{}],\n",
+            "  \"phase_cycles\": {},\n",
+            "  \"wall_secs\": {},\n",
+            "  \"runs\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        SOAK_SCHEMA,
+        status,
+        spec.seed,
+        spec.cores,
+        spec.phases,
+        spec.policies
+            .iter()
+            .map(|p| format!("\"{}\"", json_escape(p)))
+            .collect::<Vec<_>>()
+            .join(", "),
+        spec.phase_cycles,
+        spec.wall_secs,
+        runs,
+    )
+}
+
+/// `norush soak`: a phased lock-service soak with the online per-operation
+/// linearizability checker armed. Each phase rotates the service kernel and
+/// escalates the lossy chaos rates; each phase x policy cell runs under a
+/// cycle budget, the whole soak under a wall budget, with periodic
+/// checkpoints. Any violation triggers triage (`soak_repro/` bundle plus a
+/// shrunk chaos repro) and a non-zero exit; the machine-readable report
+/// always lands in `--out` (default `soak_report.json`).
+fn cmd_soak(args: &Args) -> CliResult {
+    let spec = soak_spec(args)?;
+    let deadline = Instant::now() + Duration::from_secs(spec.wall_secs);
+    println!(
+        "soak: {} phases x [{}] on {} cores, seed {}, kernel {}, online checker armed",
+        spec.phases,
+        spec.policies.join(", "),
+        spec.cores,
+        spec.seed,
+        spec.kernel.map(|k| k.name()).unwrap_or("rotating"),
+    );
+    let mut outcomes: Vec<SoakOutcome> = Vec::new();
+    let mut failed = false;
+    'phases: for phase in 0..spec.phases {
+        let kernel = spec.kernel_for(phase);
+        let chaos = spec.chaos_for(phase);
+        match chaos {
+            Some(f) => println!(
+                "phase {phase}: kernel {}, chaos latency {} drop {}ppm dup {}ppm corrupt {}ppm",
+                kernel.name(),
+                f.max_extra_latency,
+                f.drop_ppm,
+                f.dup_ppm,
+                f.corrupt_ppm
+            ),
+            None => println!("phase {phase}: kernel {}, chaos off", kernel.name()),
+        }
+        for policy in &spec.policies {
+            let mut m = spec.machine_for(phase, policy)?;
+            let ckpt = spec.repro_dir.join(format!("soak_p{phase}_{policy}.ckpt"));
+            match run_soak_phase(&mut m, spec.phase_cycles, spec.ckpt_every, &ckpt, deadline) {
+                Ok(r) => {
+                    let h = &r.total.atomic_latency;
+                    println!(
+                        "  {policy:8} {:>9} cycles  ipc {:>5.2}  atomics {:>6}  \
+                         latency p50/p99/p999 {}/{}/{} cycles",
+                        r.cycles,
+                        r.ipc(),
+                        r.total.atomics,
+                        h.percentile(0.50),
+                        h.percentile(0.99),
+                        h.percentile(0.999),
+                    );
+                    outcomes.push(SoakOutcome {
+                        phase,
+                        kernel: kernel.name(),
+                        policy: policy.clone(),
+                        chaos,
+                        status: "ok",
+                        error: None,
+                        cycles: r.cycles,
+                        ipc: r.ipc(),
+                        atomics: r.total.atomics,
+                        lat: Some(LatSummary {
+                            count: h.count(),
+                            mean: h.mean(),
+                            p50: h.percentile(0.50),
+                            p99: h.percentile(0.99),
+                            p999: h.percentile(0.999),
+                            max: h.max(),
+                        }),
+                        checker: m
+                            .online_checker()
+                            .map(|c| (c.ops_seen(), c.rmws(), c.live_words())),
+                    });
+                    // The cell finished: its checkpoint is spent.
+                    std::fs::remove_file(&ckpt).ok();
+                }
+                Err(PhaseFailure::Wall { at_cycle }) => {
+                    eprintln!(
+                        "wall budget ({}s) exhausted in phase {phase}, policy {policy}, \
+                         cycle {at_cycle}",
+                        spec.wall_secs
+                    );
+                    outcomes.push(SoakOutcome {
+                        phase,
+                        kernel: kernel.name(),
+                        policy: policy.clone(),
+                        chaos,
+                        status: "wall-budget",
+                        error: Some(format!("wall budget exhausted at cycle {at_cycle}")),
+                        cycles: at_cycle,
+                        ipc: 0.0,
+                        atomics: 0,
+                        lat: None,
+                        checker: m
+                            .online_checker()
+                            .map(|c| (c.ops_seen(), c.rmws(), c.live_words())),
+                    });
+                    failed = true;
+                    break 'phases;
+                }
+                Err(PhaseFailure::Sim(e)) => {
+                    eprintln!("phase {phase}, policy {policy} failed:\n{e}");
+                    soak_triage(&spec, phase, policy, &e, &m, &ckpt);
+                    outcomes.push(SoakOutcome {
+                        phase,
+                        kernel: kernel.name(),
+                        policy: policy.clone(),
+                        chaos,
+                        status: "violation",
+                        error: Some(e.to_string()),
+                        cycles: m.now().raw(),
+                        ipc: 0.0,
+                        atomics: 0,
+                        lat: None,
+                        checker: m
+                            .online_checker()
+                            .map(|c| (c.ops_seen(), c.rmws(), c.live_words())),
+                    });
+                    failed = true;
+                    break 'phases;
+                }
+            }
+        }
+    }
+    let status = if failed { "fail" } else { "pass" };
+    let json = soak_json(&spec, &outcomes, status);
+    // Same atomic write discipline as checkpoints and sweep results.
+    let tmp = spec.out.with_extension("json.tmp");
+    std::fs::write(&tmp, &json)?;
+    std::fs::rename(&tmp, &spec.out)?;
+    println!("soak {status}: report written to {}", spec.out.display());
+    if failed {
+        eprintln!("triage bundle in {}", spec.repro_dir.display());
+        std::process::exit(1);
     }
     Ok(())
 }
@@ -561,6 +1248,8 @@ fn usage() -> CliResult {
     println!("  table1                             Table I system parameters");
     println!("  run <bench> [--policy P] [...]     one simulation with stats");
     println!("  compare <bench> [--jobs N] [...]   eager/lazy/row/row-fwd/far table");
+    println!("  soak [--phases N] [...]            phased lock-service soak with the online");
+    println!("                                     linearizability checker and failure triage");
     println!("  microbench [--iters N] [--fenced]  Fig. 2 cycles/iteration");
     println!("  record <bench> <file> [...]        capture a trace file");
     println!("  replay <file> [--policy P]         replay a trace file");
@@ -582,6 +1271,15 @@ fn usage() -> CliResult {
     println!("                            sequential golden model (journal replay)");
     println!("              --chaos-shrink     on failure, minimize the chaos config while");
     println!("                                 the failure persists; writes chaos_repro.txt");
+    println!("              --repro-dir D      where shrunk repros / triage bundles land");
+    println!("                                 (run: cwd; soak: soak_repro)");
+    println!("soak flags:   --phases N --policies P,Q --kernel K|rotate --cores N --seed S");
+    println!("              --ops N --shards N --keys N --zipf-theta T --read-frac F");
+    println!("              --mean-gap G --burst-epoch N --burst-factor B");
+    println!("              --chaos SEED --chaos-latency N --chaos-drop/-dup/-corrupt P");
+    println!("              --chaos-escalation F   per-phase multiplier on the lossy rates");
+    println!("              --phase-cycles N --wall-secs S --checkpoint-every K");
+    println!("              --watchdog N --out FILE --inject-net-zero-faa N (test bug)");
     println!("checkpointing (run): --checkpoint-every K --ckpt-dir D --resume");
     println!("policies: eager lazy row row-fwd far");
     Ok(())
@@ -599,6 +1297,7 @@ fn main() -> CliResult {
         "table1" => cmd_table1(),
         "run" => cmd_run(&args),
         "compare" => cmd_compare(&args),
+        "soak" => cmd_soak(&args),
         "microbench" => cmd_microbench(&args),
         "record" => cmd_record(&args),
         "replay" => cmd_replay(&args),

@@ -1,0 +1,131 @@
+//! Soak-harness pillars, exercised at the library level: the lock-service
+//! workload family runs clean under every policy with the online
+//! linearizability checker armed; a seeded net-zero lost+duplicated FAA —
+//! invisible to every end-state check — is caught per-operation; and a
+//! mid-soak checkpoint/restore preserves the checker's state bit-exactly.
+
+use norush::common::config::{AtomicPolicy, RowConfig};
+use norush::cpu::instr::InstrStream;
+use norush::sim::{Machine, SimError};
+use norush::workloads::{LockServiceConfig, LockServiceStream, ServiceKernel};
+use norush::SystemConfig;
+
+const CORES: usize = 4;
+const SEED: u64 = 42;
+
+fn service_cfg(kernel: ServiceKernel) -> LockServiceConfig {
+    let mut cfg = LockServiceConfig::soak(kernel);
+    cfg.ops_per_thread = 120;
+    cfg
+}
+
+fn streams(cfg: LockServiceConfig) -> Vec<Box<dyn InstrStream>> {
+    (0..CORES)
+        .map(|t| Box::new(LockServiceStream::new(cfg, t, CORES, SEED)) as Box<dyn InstrStream>)
+        .collect()
+}
+
+fn online_sys(policy: AtomicPolicy) -> SystemConfig {
+    let mut sys = SystemConfig::small(CORES).with_policy(policy);
+    sys.check.oracle_online = true;
+    sys.check.invariant_every = Some(4096);
+    sys
+}
+
+fn run_clean(policy: AtomicPolicy, kernel: ServiceKernel) -> (u64, u64) {
+    let sys = online_sys(policy);
+    let mut m = Machine::new(&sys, streams(service_cfg(kernel)));
+    let r = m.run(50_000_000).expect("clean lock-service run drains");
+    assert!(r.total.atomics > 0, "service issues atomics");
+    assert_eq!(
+        r.total.atomic_latency.count(),
+        r.total.atomics,
+        "every atomic contributes one latency sample"
+    );
+    let checker = m.online_checker().expect("online checker armed");
+    assert_eq!(checker.rmws(), r.total.atomics, "checker saw every RMW");
+    (r.cycles, r.total.atomics)
+}
+
+#[test]
+fn lock_service_clean_under_every_policy_with_online_checker() {
+    for policy in [
+        AtomicPolicy::Eager,
+        AtomicPolicy::Lazy,
+        AtomicPolicy::Row(RowConfig::default()),
+    ] {
+        for kernel in ServiceKernel::ALL {
+            run_clean(policy, kernel);
+        }
+    }
+}
+
+/// The injected bug loses one FAA (journaled, never applied) and
+/// double-applies the next FAA on the same word (journaled once): the final
+/// memory state and the per-core journal counts are both net-zero, so a run
+/// without any checker completes silently.
+#[test]
+fn net_zero_faa_bug_is_invisible_to_end_state() {
+    let sys = SystemConfig::small(CORES).with_policy(AtomicPolicy::Lazy);
+    let mut m = Machine::new(&sys, streams(service_cfg(ServiceKernel::Counter)));
+    m.memory_mut().inject_net_zero_faa_for_test(50);
+    let r = m.run(50_000_000).expect("end-state-blind run completes");
+    assert!(r.total.atomics > 0);
+}
+
+#[test]
+fn net_zero_faa_bug_is_caught_per_operation_by_online_checker() {
+    let (clean_cycles, _) = run_clean(AtomicPolicy::Lazy, ServiceKernel::Counter);
+
+    let sys = online_sys(AtomicPolicy::Lazy);
+    let mut m = Machine::new(&sys, streams(service_cfg(ServiceKernel::Counter)));
+    m.memory_mut().inject_net_zero_faa_for_test(50);
+    let err = m.run(50_000_000).expect_err("online checker must object");
+    assert!(
+        matches!(err, SimError::Oracle(_)),
+        "expected an oracle mismatch, got: {err}"
+    );
+    assert!(
+        m.now().raw() < clean_cycles,
+        "violation detected mid-run (at cycle {}), not at the end ({})",
+        m.now().raw(),
+        clean_cycles
+    );
+}
+
+/// Checkpoint mid-soak with the online checker armed, restore into a fresh
+/// machine, and finish both: results agree and the final images (which embed
+/// the checker's golden words, counters, and journal tail) are byte-equal.
+#[test]
+fn mid_soak_checkpoint_restore_preserves_checker_state_bit_exactly() {
+    let sys = online_sys(AtomicPolicy::Row(RowConfig::default()));
+    let cfg = service_cfg(ServiceKernel::MpmcQueue);
+    let mut a = Machine::new(&sys, streams(cfg));
+    assert!(
+        a.run_for(8_000).expect("no violation").is_none(),
+        "workload must still be in flight at the snapshot point"
+    );
+    assert!(
+        a.online_checker().expect("armed").ops_seen() > 0,
+        "snapshot must capture a checker with live state"
+    );
+    let snap = a.checkpoint().expect("checkpoint");
+
+    let mut b = Machine::new(&sys, streams(cfg));
+    b.restore(&snap).expect("restore");
+    assert_eq!(
+        b.checkpoint().expect("checkpoint"),
+        snap,
+        "re-encoding the restored machine reproduces the image bit-exactly"
+    );
+
+    let ra = a.run(50_000_000).expect("original finishes");
+    let rb = b.run(50_000_000).expect("restored finishes");
+    assert_eq!(ra.cycles, rb.cycles);
+    assert_eq!(ra.total.atomics, rb.total.atomics);
+    assert_eq!(
+        a.checkpoint().expect("checkpoint"),
+        b.checkpoint().expect("checkpoint"),
+        "both machines end in identical states, checker included"
+    );
+}
