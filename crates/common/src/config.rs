@@ -416,6 +416,100 @@ impl FaultConfig {
     }
 }
 
+/// One targeted delivery-delay burst of the schedule-perturbation layer.
+///
+/// While the global cycle counter is inside `[start, start + len)`, every
+/// message whose `(src, dst)` channel is selected by `salt` (a deterministic
+/// hash picks roughly half of all channels per salt) receives `extra` cycles
+/// of additional delivery latency. Delaying a *subset* of channels reorders
+/// messages across channels — exactly the transient-state interleavings the
+/// fuzzer hunts — while the per-channel ordering floor in the transport keeps
+/// every perturbed schedule one the mesh could legally produce.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct DelayBurst {
+    /// First cycle of the burst window.
+    pub start: u64,
+    /// Length of the window in cycles (0 disables the burst).
+    pub len: u64,
+    /// Extra delivery latency, in cycles, added to selected channels.
+    pub extra: u64,
+    /// Seed of the channel-selection hash.
+    pub salt: u64,
+}
+
+/// Upper bound on a single burst's `extra` latency. Keeps fuzz schedules
+/// inside the same order of magnitude as the watchdog windows, so a burst
+/// perturbs ordering instead of just stalling the machine into a timeout.
+pub const MAX_BURST_EXTRA: u64 = 4096;
+
+impl DelayBurst {
+    /// True when this burst is open at `now` and selects the `(src, dst)`
+    /// channel. The selection hash is SplitMix64-style finalization over
+    /// `(salt, src, dst)` keeping ~half of all channels per salt.
+    pub fn applies(&self, now: u64, src: usize, dst: usize) -> bool {
+        if self.len == 0 || now < self.start || now - self.start >= self.len {
+            return false;
+        }
+        let mut h = self.salt ^ 0x9e37_79b9_7f4a_7c15;
+        h = (h ^ src as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^= h >> 27;
+        h = (h ^ dst as u64).wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^= h >> 31;
+        h & 1 == 0
+    }
+}
+
+/// Maximum number of simultaneous delay bursts in a [`PerturbConfig`].
+pub const MAX_PERTURB_BURSTS: usize = 4;
+
+/// The schedule-perturbation layer's configuration: up to
+/// [`MAX_PERTURB_BURSTS`] targeted delay bursts applied to message delivery.
+///
+/// This is the deterministic "genome" half the fuzzer mutates alongside the
+/// chaos-rate knobs in [`FaultConfig`]; unlike chaos jitter (which draws from
+/// a PRNG stream per message), bursts are pure functions of `(cycle, src,
+/// dst)`, so shrinking a window keeps every delivery outside it untouched.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct PerturbConfig {
+    /// The burst table; only the first `n` entries are active.
+    pub bursts: [DelayBurst; MAX_PERTURB_BURSTS],
+    /// Number of active bursts.
+    pub n: u8,
+}
+
+impl PerturbConfig {
+    /// The active bursts.
+    pub fn active(&self) -> &[DelayBurst] {
+        &self.bursts[..(self.n as usize).min(MAX_PERTURB_BURSTS)]
+    }
+
+    /// Appends a burst; returns `false` when the table is full.
+    pub fn push(&mut self, b: DelayBurst) -> bool {
+        if (self.n as usize) < MAX_PERTURB_BURSTS {
+            self.bursts[self.n as usize] = b;
+            self.n += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// True when no burst is active.
+    pub fn is_empty(&self) -> bool {
+        self.active().iter().all(|b| b.len == 0 || b.extra == 0)
+    }
+
+    /// Total extra latency the active bursts add to a delivery on the
+    /// `(src, dst)` channel at cycle `now`.
+    pub fn extra_delay(&self, now: u64, src: usize, dst: usize) -> u64 {
+        self.active()
+            .iter()
+            .filter(|b| b.applies(now, src, dst))
+            .map(|b| b.extra)
+            .sum()
+    }
+}
+
 /// Robustness-layer knobs: invariant checking, the stall watchdog, and
 /// fault injection (`row-check`).
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -441,6 +535,11 @@ pub struct CheckConfig {
     pub rewind_every: Option<u64>,
     /// Deterministic fault injection of message delivery (`None` = off).
     pub chaos: Option<FaultConfig>,
+    /// Targeted schedule perturbation of message delivery (`None` = off).
+    /// Composes with `chaos`: burst delays apply on top of chaos jitter,
+    /// and either alone routes messages through the transport's
+    /// perturbation path.
+    pub perturb: Option<PerturbConfig>,
     /// Record every architectural memory write in an apply-order journal and,
     /// when a run drains, replay it through a sequential golden model
     /// (`row-oracle`): per-atomic RMW return values and the final memory
@@ -612,6 +711,22 @@ impl SystemConfig {
                 }
             }
         }
+        if let Some(pc) = &self.check.perturb {
+            if pc.n as usize > MAX_PERTURB_BURSTS {
+                return Err(format!(
+                    "perturb config claims {} bursts, maximum is {MAX_PERTURB_BURSTS}",
+                    pc.n
+                ));
+            }
+            for b in pc.active() {
+                if b.extra > MAX_BURST_EXTRA {
+                    return Err(format!(
+                        "perturb burst extra = {} exceeds the maximum of {MAX_BURST_EXTRA}",
+                        b.extra
+                    ));
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -726,6 +841,60 @@ mod tests {
         ] {
             assert!(lossy.lossy());
         }
+    }
+
+    #[test]
+    fn perturb_bursts_select_windows_and_channels() {
+        let b = DelayBurst {
+            start: 100,
+            len: 50,
+            extra: 10,
+            salt: 7,
+        };
+        // Outside the window: never applies.
+        assert!(!b.applies(99, 0, 1));
+        assert!(!b.applies(150, 0, 1));
+        // Inside the window: applies to a salt-selected subset of channels,
+        // not all and not none.
+        let hit: usize = (0..8)
+            .flat_map(|s| (0..8).map(move |d| (s, d)))
+            .filter(|&(s, d)| b.applies(120, s, d))
+            .count();
+        assert!(hit > 0 && hit < 64, "selection hit {hit}/64 channels");
+        // Different salts select different subsets.
+        let b2 = DelayBurst { salt: 8, ..b };
+        let differs = (0..8)
+            .flat_map(|s| (0..8).map(move |d| (s, d)))
+            .any(|(s, d)| b.applies(120, s, d) != b2.applies(120, s, d));
+        assert!(differs);
+        // Determinism: same inputs, same answer.
+        assert_eq!(b.applies(120, 3, 5), b.applies(120, 3, 5));
+
+        let mut pc = PerturbConfig::default();
+        assert!(pc.is_empty());
+        assert!(pc.push(b));
+        assert_eq!(pc.active().len(), 1);
+        let any_extra = (0..8)
+            .flat_map(|s| (0..8).map(move |d| (s, d)))
+            .any(|(s, d)| pc.extra_delay(120, s, d) == 10);
+        assert!(any_extra);
+        assert_eq!(pc.extra_delay(99, 0, 1), 0);
+    }
+
+    #[test]
+    fn perturb_config_validates() {
+        let mut cfg = SystemConfig::small(2);
+        let mut pc = PerturbConfig::default();
+        pc.push(DelayBurst {
+            start: 0,
+            len: 10,
+            extra: MAX_BURST_EXTRA + 1,
+            salt: 0,
+        });
+        cfg.check.perturb = Some(pc);
+        assert!(cfg.validate().is_err());
+        cfg.check.perturb.as_mut().unwrap().bursts[0].extra = MAX_BURST_EXTRA;
+        cfg.validate().unwrap();
     }
 
     #[test]

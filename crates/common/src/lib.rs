@@ -17,6 +17,8 @@
 //!   deterministic checkpoint/restore.
 //! * [`json`] — a minimal JSON reader/writer backing the per-figure
 //!   `BENCH_<fig>.json` results files and sweep resume.
+//! * [`coverage`] — the protocol transition-coverage map driving the
+//!   schedule fuzzer (`norush fuzz`) and its dead-protocol-arm report.
 //!
 //! # Example
 //!
@@ -33,6 +35,7 @@
 
 pub mod clock;
 pub mod config;
+pub mod coverage;
 pub mod ids;
 pub mod json;
 pub mod persist;

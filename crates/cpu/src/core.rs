@@ -26,6 +26,7 @@
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 use row_common::config::{AtomicPlacement, AtomicPolicy, CoreConfig, DetectorKind, FenceModel};
+use row_common::coverage::{self, CpuEvent};
 use row_common::ids::{Addr, CoreId, LineAddr, Pc};
 use row_common::persist::{Codec, Persist, PersistError, Reader, Writer};
 use row_common::sched::EventQueue;
@@ -636,10 +637,12 @@ impl Core {
             .is_some_and(|r| r.locality_override() && self.cfg.forward_to_atomics);
         if override_on && self.sb_forward_match(self.aq[pos].order, addr) {
             self.stats.locality_overrides += 1;
+            coverage::record(coverage::cpu_slot(CpuEvent::LocalityOverride));
             self.aq[pos].mode = ExecMode::Eager;
             self.atomic_mem_request(uid, addr, now, mem);
             return;
         }
+        coverage::record(coverage::cpu_slot(CpuEvent::LazyWait));
         let order = self.entries[&uid].order;
         self.lazy_wait.insert(order, uid);
     }
@@ -684,7 +687,14 @@ impl Core {
         }
         if fwd {
             self.stats.atomics_forwarded += 1;
+            coverage::record(coverage::cpu_slot(CpuEvent::Forwarded));
         }
+        let mode = self.aq.iter().find(|a| a.uid == uid).map(|a| a.mode);
+        coverage::record(coverage::cpu_slot(match (self.far(), mode) {
+            (true, _) => CpuEvent::FarIssue,
+            (false, Some(ExecMode::Lazy)) => CpuEvent::LazyIssue,
+            (false, _) => CpuEvent::EagerIssue,
+        }));
         if self.iq_used > 0 {
             // The atomic's IQ entry is released on its real issue.
             if self.entries.get_mut(&uid).expect("live").in_iq {
@@ -736,6 +746,7 @@ impl Core {
             self.aq[pos].fill_pending = false;
             if mem.owns(self.id, line) {
                 mem.lock(self.id, line);
+                coverage::record(coverage::cpu_slot(CpuEvent::LockAcquire));
                 let a = &mut self.aq[pos];
                 a.locked = true;
                 a.locked_at = Some(now);
@@ -743,6 +754,7 @@ impl Core {
             }
             // The line was stolen while we waited our turn: re-request.
             self.stats.lock_reacquires += 1;
+            coverage::record(coverage::cpu_slot(CpuEvent::LockReacquire));
             let a = &mut self.aq[pos];
             a.issued14 = now.timestamp14();
             mem.access(
@@ -884,6 +896,9 @@ impl Core {
         }
         let s = self.sb.remove(pos).expect("present");
         self.sb_miss_inflight = false;
+        if self.sb.is_empty() && !self.lazy_wait.is_empty() {
+            coverage::record(coverage::cpu_slot(CpuEvent::SbDrain));
+        }
         if s.atomic {
             self.finish_atomic(uid, now, mem);
         } else {
@@ -1342,6 +1357,7 @@ impl Core {
             .map(|a| a.order);
         if let Some(order) = victim {
             self.stats.deadlock_breaks += 1;
+            coverage::record(coverage::cpu_slot(CpuEvent::DeadlockBreak));
             self.force_lazy.insert(order);
             self.squash_from(order, now, mem);
         }

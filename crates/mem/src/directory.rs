@@ -7,10 +7,36 @@
 //! `Unblock` arrives, the entry is *Blocked* and later requests queue — so a
 //! second core's invalidation only reaches the first core after the
 //! unblock/invalidation round trip.
+//!
+//! # Known-unreachable transition-coverage pairs
+//!
+//! `norush fuzz` tracks every directory `(state, event)` pair in its
+//! coverage map ([`row_common::coverage`]) and reports never-exercised
+//! pairs. The following directory pairs are expected to stay dark; a fuzz
+//! run that *does* light one indicates a protocol bug, not progress:
+//!
+//! * `dir:<any>/Other` — every message a directory bank receives is one of
+//!   the classified kinds; the catch-all arm exists only for coverage-space
+//!   completeness.
+//! * `dir:Uncached|Shared|Exclusive/Unblock` — `Unblock` is only ever sent
+//!   by a requester that the directory is currently blocked on; its arrival
+//!   at a non-Blocked entry is precisely the early-unblock race class the
+//!   planted `--inject-early-unblock` bug re-creates.
+//! * `dir:Uncached|Shared|Exclusive/InvAck` and
+//!   `dir:Blocked/AwaitUnblock/InvAck` — invalidation acks are only
+//!   solicited while `Blocked/CollectingAcks`; anywhere else they would be
+//!   stray (and trip the sharer-count underflow check).
+//!
+//! Two more families are unreachable under the *fuzz workload* rather than
+//! by protocol design: `dir:<any>/PutM` needs a capacity eviction of a
+//! dirty line, and the lock-service working set fits the private caches, so
+//! no writeback traffic exists. Growing the fuzz workload beyond the
+//! private-cache footprint would light those legitimately.
 
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
 use row_common::config::CacheConfig;
+use row_common::coverage;
 use row_common::ids::{CoreId, LineAddr};
 use row_common::persist::{Codec, Persist, PersistError, Reader, Writer};
 use row_common::rmw::RmwKind;
@@ -128,6 +154,10 @@ pub struct DirBank {
     mem_lat: u64,
     entries: HashMap<LineAddr, Entry>,
     stats: DirStats,
+    /// Armed test-only planted bug: serve GetS-on-Shared *without* blocking
+    /// (the seed-era race PR 6 fixed). See
+    /// [`DirBank::inject_early_unblock_for_test`].
+    early_unblock_bug: bool,
 }
 
 impl DirBank {
@@ -140,7 +170,21 @@ impl DirBank {
             mem_lat,
             entries: HashMap::new(),
             stats: DirStats::default(),
+            early_unblock_bug: false,
         }
+    }
+
+    /// Test instrumentation: re-plants the seed-era directory race that PR 6
+    /// fixed. A GetS served from a `Shared` entry no longer blocks awaiting
+    /// the requester's `Unblock`, so that unconditional `Unblock` can land
+    /// while a *later* transaction holds the entry Blocked and release it
+    /// prematurely — dropping a CollectingAcks phase (livelock) or replaying
+    /// the queue before the new owner has data (double exclusive grant /
+    /// SWMR violation). Exists so the schedule fuzzer has a known race class
+    /// to regression-find. Not persisted across checkpoint/restore; arm it
+    /// after any restore.
+    pub fn inject_early_unblock_for_test(&mut self) {
+        self.early_unblock_bug = true;
     }
 
     /// This bank's tile index.
@@ -223,6 +267,31 @@ impl DirBank {
         }
     }
 
+    /// Records the `(state, event)` transition-coverage pair for the fuzzer.
+    /// A no-op unless a coverage sink is installed on this thread.
+    fn record_coverage(&self, line: LineAddr, msg: &Msg) {
+        use coverage::{DirEvent, DirState as CovState};
+        let state = match self.entries.get(&line) {
+            None => CovState::Uncached,
+            Some(Entry::Shared(_)) => CovState::Shared,
+            Some(Entry::Exclusive(_)) => CovState::Exclusive,
+            Some(Entry::Blocked(b)) => match b.phase {
+                Phase::AwaitUnblock => CovState::BlockedAwaitUnblock,
+                Phase::CollectingAcks { .. } => CovState::BlockedCollectingAcks,
+            },
+        };
+        let event = match msg {
+            Msg::GetS { .. } => DirEvent::GetS,
+            Msg::GetX { .. } => DirEvent::GetX,
+            Msg::PutM { .. } => DirEvent::PutM,
+            Msg::AtomicFar { .. } => DirEvent::AtomicFar,
+            Msg::Unblock { .. } => DirEvent::Unblock,
+            Msg::InvAck { .. } => DirEvent::InvAck,
+            _ => DirEvent::Other,
+        };
+        coverage::record(coverage::dir_slot(state, event));
+    }
+
     /// Cycle at which the L3 slice can supply data for `line` when accessed
     /// at `now` (charges the memory latency on an L3 miss and allocates).
     fn data_ready(&mut self, line: LineAddr, now: Cycle) -> Cycle {
@@ -248,11 +317,12 @@ impl DirBank {
         actions: &mut Vec<CacheAction>,
     ) -> Result<(), ProtocolError> {
         let line = msg.line();
+        self.record_coverage(line, &msg);
         // Requests against a blocked entry queue; unblock/acks pass through.
         if let Some(Entry::Blocked(_)) = self.entries.get(&line) {
             match msg {
                 Msg::Unblock { .. } => return self.handle_unblock(line, now, actions),
-                Msg::InvAck { .. } => return self.handle_inv_ack(line, now, actions),
+                Msg::InvAck { from, .. } => return self.handle_inv_ack(from, line, now, actions),
                 other => {
                     self.stats.queued += 1;
                     if let Some(Entry::Blocked(b)) = self.entries.get_mut(&line) {
@@ -340,14 +410,21 @@ impl DirBank {
                     at,
                 });
                 s.insert(req);
-                self.entries.insert(
-                    line,
-                    Entry::Blocked(Box::new(BlockInfo {
-                        next: Entry2::Shared(s),
-                        phase: Phase::AwaitUnblock,
-                        queue: VecDeque::new(),
-                    })),
-                );
+                if self.early_unblock_bug {
+                    // Planted bug: the seed-era non-blocking grant, exactly
+                    // the race described above. The requester's unmatched
+                    // Unblock is now free to release a later transaction.
+                    self.entries.insert(line, Entry::Shared(s));
+                } else {
+                    self.entries.insert(
+                        line,
+                        Entry::Blocked(Box::new(BlockInfo {
+                            next: Entry2::Shared(s),
+                            phase: Phase::AwaitUnblock,
+                            queue: VecDeque::new(),
+                        })),
+                    );
+                }
             }
             Some(Entry::Exclusive(owner)) => {
                 self.stats.forwards += 1;
@@ -509,16 +586,23 @@ impl DirBank {
 
     fn handle_inv_ack(
         &mut self,
+        from: CoreId,
         line: LineAddr,
         now: Cycle,
         actions: &mut Vec<CacheAction>,
     ) -> Result<(), ProtocolError> {
+        let tile = self.tile;
         let Some(Entry::Blocked(b)) = self.entries.get_mut(&line) else {
             return Ok(()); // stale ack
         };
         let Phase::CollectingAcks { req, pending, far } = &mut b.phase else {
             return Ok(()); // stale ack
         };
+        // An ack with nothing pending means the transaction's sharer
+        // bookkeeping is corrupt; surface it instead of underflowing.
+        if *pending == 0 {
+            return Err(ProtocolError::InvAckUnderflow { tile, line, from });
+        }
         *pending -= 1;
         if *pending > 0 {
             return Ok(());

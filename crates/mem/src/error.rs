@@ -113,6 +113,27 @@ pub enum ProtocolError {
         /// The state actually held.
         state: Option<PrivState>,
     },
+    /// A sequenced transport frame arrived but no transport is configured —
+    /// the frame queue is corrupt (only a transport produces such frames).
+    TransportAbsent {
+        /// Sending endpoint of the orphaned frame.
+        src: Endpoint,
+        /// Destination endpoint.
+        dst: Endpoint,
+        /// Channel sequence number.
+        seq: u64,
+    },
+    /// The directory received more invalidation acks than it was waiting
+    /// for: the ack count would underflow, meaning the sharer bookkeeping of
+    /// an in-flight transaction is corrupt.
+    InvAckUnderflow {
+        /// The directory bank.
+        tile: usize,
+        /// The line whose transaction miscounted.
+        line: LineAddr,
+        /// The core whose ack had no matching pending invalidation.
+        from: CoreId,
+    },
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -169,6 +190,16 @@ impl std::fmt::Display for ProtocolError {
             ProtocolError::LockedLineNotModified { core, line, state } => write!(
                 f,
                 "core {core}: locked line {line} held in {state:?}, not M"
+            ),
+            ProtocolError::TransportAbsent { src, dst, seq } => write!(
+                f,
+                "sequenced frame ({src:?} -> {dst:?}, seq {seq}) arrived \
+                 without a transport configured"
+            ),
+            ProtocolError::InvAckUnderflow { tile, line, from } => write!(
+                f,
+                "dir bank {tile}: InvAck from core {from} for {line} with no \
+                 pending invalidation (ack count underflow)"
             ),
         }
     }

@@ -17,6 +17,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use row_common::config::MemoryConfig;
+use row_common::coverage;
 use row_common::ids::{CoreId, LineAddr};
 use row_common::persist::{Codec, Persist, PersistError, Reader, Writer};
 use row_common::Cycle;
@@ -507,6 +508,7 @@ impl PrivateCache {
         now: Cycle,
         actions: &mut Vec<CacheAction>,
     ) -> Result<(), ProtocolError> {
+        self.record_coverage(&msg);
         match msg {
             Msg::Inv { line } | Msg::FwdGetS { line, .. } | Msg::FwdGetX { line, .. } => {
                 self.stats.ext_seen += 1;
@@ -552,6 +554,30 @@ impl PrivateCache {
             }
         }
         Ok(())
+    }
+
+    /// Records the `(state-before, event)` transition-coverage slot for an
+    /// incoming message. A no-op unless a fuzz coverage sink is installed.
+    fn record_coverage(&self, msg: &Msg) {
+        use coverage::{PrivEvent as Ev, PrivState as St};
+        let (line, event) = match msg {
+            Msg::Inv { line } => (Some(*line), Ev::Inv),
+            Msg::FwdGetS { line, .. } => (Some(*line), Ev::FwdGetS),
+            Msg::FwdGetX { line, .. } => (Some(*line), Ev::FwdGetX),
+            Msg::Data { line, .. } => (Some(*line), Ev::Data),
+            Msg::WbAck { line } => (Some(*line), Ev::WbAck),
+            Msg::WbStale { line } => (Some(*line), Ev::WbStale),
+            Msg::FarDone { line, .. } => (Some(*line), Ev::FarDone),
+            _ => (None, Ev::Other),
+        };
+        let state = match line.and_then(|l| self.coh.get(&l)) {
+            None => St::I,
+            Some(PrivState::S) => St::S,
+            Some(PrivState::E) => St::E,
+            Some(PrivState::M) => St::M,
+            Some(PrivState::Evicting) => St::Evicting,
+        };
+        coverage::record(coverage::priv_slot(state, event));
     }
 
     fn apply_external(

@@ -21,7 +21,7 @@
 
 use std::collections::HashMap;
 
-use row_common::config::SystemConfig;
+use row_common::config::{PerturbConfig, SystemConfig};
 use row_common::ids::{Addr, CoreId, LineAddr};
 use row_common::persist::{Codec, Persist, PersistError, Reader, Writer};
 use row_common::rmw::RmwKind;
@@ -69,6 +69,10 @@ pub struct MemorySystem {
     /// Chaos-mode fault injection plus, when lossy faults are enabled, the
     /// recoverable transport (sequencing, ACK/NACK, retransmission).
     transport: Option<Transport>,
+    /// Schedule-perturbation bursts from the config; kept here (not only in
+    /// the transport) so a checkpoint restore can re-inject them — the burst
+    /// table is configuration, not persisted state.
+    perturb: Option<PerturbConfig>,
     /// Apply-order journal of architectural writes for the differential
     /// oracle (`CheckConfig::oracle` or `CheckConfig::oracle_online`);
     /// `None` when both are off. In online mode the simulation loop drains
@@ -118,7 +122,21 @@ impl MemorySystem {
                 miss_latency: vec![RunningMean::new(); tiles],
                 ..MemStats::default()
             },
-            transport: cfg.check.chaos.map(Transport::new),
+            transport: {
+                // Chaos builds its usual transport; perturbation alone rides
+                // a fault-free ("inert") one so bursts apply on the jitter
+                // path without enabling any loss.
+                let mut t = match (cfg.check.chaos, cfg.check.perturb) {
+                    (Some(fc), _) => Some(Transport::new(fc)),
+                    (None, Some(_)) => Some(Transport::inert()),
+                    (None, None) => None,
+                };
+                if let Some(t) = t.as_mut() {
+                    t.set_perturb(cfg.check.perturb);
+                }
+                t
+            },
+            perturb: cfg.check.perturb,
             journal: (cfg.check.oracle || cfg.check.oracle_online).then(Vec::new),
             bug: None,
             err: None,
@@ -249,10 +267,14 @@ impl MemorySystem {
                 } => {
                     let mut deliver = Vec::new();
                     let mut sends = Vec::new();
-                    let t = self
-                        .transport
-                        .as_mut()
-                        .expect("sequenced frame without a transport");
+                    // A sequenced frame can only have been produced by a
+                    // transport; seeing one without a transport configured
+                    // means the frame queue is corrupt. Triage instead of
+                    // aborting the worker: record and drop the frame.
+                    let Some(t) = self.transport.as_mut() else {
+                        self.absorb(Err(ProtocolError::TransportAbsent { src, dst, seq }));
+                        continue;
+                    };
                     t.receive(
                         src,
                         dst,
@@ -516,6 +538,16 @@ impl MemorySystem {
         });
     }
 
+    /// Test instrumentation: re-plants the seed-era GetS-on-Shared directory
+    /// race in every bank (see [`DirBank::inject_early_unblock_for_test`]).
+    /// The schedule fuzzer's regression corpus hunts this. Not persisted
+    /// across checkpoint/restore; arm it after any restore.
+    pub fn inject_early_unblock_for_test(&mut self) {
+        for d in &mut self.dirs {
+            d.inject_early_unblock_for_test();
+        }
+    }
+
     /// Transport counters, present only when lossy chaos is active (the
     /// delay-only injector has no transport behaviour to count).
     pub fn transport_stats(&self) -> Option<&TransportStats> {
@@ -675,6 +707,10 @@ impl Persist for MemorySystem {
             return Err(PersistError::Corrupt("chaos-mode presence mismatch"));
         }
         self.transport = transport;
+        if let Some(t) = self.transport.as_mut() {
+            // The burst table is configuration, not state: re-inject it.
+            t.set_perturb(self.perturb);
+        }
         let journal = Option::<Vec<OpRecord>>::decode(r)?;
         if journal.is_some() != self.journal.is_some() {
             return Err(PersistError::Corrupt("oracle-journal presence mismatch"));

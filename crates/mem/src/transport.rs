@@ -29,7 +29,8 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use row_common::config::FaultConfig;
+use row_common::config::{FaultConfig, PerturbConfig};
+use row_common::coverage::{self, TransportEvent};
 use row_common::persist::{Codec, PersistError, Reader, Writer};
 use row_common::rng::SplitMix64;
 use row_common::sched::EventQueue;
@@ -104,6 +105,10 @@ pub struct InflightProbe {
 #[derive(Clone, Debug)]
 pub(crate) struct Transport {
     cfg: FaultConfig,
+    /// Targeted schedule-perturbation bursts (the fuzzer's genome half).
+    /// Config-derived, not part of the persisted state: restore re-injects
+    /// it from the owning system's `SystemConfig`.
+    perturb_cfg: Option<PerturbConfig>,
     rng: SplitMix64,
     /// Last perturbed delivery cycle per (src, dst) node pair — preserves
     /// the mesh's per-pair ordering guarantee under jitter.
@@ -125,6 +130,7 @@ impl Transport {
     pub fn new(cfg: FaultConfig) -> Self {
         Transport {
             cfg,
+            perturb_cfg: None,
             rng: SplitMix64::new(cfg.seed),
             last: HashMap::new(),
             next_seq: BTreeMap::new(),
@@ -133,6 +139,25 @@ impl Transport {
             timeouts: EventQueue::new(),
             stats: TransportStats::default(),
         }
+    }
+
+    /// A fault-free transport used when only schedule perturbation is
+    /// requested: zero jitter, zero loss, bursts only.
+    pub fn inert() -> Self {
+        Transport::new(FaultConfig {
+            seed: 0,
+            max_extra_latency: 0,
+            drop_ppm: 0,
+            dup_ppm: 0,
+            corrupt_ppm: 0,
+        })
+    }
+
+    /// Installs (or clears) the schedule-perturbation burst table. Called at
+    /// construction and again after a checkpoint restore, since the table is
+    /// configuration, not state.
+    pub fn set_perturb(&mut self, p: Option<PerturbConfig>) {
+        self.perturb_cfg = p;
     }
 
     /// Whether the lossy machinery (sequencing, ACKs, retransmission) is
@@ -170,8 +195,11 @@ impl Transport {
         ppm > 0 && self.rng.below(PPM_SCALE) < u64::from(ppm)
     }
 
-    /// Perturbs a delivery cycle with bounded jitter, keeping same-node-pair
-    /// messages in order. This is the delay-only chaos behaviour, unchanged.
+    /// Perturbs a delivery cycle with bounded jitter plus any targeted
+    /// delay-burst hits, keeping same-node-pair messages in order. With no
+    /// burst table this is the delay-only chaos behaviour, unchanged; burst
+    /// delays land *before* the per-pair ordering floor, so every perturbed
+    /// schedule remains one the mesh could legally produce.
     pub fn perturb(&mut self, src: NodeId, dst: NodeId, deliver: Cycle) -> Cycle {
         let jitter = if self.cfg.max_extra_latency == 0 {
             0
@@ -180,6 +208,13 @@ impl Transport {
         };
         let key = (src.index(), dst.index());
         let mut at = deliver + jitter;
+        if let Some(p) = &self.perturb_cfg {
+            let extra = p.extra_delay(deliver.raw(), key.0, key.1);
+            if extra > 0 {
+                coverage::record(coverage::transport_slot(TransportEvent::BurstDelay));
+                at += extra;
+            }
+        }
         if let Some(&prev) = self.last.get(&key) {
             if at <= prev {
                 at = prev + 1;
@@ -212,6 +247,7 @@ impl Transport {
             v
         };
         self.stats.sent += 1;
+        coverage::record(coverage::transport_slot(TransportEvent::Send));
         self.inflight.entry(chan).or_default().insert(
             seq,
             InFlight {
@@ -244,6 +280,12 @@ impl Transport {
         if corrupted {
             self.stats.corrupts_injected += 1;
             check ^= CORRUPT_MASK;
+        }
+        if dropped {
+            coverage::record(coverage::transport_slot(TransportEvent::Drop));
+        }
+        if duplicated {
+            coverage::record(coverage::transport_slot(TransportEvent::Dup));
         }
         let frame = Frame::Seq {
             src: chan.0,
@@ -295,6 +337,7 @@ impl Transport {
         let chan = (src_ep, dst_ep);
         if msg_checksum(&msg) != check {
             self.stats.corrupt_dropped += 1;
+            coverage::record(coverage::transport_slot(TransportEvent::CorruptNack));
             let at = self.control_at(dst_ep, src_ep, now, mesh);
             out.push((
                 at,
@@ -309,17 +352,21 @@ impl Transport {
         let rx = self.rx.entry(chan).or_default();
         if seq < rx.next_expected || rx.buffered.contains_key(&seq) {
             self.stats.dup_dropped += 1;
+            coverage::record(coverage::transport_slot(TransportEvent::Dedup));
         } else if seq == rx.next_expected {
             rx.next_expected += 1;
             deliver.push((dst_ep, msg));
             self.stats.delivered += 1;
+            coverage::record(coverage::transport_slot(TransportEvent::Deliver));
             while let Some(m) = rx.buffered.remove(&rx.next_expected) {
                 rx.next_expected += 1;
                 deliver.push((dst_ep, m));
                 self.stats.delivered += 1;
+                coverage::record(coverage::transport_slot(TransportEvent::Deliver));
             }
         } else {
             rx.buffered.insert(seq, msg);
+            coverage::record(coverage::transport_slot(TransportEvent::ReorderBuffered));
         }
         // ACK every structurally intact arrival — re-ACKing a duplicate
         // covers the lost-ACK case.
@@ -339,7 +386,9 @@ impl Transport {
     /// already-retired messages) are ignored.
     pub fn on_ack(&mut self, chan: ChanId, seq: u64) {
         if let Some(msgs) = self.inflight.get_mut(&chan) {
-            msgs.remove(&seq);
+            if msgs.remove(&seq).is_some() {
+                coverage::record(coverage::transport_slot(TransportEvent::Ack));
+            }
             if msgs.is_empty() {
                 self.inflight.remove(&chan);
             }
@@ -361,6 +410,7 @@ impl Transport {
         inf.attempts += 1;
         let (msg, attempts) = (inf.msg, inf.attempts);
         self.stats.nack_retransmits += 1;
+        coverage::record(coverage::transport_slot(TransportEvent::Nack));
         // Re-arm the timer for the new attempt; the old timer goes stale.
         self.timeouts
             .push(now + Self::timeout_after(attempts), (chan, seq, attempts));
@@ -393,6 +443,7 @@ impl Transport {
             let msg = inf.msg;
             if inf.attempts >= MAX_ATTEMPTS {
                 self.stats.giveups += 1;
+                coverage::record(coverage::transport_slot(TransportEvent::GiveUp));
                 self.on_ack(chan, seq); // Drop it so the error fires once.
                 let e = ProtocolError::TransportGiveUp {
                     src: chan.0,
@@ -411,6 +462,7 @@ impl Transport {
                 inf.attempts = attempts;
             }
             self.stats.retries += 1;
+            coverage::record(coverage::transport_slot(TransportEvent::Retransmit));
             self.timeouts
                 .push(now + Self::timeout_after(attempts), (chan, seq, attempts));
             let class = if msg.carries_data() {
@@ -480,6 +532,8 @@ impl Codec for Transport {
         };
         Ok(Transport {
             cfg,
+            // Config-derived; the owning system re-injects after restore.
+            perturb_cfg: None,
             rng: SplitMix64::decode(r)?,
             last: HashMap::decode(r)?,
             next_seq: BTreeMap::decode(r)?,

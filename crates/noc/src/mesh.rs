@@ -79,10 +79,16 @@ impl Mesh {
         let route = self.topo.route(src, dst);
         let hops = route.len() as u64;
         for next in route {
-            let link = self.topo.link_index(prev, next);
-            let start = t.max(self.link_free[link]);
-            self.link_free[link] = start + flits;
-            t = start + self.cfg.link_latency + self.cfg.router_latency;
+            // An X-Y route only ever yields neighbour hops; degrade to a
+            // contention-free hop rather than panicking if that ever breaks.
+            if let Some(link) = self.topo.try_link_index(prev, next) {
+                let start = t.max(self.link_free[link]);
+                self.link_free[link] = start + flits;
+                t = start + self.cfg.link_latency + self.cfg.router_latency;
+            } else {
+                debug_assert!(false, "route produced non-neighbour hop {prev} -> {next}");
+                t += self.cfg.link_latency + self.cfg.router_latency;
+            }
             prev = next;
         }
         // The tail flits of a data message arrive behind the head.

@@ -96,13 +96,10 @@ impl Topology {
         path
     }
 
-    /// Directed link index for the hop `from -> to`, used to key per-link
-    /// occupancy state. Links are identified by the source node and one of
-    /// four directions.
-    ///
-    /// # Panics
-    /// Panics if `from` and `to` are not mesh neighbours.
-    pub fn link_index(&self, from: NodeId, to: NodeId) -> usize {
+    /// Directed link index for the hop `from -> to`, or `None` when the two
+    /// nodes are not mesh neighbours (a corrupt route). Links are identified
+    /// by the source node and one of four directions.
+    pub fn try_link_index(&self, from: NodeId, to: NodeId) -> Option<usize> {
         let (fx, fy) = self.coords(from);
         let (tx, ty) = self.coords(to);
         let dir = match (tx as isize - fx as isize, ty as isize - fy as isize) {
@@ -110,9 +107,25 @@ impl Topology {
             (-1, 0) => 1, // west
             (0, 1) => 2,  // south
             (0, -1) => 3, // north
-            d => panic!("not neighbours: {from} -> {to} (delta {d:?})"),
+            _ => return None,
         };
-        from.index() * 4 + dir
+        Some(from.index() * 4 + dir)
+    }
+
+    /// Directed link index for the hop `from -> to`, used to key per-link
+    /// occupancy state.
+    ///
+    /// # Panics
+    /// Panics if `from` and `to` are not mesh neighbours; use
+    /// [`Topology::try_link_index`] where a corrupt route must degrade
+    /// gracefully instead.
+    pub fn link_index(&self, from: NodeId, to: NodeId) -> usize {
+        self.try_link_index(from, to).unwrap_or_else(|| {
+            let (fx, fy) = self.coords(from);
+            let (tx, ty) = self.coords(to);
+            let d = (tx as isize - fx as isize, ty as isize - fy as isize);
+            panic!("not neighbours: {from} -> {to} (delta {d:?})")
+        })
     }
 
     /// Total number of directed-link slots (4 per node).
@@ -183,6 +196,17 @@ mod tests {
     #[should_panic(expected = "not neighbours")]
     fn link_index_rejects_non_neighbours() {
         Topology::new(4, 16).link_index(NodeId::new(0), NodeId::new(2));
+    }
+
+    #[test]
+    fn try_link_index_reports_non_neighbours() {
+        let t = Topology::new(4, 16);
+        assert!(t.try_link_index(NodeId::new(0), NodeId::new(2)).is_none());
+        assert!(t.try_link_index(NodeId::new(3), NodeId::new(3)).is_none());
+        assert_eq!(
+            t.try_link_index(NodeId::new(5), NodeId::new(6)),
+            Some(t.link_index(NodeId::new(5), NodeId::new(6)))
+        );
     }
 
     #[test]

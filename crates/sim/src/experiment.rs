@@ -48,6 +48,7 @@ impl ExperimentConfig {
                 watchdog_window: Some(5_000_000),
                 rewind_every: None,
                 chaos: None,
+                perturb: None,
                 oracle: false,
                 oracle_online: false,
             },

@@ -17,6 +17,11 @@
 //!   scoped-thread worker pool with deterministic job-order aggregation,
 //!   timeout retry, incremental `BENCH_<figure>.json` persistence
 //!   ([`FigureResults`]) and fingerprint-matched resume.
+//! * [`fuzz`] — the coverage-guided protocol-schedule fuzzer behind
+//!   `norush fuzz`: delay-burst/chaos genomes mutated against the
+//!   transition-coverage map, deterministic generation batches over the
+//!   sweep worker pool, schedule minimization and soak-style triage on any
+//!   violation, and the `norush-fuzz-v1` report.
 //!
 //! # Example
 //!
@@ -36,6 +41,7 @@
 
 pub mod checkpoint;
 pub mod experiment;
+pub mod fuzz;
 pub mod machine;
 pub mod shrink;
 pub mod sweep;
@@ -45,9 +51,13 @@ pub use experiment::{
     run_far, run_lazy, run_microbench, run_microbench_result, run_row, run_row_fwd,
     ExperimentConfig, RowVariant,
 };
+pub use fuzz::{
+    fuzz, minimize, report_json, write_triage, Finding, FuzzOptions, FuzzOutcome, FuzzState,
+    ScheduleGenome, FUZZ_SCHEMA, GEN_CANDIDATES,
+};
 pub use machine::{Machine, RewindReport, RunResult, SimError, SimTimeout};
 pub use shrink::shrink_chaos;
 pub use sweep::{
-    available_workers, FigureResults, Job, JobRecord, JobSpec, Sweep, SweepCheckpoint, SweepError,
-    SweepEvent, SweepOptions, Variant,
+    available_workers, parallel_map, FigureResults, Job, JobRecord, JobSpec, Sweep,
+    SweepCheckpoint, SweepError, SweepEvent, SweepOptions, Variant,
 };

@@ -622,6 +622,42 @@ pub fn available_workers() -> usize {
         .unwrap_or(4)
 }
 
+/// Runs `f` over every item on a scoped-thread worker pool and returns the
+/// results **in item order regardless of completion order** — the same
+/// discipline [`Sweep::run`] uses, factored out for callers (the fuzzer)
+/// whose work items are not figure jobs. `workers` is clamped to
+/// `[1, items.len()]`; the callback receives `(index, item)`.
+pub fn parallel_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = workers.max(1).min(items.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let k = next.fetch_add(1, Ordering::Relaxed);
+                if k >= items.len() {
+                    break;
+                }
+                let r = f(k, &items[k]);
+                *slots[k].lock().expect("worker never panics holding a slot") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("worker never panics holding a slot")
+                .expect("every slot is filled before the scope ends")
+        })
+        .collect()
+}
+
 /// A sweep failure.
 #[derive(Debug)]
 pub enum SweepError {

@@ -10,6 +10,8 @@
 //!            [--checkpoint-every K] [--ckpt-dir D] [--resume]
 //! norush compare <benchmark> [--cores N] [--instr N] [--seed S] [--jobs N]
 //! norush soak [--phases N] [--policies P,Q] [--kernel K] [--seed S] [...]
+//! norush fuzz [--policy P] [--kernel K] [--budget N] [--seed S] [--jobs N]
+//!             [--inject-early-unblock] [--resume] [--replay HEX] [...]
 //! norush microbench [--iters N] [--fenced]
 //! norush record <benchmark> <file> [--instr N] [--tid T] [--threads N]
 //! norush replay <file> [--policy P]
@@ -219,9 +221,67 @@ fn shrink_and_report(
     min
 }
 
+/// Files that mark a triage bundle from a previous failing run.
+const BUNDLE_MARKERS: &[&str] = &[
+    "soak_failure.txt",
+    "fuzz_failure.txt",
+    "chaos_repro.txt",
+    "journal_tail.txt",
+];
+
+/// Moves any existing triage bundle in `dir` aside to a numbered sibling
+/// (`<dir>.1`, `<dir>.2`, ...) so a new failure never silently overwrites
+/// an old repro. The bundle is the marker files plus any `.ckpt` files.
+/// Fails clearly when every rotation slot is taken.
+fn rotate_stale_bundle(dir: &Path) -> Result<(), Box<dyn std::error::Error>> {
+    let mut stale: Vec<PathBuf> = BUNDLE_MARKERS
+        .iter()
+        .map(|m| dir.join(m))
+        .filter(|p| p.exists())
+        .collect();
+    if stale.is_empty() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)?.flatten() {
+        let p = entry.path();
+        if p.extension().is_some_and(|e| e == "ckpt") {
+            stale.push(p);
+        }
+    }
+    // `run` defaults its bundle to the working directory, which cannot be
+    // renamed out from under us — rotate into a named sibling instead.
+    let base = if dir == Path::new(".") {
+        PathBuf::from("repro_prev")
+    } else {
+        dir.to_path_buf()
+    };
+    let slot = (1..1000)
+        .map(|n| PathBuf::from(format!("{}.{n}", base.display())))
+        .find(|p| !p.exists())
+        .ok_or_else(|| {
+            format!(
+                "{}: over 999 rotated triage bundles; clean some up",
+                base.display()
+            )
+        })?;
+    std::fs::create_dir_all(&slot)?;
+    for p in &stale {
+        let dst = slot.join(p.file_name().expect("bundle files have names"));
+        std::fs::rename(p, &dst)
+            .map_err(|e| format!("rotating {} to {}: {e}", p.display(), dst.display()))?;
+    }
+    eprintln!(
+        "note: moved previous triage bundle in {} to {}",
+        dir.display(),
+        slot.display()
+    );
+    Ok(())
+}
+
 /// Parses `--repro-dir` (where shrunk repros and triage bundles land),
-/// creating the directory. `run` defaults to the working directory; `soak`
-/// defaults to `soak_repro`.
+/// creating the directory and rotating any leftover bundle aside. `run`
+/// defaults to the working directory; `soak` defaults to `soak_repro`;
+/// `fuzz` defaults to `fuzz_repro`.
 fn repro_dir_from(args: &Args, default: &str) -> Result<PathBuf, Box<dyn std::error::Error>> {
     let dir = PathBuf::from(
         args.flags
@@ -230,6 +290,7 @@ fn repro_dir_from(args: &Args, default: &str) -> Result<PathBuf, Box<dyn std::er
             .unwrap_or(default),
     );
     std::fs::create_dir_all(&dir).map_err(|e| format!("--repro-dir {}: {e}", dir.display()))?;
+    rotate_stale_bundle(&dir)?;
     Ok(dir)
 }
 
@@ -1058,6 +1119,175 @@ fn cmd_soak(args: &Args) -> CliResult {
     Ok(())
 }
 
+/// Builds the fuzz campaign options from the command line.
+fn fuzz_opts(args: &Args) -> Result<norush::sim::FuzzOptions, Box<dyn std::error::Error>> {
+    let policy = args
+        .flags
+        .get("policy")
+        .map(String::as_str)
+        .unwrap_or("lazy")
+        .to_string();
+    let kernel = match args.flags.get("kernel") {
+        Some(v) => ServiceKernel::parse(v).ok_or_else(|| {
+            format!("--kernel: `{v}` is not a service kernel (counter, kv, queue)")
+        })?,
+        None => ServiceKernel::Counter,
+    };
+    let mut opts = norush::sim::FuzzOptions::smoke(policy);
+    opts.kernel = kernel;
+    opts.cores = args.num_in("cores", 4, 2, 64, "need concurrency to race")? as usize;
+    opts.ops_per_thread = args.num_in("ops", 120, 1, 100_000, "service ops per thread")?;
+    opts.seed = args.num("seed", 42)?;
+    opts.budget = args.num_in("budget", 256, 1, 1_000_000, "total schedule executions")?;
+    opts.jobs = jobs_from(args)?;
+    opts.planted_bug = args.switches.contains("inject-early-unblock");
+    opts.cycle_limit = args.num_in(
+        "cycles",
+        2_000_000,
+        100_000,
+        1_000_000_000,
+        "per-run cycle budget; exhausting it is reported as a livelock",
+    )?;
+    opts.watchdog = args.num_in("watchdog", 500_000, 1_000, 1_000_000_000, "stall window")?;
+    Ok(opts)
+}
+
+/// The copy-pasteable command that replays a fuzz schedule.
+fn fuzz_repro_cmd(opts: &norush::sim::FuzzOptions, genome: &norush::sim::ScheduleGenome) -> String {
+    format!(
+        "norush fuzz --policy {} --kernel {} --cores {} --ops {} --seed {}{} --replay {}",
+        opts.policy,
+        opts.kernel.name(),
+        opts.cores,
+        opts.ops_per_thread,
+        opts.seed,
+        if opts.planted_bug {
+            " --inject-early-unblock"
+        } else {
+            ""
+        },
+        genome.to_hex(),
+    )
+}
+
+/// `norush fuzz` — coverage-guided protocol-schedule fuzzing with schedule
+/// minimization, soak-style triage, and a persistent corpus.
+fn cmd_fuzz(args: &Args) -> CliResult {
+    use norush::sim::fuzz;
+    let opts = fuzz_opts(args)?;
+    // Replay mode: execute one schedule from its hex genome and report.
+    if let Some(hex) = args.flags.get("replay") {
+        let genome = fuzz::ScheduleGenome::from_hex(hex)?;
+        println!("replaying schedule: {}", genome.describe());
+        let out = fuzz::run_one(&opts, &genome).map_err(Box::<dyn std::error::Error>::from)?;
+        println!(
+            "coverage: {}/{} transitions",
+            out.coverage.covered(),
+            norush::common::coverage::SLOT_COUNT
+        );
+        match out.violation {
+            Some(err) => {
+                eprintln!("violation reproduced:\n{err}");
+                std::process::exit(1);
+            }
+            None => {
+                println!("no violation");
+                return Ok(());
+            }
+        }
+    }
+    let fingerprint = opts.fingerprint();
+    let state_path = PathBuf::from(
+        args.flags
+            .get("state")
+            .map(String::as_str)
+            .unwrap_or("fuzz_state.bin"),
+    );
+    let state = if args.switches.contains("resume") {
+        let s = fuzz::FuzzState::load(&state_path, fingerprint)?;
+        println!(
+            "resuming from {}: generation {}, {} runs done, corpus {}",
+            state_path.display(),
+            s.generation,
+            s.runs_done,
+            s.corpus.len()
+        );
+        s
+    } else {
+        fuzz::FuzzState::new()
+    };
+    let out_path = PathBuf::from(
+        args.flags
+            .get("out")
+            .map(String::as_str)
+            .unwrap_or("fuzz_report.json"),
+    );
+    let repro_dir = repro_dir_from(args, "fuzz_repro")?;
+    println!(
+        "fuzz: policy {}, kernel {}, {} cores, seed {}, budget {} runs, {} workers{}",
+        opts.policy,
+        opts.kernel.name(),
+        opts.cores,
+        opts.seed,
+        opts.budget,
+        opts.jobs,
+        if opts.planted_bug {
+            ", planted early-unblock bug ARMED"
+        } else {
+            ""
+        },
+    );
+    let outcome = fuzz::fuzz(&opts, state, |s| {
+        if let Err(e) = s.save(&state_path, fingerprint) {
+            eprintln!("cannot save {}: {e}", state_path.display());
+        }
+        println!(
+            "gen {:>3}: {:>5} runs, corpus {:>3}, coverage {}/{}",
+            s.generation,
+            s.runs_done,
+            s.corpus.len(),
+            s.global.covered(),
+            norush::common::coverage::SLOT_COUNT,
+        );
+    })
+    .map_err(Box::<dyn std::error::Error>::from)?;
+    let repro = outcome
+        .finding
+        .as_ref()
+        .map(|f| fuzz_repro_cmd(&opts, &f.minimized));
+    let json = fuzz::report_json(&opts, &outcome, repro.as_deref());
+    let tmp = out_path.with_extension("json.tmp");
+    std::fs::write(&tmp, &json)?;
+    std::fs::rename(&tmp, &out_path)?;
+    let s = &outcome.state;
+    for (name, covered, total) in s.global.domain_summary() {
+        println!("  coverage {name:10} {covered:>3}/{total}");
+    }
+    match &outcome.finding {
+        Some(f) => {
+            eprintln!(
+                "FINDING ({}) in generation {}, candidate {}:\n{}",
+                f.kind, f.generation, f.candidate, f.error
+            );
+            eprintln!("minimized schedule: {}", f.minimized.describe());
+            fuzz::write_triage(&opts, f, &repro_dir, repro.as_deref().unwrap_or(""))?;
+            eprintln!("triage bundle in {}", repro_dir.display());
+            eprintln!("repro: {}", repro.unwrap_or_default());
+            println!("fuzz finding: report written to {}", out_path.display());
+            std::process::exit(1);
+        }
+        None => {
+            println!(
+                "fuzz clean: {} runs, {} never-exercised transitions, report written to {}",
+                s.runs_done,
+                s.global.uncovered_names().len(),
+                out_path.display()
+            );
+            Ok(())
+        }
+    }
+}
+
 /// Parses `--jobs N` (worker threads for `compare`); absent means all host
 /// cores. Mirrors the `--chaos-*` range-validation style.
 fn jobs_from(args: &Args) -> Result<usize, Box<dyn std::error::Error>> {
@@ -1250,6 +1480,8 @@ fn usage() -> CliResult {
     println!("  compare <bench> [--jobs N] [...]   eager/lazy/row/row-fwd/far table");
     println!("  soak [--phases N] [...]            phased lock-service soak with the online");
     println!("                                     linearizability checker and failure triage");
+    println!("  fuzz [--budget N] [...]            coverage-guided protocol-schedule fuzzing");
+    println!("                                     with minimization and failure triage");
     println!("  microbench [--iters N] [--fenced]  Fig. 2 cycles/iteration");
     println!("  record <bench> <file> [...]        capture a trace file");
     println!("  replay <file> [--policy P]         replay a trace file");
@@ -1280,6 +1512,12 @@ fn usage() -> CliResult {
     println!("              --chaos-escalation F   per-phase multiplier on the lossy rates");
     println!("              --phase-cycles N --wall-secs S --checkpoint-every K");
     println!("              --watchdog N --out FILE --inject-net-zero-faa N (test bug)");
+    println!("fuzz flags:   --policy P --kernel K --budget N --seed S --jobs N --cores N");
+    println!("              --ops N --cycles LIMIT --watchdog N --state FILE --out FILE");
+    println!("              --repro-dir D (default fuzz_repro)");
+    println!("              --inject-early-unblock   arm the planted directory bug (test bug)");
+    println!("              --resume                 continue a campaign from --state");
+    println!("              --replay HEX             re-execute one schedule from its genome");
     println!("checkpointing (run): --checkpoint-every K --ckpt-dir D --resume");
     println!("policies: eager lazy row row-fwd far");
     Ok(())
@@ -1298,6 +1536,7 @@ fn main() -> CliResult {
         "run" => cmd_run(&args),
         "compare" => cmd_compare(&args),
         "soak" => cmd_soak(&args),
+        "fuzz" => cmd_fuzz(&args),
         "microbench" => cmd_microbench(&args),
         "record" => cmd_record(&args),
         "replay" => cmd_replay(&args),
