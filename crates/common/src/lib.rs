@@ -19,6 +19,9 @@
 //!   `BENCH_<fig>.json` results files and sweep resume.
 //! * [`coverage`] — the protocol transition-coverage map driving the
 //!   schedule fuzzer (`norush fuzz`) and its dead-protocol-arm report.
+//! * [`choice`] — thread-local decision-point hooks (message delivery,
+//!   atomic commit timing) behind the bounded-exhaustive schedule explorer
+//!   (`norush explore`).
 //!
 //! # Example
 //!
@@ -33,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod choice;
 pub mod clock;
 pub mod config;
 pub mod coverage;

@@ -25,6 +25,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
+use row_common::choice;
 use row_common::config::{AtomicPlacement, AtomicPolicy, CoreConfig, DetectorKind, FenceModel};
 use row_common::coverage::{self, CpuEvent};
 use row_common::ids::{Addr, CoreId, LineAddr, Pc};
@@ -169,6 +170,11 @@ pub struct Core {
     last_commit: Cycle,
     stats: CoreStats,
     load_log: Option<Vec<LoadObservation>>,
+    /// Explorer commit-timing decision for the atomic at the ROB head:
+    /// `(uid, release cycle)` chosen via [`row_common::choice`] when the RMW
+    /// first became commit-ready. `None` between atomics. With no controller
+    /// installed the release is the ready cycle itself (no behaviour change).
+    commit_release: Option<(u64, Cycle)>,
 }
 
 impl Core {
@@ -214,6 +220,7 @@ impl Core {
             last_commit: Cycle::ZERO,
             stats: CoreStats::default(),
             load_log: None,
+            commit_release: None,
         }
     }
 
@@ -800,7 +807,33 @@ impl Core {
                     // may remain buffered.
                     let order = e.order;
                     let sb_drained = self.sb.front().is_none_or(|s| s.order >= order);
-                    e.completed_at.is_some_and(|c| c <= now) && a.locked && sb_drained
+                    let ready = e.completed_at.is_some_and(|c| c <= now) && a.locked && sb_drained;
+                    // Explorer decision point, asked exactly once when the
+                    // RMW first becomes commit-ready: the controller may hold
+                    // the commit for whole quanta (the paper's "no rush" knob
+                    // as an enumerable choice). Alternative 0 — every run
+                    // without a controller — releases at the ready cycle.
+                    if ready {
+                        let release = match self.commit_release {
+                            Some((u, rel)) if u == uid => rel,
+                            _ => {
+                                let alt = choice::choose(
+                                    choice::ChoiceKind::Commit,
+                                    self.id.index() as u16,
+                                    self.id.index() as u16,
+                                    a.addr.line().raw(),
+                                    now.raw(),
+                                    choice::N_ALTS,
+                                );
+                                let rel = now + choice::commit_delay(alt);
+                                self.commit_release = Some((uid, rel));
+                                rel
+                            }
+                        };
+                        now >= release
+                    } else {
+                        false
+                    }
                 }
                 _ => e.completed_at.is_some_and(|c| c <= now),
             };
@@ -822,6 +855,7 @@ impl Core {
                 }
                 Op::Atomic { .. } => {
                     self.lq.remove(&e.order);
+                    self.commit_release = None;
                     if self.far() {
                         self.finish_far_atomic(uid, now);
                     } else if let Some(s) = self.sb.iter_mut().find(|s| s.uid == uid) {
@@ -1552,6 +1586,7 @@ impl Persist for Core {
         self.last_commit.encode(w);
         self.stats.encode(w);
         self.load_log.encode(w);
+        self.commit_release.encode(w);
     }
 
     fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), PersistError> {
@@ -1588,6 +1623,7 @@ impl Persist for Core {
         self.last_commit = Cycle::decode(r)?;
         self.stats = CoreStats::decode(r)?;
         self.load_log = Option::<Vec<LoadObservation>>::decode(r)?;
+        self.commit_release = Option::<(u64, Cycle)>::decode(r)?;
         Ok(())
     }
 }

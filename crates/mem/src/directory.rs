@@ -10,10 +10,16 @@
 //!
 //! # Known-unreachable transition-coverage pairs
 //!
-//! `norush fuzz` tracks every directory `(state, event)` pair in its
-//! coverage map ([`row_common::coverage`]) and reports never-exercised
-//! pairs. The following directory pairs are expected to stay dark; a fuzz
-//! run that *does* light one indicates a protocol bug, not progress:
+//! `norush fuzz`, `norush litmus`, and `norush explore` all track every
+//! directory `(state, event)` pair in the shared coverage map
+//! ([`row_common::coverage`]) and report never-exercised pairs. The two
+//! workloads light complementary regions: the RMW-heavy lock-service fuzz
+//! kernels drive the atomic/GetX paths, while the plain-load litmus shapes
+//! (notably the three-reader `3r1w` test) drive the Shared-state grant arms
+//! — `dir:Shared/GetS`, the arm that hosts the planted
+//! `--inject-early-unblock` bug. The following directory pairs are expected
+//! to stay dark under *both*; a run that *does* light one indicates a
+//! protocol bug, not progress:
 //!
 //! * `dir:<any>/Other` — every message a directory bank receives is one of
 //!   the classified kinds; the catch-all arm exists only for coverage-space
@@ -27,11 +33,12 @@
 //!   solicited while `Blocked/CollectingAcks`; anywhere else they would be
 //!   stray (and trip the sharer-count underflow check).
 //!
-//! Two more families are unreachable under the *fuzz workload* rather than
-//! by protocol design: `dir:<any>/PutM` needs a capacity eviction of a
-//! dirty line, and the lock-service working set fits the private caches, so
-//! no writeback traffic exists. Growing the fuzz workload beyond the
-//! private-cache footprint would light those legitimately.
+//! Two more families are unreachable under the *workloads* rather than by
+//! protocol design: `dir:<any>/PutM` needs a capacity eviction of a dirty
+//! line, and both the lock-service working set and the two-line litmus
+//! programs fit the private caches, so no writeback traffic exists. Growing
+//! a workload beyond the private-cache footprint would light those
+//! legitimately.
 
 use std::collections::{BTreeSet, HashMap, VecDeque};
 

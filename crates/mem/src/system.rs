@@ -21,6 +21,7 @@
 
 use std::collections::HashMap;
 
+use row_common::choice;
 use row_common::config::{PerturbConfig, SystemConfig};
 use row_common::ids::{Addr, CoreId, LineAddr};
 use row_common::persist::{Codec, Persist, PersistError, Reader, Writer};
@@ -364,6 +365,19 @@ impl MemorySystem {
             MsgClass::Control
         };
         let deliver = self.mesh.send(src, dst, class, at);
+        // Explorer decision point: the controller may hold this message for
+        // whole delivery quanta past its mesh-computed cycle. Alternative 0 —
+        // what every run without an installed controller gets — is the
+        // undelayed schedule, bit-for-bit.
+        let alt = choice::choose(
+            choice::ChoiceKind::Delivery,
+            src.index() as u16,
+            dst.index() as u16,
+            msg.line().raw(),
+            at.raw(),
+            choice::N_ALTS,
+        );
+        let deliver = deliver + choice::delivery_delay(alt);
         match self.transport.as_mut() {
             None => self.net.push(deliver, Frame::Msg { to, msg }),
             Some(t) if !t.lossy() => {

@@ -36,7 +36,10 @@ pub const MAGIC: &[u8; 8] = b"ROWCKPT\n";
 /// v3: per-core stats gained the atomic-latency log histogram, and the
 /// machine payload gained the optional online linearizability checker
 /// (golden word store, per-core counters, journal tail) after the cores.
-pub const FORMAT_VERSION: u32 = 3;
+///
+/// v4: each core payload gained the explorer's pending atomic commit-release
+/// decision (`(uid, release cycle)`, usually `None`) after the load log.
+pub const FORMAT_VERSION: u32 = 4;
 
 /// Writes `bytes` to `path` atomically: the data lands in `<path>.tmp` first
 /// and is renamed over `path` only once fully flushed, so a reader (or a

@@ -831,12 +831,10 @@ pub fn write_triage(
             }
         }
     };
-    let ckpt_path = repro_dir.join("fuzz.ckpt");
     let ckpt_note = match &last_ckpt {
-        Some(bytes) => {
-            std::fs::write(&ckpt_path, bytes)?;
-            ckpt_path.display().to_string()
-        }
+        Some(bytes) => crate::triage::write_checkpoint_file(repro_dir, "fuzz.ckpt", bytes)?
+            .display()
+            .to_string(),
         None => "none reachable before the failure".to_string(),
     };
     let desc = format!(
@@ -862,14 +860,8 @@ pub fn write_triage(
         err.map(|e| e.to_string())
             .unwrap_or_else(|| finding.minimized_error.clone()),
     );
-    std::fs::write(repro_dir.join("fuzz_failure.txt"), desc)?;
-    if let Some(checker) = m.online_checker() {
-        let mut tail = String::new();
-        for (idx, rec) in (checker.tail_start_index()..).zip(checker.tail()) {
-            tail.push_str(&format!("{idx}: {rec:?}\n"));
-        }
-        std::fs::write(repro_dir.join("journal_tail.txt"), tail)?;
-    }
+    crate::triage::write_failure(repro_dir, "fuzz_failure.txt", &desc)?;
+    crate::triage::write_journal_tail(repro_dir, &m)?;
     Ok(())
 }
 

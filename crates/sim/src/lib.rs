@@ -22,6 +22,14 @@
 //!   transition-coverage map, deterministic generation batches over the
 //!   sweep worker pool, schedule minimization and soak-style triage on any
 //!   violation, and the `norush-fuzz-v1` report.
+//! * [`explore`] — the litmus conformance runner and bounded-exhaustive
+//!   schedule explorer behind `norush litmus`/`norush explore`: DFS over
+//!   message-delivery and atomic-commit decision points with partial-order
+//!   reduction and state-hash dedup, checking declared forbidden outcomes
+//!   unreachable and allowed outcomes witnessed (`norush-litmus-v1`).
+//! * [`triage`] — the shared failure-triage bundle writers (`--repro-dir`
+//!   rotation, failure/journal-tail/checkpoint files) used by `run`,
+//!   `soak`, `fuzz`, and `explore`.
 //!
 //! # Example
 //!
@@ -41,15 +49,21 @@
 
 pub mod checkpoint;
 pub mod experiment;
+pub mod explore;
 pub mod fuzz;
 pub mod machine;
 pub mod shrink;
 pub mod sweep;
+pub mod triage;
 
 pub use experiment::{
     bench_streams, microbench_cycle_limit, run_benchmark, run_benchmark_checkpointed, run_eager,
     run_far, run_lazy, run_microbench, run_microbench_result, run_row, run_row_fwd,
     ExperimentConfig, RowVariant,
+};
+pub use explore::{
+    explore, fmt_outcome, run_litmus, run_schedule, run_schedule_full, schedule_from_hex,
+    schedule_to_hex, ExploreOptions, ExploreReport, ExploreViolation, ScheduleRun, LITMUS_SCHEMA,
 };
 pub use fuzz::{
     fuzz, minimize, report_json, write_triage, Finding, FuzzOptions, FuzzOutcome, FuzzState,

@@ -15,6 +15,9 @@
 //!   shared counters, concurrent queue) for examples and shape tests.
 //! * [`lockservice`] — the sharded lock/counter service under open-loop
 //!   arrival ([`LockServiceStream`]), the soak harness's workload family.
+//! * [`litmus`] — the classic x86-TSO litmus suite ([`LitmusTest`]): tiny
+//!   per-core programs with declared allowed/forbidden outcome sets, the
+//!   conformance contract behind `norush litmus` and `norush explore`.
 //! * [`trace`] — record any stream to a trace file and replay it bit-exactly
 //!   (the Sniper-trace analogue).
 //!
@@ -35,12 +38,14 @@
 #![warn(missing_docs)]
 
 pub mod kernels;
+pub mod litmus;
 pub mod lockservice;
 pub mod microbench;
 pub mod profile;
 pub mod suite;
 pub mod trace;
 
+pub use litmus::{LitmusTest, OutcomeClass, Probe};
 pub use lockservice::{LockServiceConfig, LockServiceStream, ServiceKernel};
 pub use microbench::{MicroRmw, MicroVariant, MicrobenchConfig, MicrobenchStream};
 pub use profile::{ProfileStream, WorkloadProfile};

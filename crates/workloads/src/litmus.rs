@@ -1,0 +1,502 @@
+//! Classic x86-TSO litmus tests with declared allowed/forbidden outcomes.
+//!
+//! Each [`LitmusTest`] is a family of tiny per-core instruction programs
+//! (2–4 cores, two cache lines) plus the full classification of its final
+//! states: the **allowed** set a TSO machine may produce (and a complete
+//! explorer must *witness*), and the **forbidden** set no TSO machine may
+//! ever produce. Outcomes are tuples of [`Probe`] values — per-load observed
+//! values (the last [`LoadObservation`][`row_cpu::core::LoadObservation`]
+//! recorded for the load's PC, so squash replays resolve correctly) and
+//! final functional-memory words.
+//!
+//! The suite is the paper's conformance contract made executable: "no rush"
+//! (delaying atomic commit) and eager execution (rushing it) must both be
+//! *invisible* at this level. `norush litmus` samples each test under
+//! schedule jitter; `norush explore` enumerates delivery/commit schedules
+//! exhaustively at small bounds and checks both directions of the contract.
+//!
+//! Outcome derivations follow the x86-TSO axioms (Owens, Sarkar, Sewell,
+//! *A Better x86 Memory Model: x86-TSO*): per-core program order is
+//! preserved except a load may complete before an older store to a
+//! different address drains (store buffering); stores drain in order into a
+//! single global memory order; locked RMWs are two-sided fences.
+
+use row_common::ids::{Addr, Pc};
+use row_cpu::instr::{Instr, Op, RmwKind};
+
+/// Address of variable `x` (its own cache line).
+pub const X: u64 = 0x1_0000;
+/// Address of variable `y` (a different cache line from [`X`]).
+pub const Y: u64 = 0x2_0000;
+
+/// Where one element of an outcome tuple is observed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Probe {
+    /// The value the load at `(core, pc)` finally observed (last recorded
+    /// observation for that PC — squash replays re-log).
+    Load {
+        /// Core index the load runs on.
+        core: usize,
+        /// The load's PC.
+        pc: Pc,
+    },
+    /// The final value of the 64-bit word at `addr` in functional memory.
+    Mem {
+        /// Word address.
+        addr: Addr,
+    },
+}
+
+/// How an observed outcome relates to a test's declared sets.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OutcomeClass {
+    /// In the allowed set.
+    Allowed,
+    /// In the forbidden set — a TSO conformance violation.
+    Forbidden,
+    /// In neither set — also a violation (the allowed set is exhaustive),
+    /// e.g. a torn or invented value.
+    Unlisted,
+}
+
+/// One litmus test: programs, probes, and the outcome classification.
+#[derive(Clone, Debug)]
+pub struct LitmusTest {
+    /// Short name (`sb`, `mp`, …) used by the CLI.
+    pub name: &'static str,
+    /// One-line description of what the test checks.
+    pub description: &'static str,
+    /// Per-core instruction programs.
+    pub programs: Vec<Vec<Instr>>,
+    /// The outcome tuple, element by element.
+    pub probes: Vec<Probe>,
+    /// Every outcome a TSO machine may produce (exhaustive).
+    pub allowed: Vec<Vec<u64>>,
+    /// Outcomes no TSO machine may ever produce.
+    pub forbidden: Vec<Vec<u64>>,
+}
+
+fn store(pc: u64, addr: u64, v: u64) -> Instr {
+    Instr::simple(
+        Pc::new(pc),
+        Op::Store {
+            addr: Addr::new(addr),
+            value: Some(v),
+        },
+    )
+}
+
+fn load(pc: u64, addr: u64) -> Instr {
+    Instr::simple(
+        Pc::new(pc),
+        Op::Load {
+            addr: Addr::new(addr),
+        },
+    )
+}
+
+fn faa(pc: u64, addr: u64) -> Instr {
+    Instr::simple(
+        Pc::new(pc),
+        Op::Atomic {
+            rmw: RmwKind::Faa(1),
+            addr: Addr::new(addr),
+        },
+    )
+}
+
+fn pl(core: usize, pc: u64) -> Probe {
+    Probe::Load {
+        core,
+        pc: Pc::new(pc),
+    }
+}
+
+fn pm(addr: u64) -> Probe {
+    Probe::Mem {
+        addr: Addr::new(addr),
+    }
+}
+
+/// All binary tuples of width `w` except those in `forbidden`.
+fn all_binary_except(w: u32, forbidden: &[Vec<u64>]) -> Vec<Vec<u64>> {
+    (0..(1u64 << w))
+        .map(|bits| (0..w).map(|i| (bits >> i) & 1).collect::<Vec<u64>>())
+        .filter(|t| !forbidden.contains(t))
+        .collect()
+}
+
+impl LitmusTest {
+    /// Number of cores the test needs.
+    pub fn cores(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Classifies one observed outcome tuple.
+    pub fn classify(&self, outcome: &[u64]) -> OutcomeClass {
+        if self.forbidden.iter().any(|f| f == outcome) {
+            OutcomeClass::Forbidden
+        } else if self.allowed.iter().any(|a| a == outcome) {
+            OutcomeClass::Allowed
+        } else {
+            OutcomeClass::Unlisted
+        }
+    }
+
+    /// The whole suite, in canonical order.
+    pub fn all() -> Vec<LitmusTest> {
+        vec![
+            Self::sb(),
+            Self::mp(),
+            Self::lb(),
+            Self::iriw(),
+            Self::r(),
+            Self::w22(),
+            Self::corr(),
+            Self::sb_rmw(),
+            Self::mp_rmw(),
+            Self::r3w1(),
+        ]
+    }
+
+    /// The canonical test names, in suite order.
+    pub fn names() -> Vec<&'static str> {
+        Self::all().iter().map(|t| t.name).collect()
+    }
+
+    /// Looks a test up by its CLI name.
+    pub fn by_name(name: &str) -> Option<LitmusTest> {
+        Self::all().into_iter().find(|t| t.name == name)
+    }
+
+    /// Store buffering — TSO's signature relaxation.
+    ///
+    /// ```text
+    /// T0: x=1; r0=y          T1: y=1; r1=x
+    /// ```
+    ///
+    /// All four outcomes are allowed; `(0,0)` is the one SC forbids and TSO
+    /// permits (each load slips past its core's buffered store).
+    pub fn sb() -> LitmusTest {
+        LitmusTest {
+            name: "sb",
+            description: "store buffering: (0,0) allowed under TSO, all four reachable",
+            programs: vec![
+                vec![store(0x10, X, 1), load(0x14, Y)],
+                vec![store(0x20, Y, 1), load(0x24, X)],
+            ],
+            probes: vec![pl(0, 0x14), pl(1, 0x24)],
+            allowed: all_binary_except(2, &[]),
+            forbidden: vec![],
+        }
+    }
+
+    /// Message passing — the flag must publish the data.
+    ///
+    /// ```text
+    /// T0: x=1; y=1           T1: r0=y; r1=x
+    /// ```
+    ///
+    /// Forbidden: `(1,0)` — seeing the flag but stale data would need
+    /// store→store or load→load reordering, neither of which TSO allows.
+    pub fn mp() -> LitmusTest {
+        let forbidden = vec![vec![1, 0]];
+        LitmusTest {
+            name: "mp",
+            description: "message passing: flag=1 must imply data=1",
+            programs: vec![
+                vec![store(0x10, X, 1), store(0x14, Y, 1)],
+                vec![load(0x20, Y), load(0x24, X)],
+            ],
+            probes: vec![pl(1, 0x20), pl(1, 0x24)],
+            allowed: all_binary_except(2, &forbidden),
+            forbidden,
+        }
+    }
+
+    /// Load buffering — values may not appear out of thin air.
+    ///
+    /// ```text
+    /// T0: r0=x; y=1          T1: r1=y; x=1
+    /// ```
+    ///
+    /// Forbidden: `(1,1)` — each load would have to read the other core's
+    /// *later* store, a causal cycle TSO's load→store order rules out.
+    pub fn lb() -> LitmusTest {
+        let forbidden = vec![vec![1, 1]];
+        LitmusTest {
+            name: "lb",
+            description: "load buffering: (1,1) would be a causal cycle",
+            programs: vec![
+                vec![load(0x10, X), store(0x14, Y, 1)],
+                vec![load(0x20, Y), store(0x24, X, 1)],
+            ],
+            probes: vec![pl(0, 0x10), pl(1, 0x20)],
+            allowed: all_binary_except(2, &forbidden),
+            forbidden,
+        }
+    }
+
+    /// Independent reads of independent writes — store atomicity.
+    ///
+    /// ```text
+    /// T0: x=1    T1: y=1    T2: r0=x; r1=y    T3: r2=y; r3=x
+    /// ```
+    ///
+    /// Forbidden: `(1,0,1,0)` — the two observers would disagree on the
+    /// order of the independent stores, impossible in a single total store
+    /// order. The other 15 outcomes are all reachable.
+    pub fn iriw() -> LitmusTest {
+        let forbidden = vec![vec![1, 0, 1, 0]];
+        LitmusTest {
+            name: "iriw",
+            description: "IRIW: observers may not disagree on the store order",
+            programs: vec![
+                vec![store(0x10, X, 1)],
+                vec![store(0x20, Y, 1)],
+                vec![load(0x30, X), load(0x34, Y)],
+                vec![load(0x40, Y), load(0x44, X)],
+            ],
+            probes: vec![pl(2, 0x30), pl(2, 0x34), pl(3, 0x40), pl(3, 0x44)],
+            allowed: all_binary_except(4, &forbidden),
+            forbidden,
+        }
+    }
+
+    /// Test R — store buffering observed through a coherence race.
+    ///
+    /// ```text
+    /// T0: x=1; y=1           T1: y=2; r0=x
+    /// ```
+    ///
+    /// Outcome is `(final y, r0)`. `(2,0)` is the TSO-not-SC case: T1's load
+    /// runs before its own store drains, reads `x=0`, yet T1's `y=2` lands
+    /// after T0's `y=1`. All four combinations are allowed.
+    pub fn r() -> LitmusTest {
+        LitmusTest {
+            name: "r",
+            description: "R: (y=2, r0=0) allowed under TSO (store buffering), all four reachable",
+            programs: vec![
+                vec![store(0x10, X, 1), store(0x14, Y, 1)],
+                vec![store(0x20, Y, 2), load(0x24, X)],
+            ],
+            probes: vec![pm(Y), pl(1, 0x24)],
+            allowed: vec![vec![1, 0], vec![1, 1], vec![2, 0], vec![2, 1]],
+            forbidden: vec![],
+        }
+    }
+
+    /// 2+2W — write order must be globally consistent.
+    ///
+    /// ```text
+    /// T0: x=1; y=2           T1: y=1; x=2
+    /// ```
+    ///
+    /// Outcome is `(final x, final y)`. Forbidden: `(1,1)` — it requires
+    /// `T1.x=2 < T0.x=1` and `T0.y=2 < T1.y=1`, which with each core's
+    /// in-order store drain closes a cycle in the memory order.
+    pub fn w22() -> LitmusTest {
+        LitmusTest {
+            name: "2+2w",
+            description: "2+2W: final (x=1, y=1) closes a store-order cycle",
+            programs: vec![
+                vec![store(0x10, X, 1), store(0x14, Y, 2)],
+                vec![store(0x20, Y, 1), store(0x24, X, 2)],
+            ],
+            probes: vec![pm(X), pm(Y)],
+            allowed: vec![vec![1, 2], vec![2, 1], vec![2, 2]],
+            forbidden: vec![vec![1, 1]],
+        }
+    }
+
+    /// Coherence read-read — same-location reads may not go backwards.
+    ///
+    /// ```text
+    /// T0: x=1                T1: r0=x; r1=x
+    /// ```
+    ///
+    /// Forbidden: `(1,0)` — a later read of the same location observing an
+    /// older value violates per-location coherence.
+    ///
+    /// A dependent ALU chain separates the two reads: back-to-back loads of
+    /// one line bind their values in the same fill and retire in the same
+    /// commit group, leaving no window for the writer's invalidation to land
+    /// *between* them — the `(0,1)` outcome (old then new) would be
+    /// unwitnessable. Coherence must hold across intervening dependent
+    /// computation, so the chain keeps the test meaning while opening a
+    /// multi-quantum window the explorer can hit.
+    pub fn corr() -> LitmusTest {
+        let forbidden = vec![vec![1, 0]];
+        let gap = |pc: u64, src: u8, dst: u8| {
+            Instr::simple(Pc::new(pc), Op::Alu { latency: 16 })
+                .with_srcs(Some(src), None)
+                .with_dst(dst)
+        };
+        LitmusTest {
+            name: "corr",
+            description: "CoRR: same-location reads never observe values backwards",
+            programs: vec![
+                vec![store(0x10, X, 1)],
+                vec![
+                    load(0x20, X).with_dst(0),
+                    gap(0x21, 0, 1),
+                    gap(0x22, 1, 2),
+                    gap(0x23, 2, 3),
+                    gap(0x25, 3, 4),
+                    load(0x24, X).with_srcs(Some(4), None),
+                ],
+            ],
+            probes: vec![pl(1, 0x20), pl(1, 0x24)],
+            allowed: all_binary_except(2, &forbidden),
+            forbidden,
+        }
+    }
+
+    /// SB with locked RMWs in place of the stores — the fence the paper's
+    /// mechanism must preserve.
+    ///
+    /// ```text
+    /// T0: faa(x); r0=y       T1: faa(y); r1=x
+    /// ```
+    ///
+    /// A locked RMW is a two-sided fence on x86: the younger load may not
+    /// complete until the RMW has globally performed. Forbidden: `(0,0)` —
+    /// exactly the outcome plain SB allows. This is the test that catches
+    /// an atomic implementation that "rushes" (or delays) its way out of
+    /// fence semantics.
+    pub fn sb_rmw() -> LitmusTest {
+        let forbidden = vec![vec![0, 0]];
+        LitmusTest {
+            name: "sb+rmw",
+            description: "SB with locked RMWs: the RMW fences, so (0,0) is forbidden",
+            programs: vec![
+                vec![faa(0x10, X), load(0x14, Y)],
+                vec![faa(0x20, Y), load(0x24, X)],
+            ],
+            probes: vec![pl(0, 0x14), pl(1, 0x24)],
+            allowed: all_binary_except(2, &forbidden),
+            forbidden,
+        }
+    }
+
+    /// MP with a locked RMW publishing the flag.
+    ///
+    /// ```text
+    /// T0: x=1; faa(y)        T1: r0=y; r1=x
+    /// ```
+    ///
+    /// The RMW may not commit before the older store drains, so flag=1
+    /// still implies data=1: forbidden `(1,0)`. Exercises the
+    /// store→atomic ordering path (SB drain gating atomic commit) that
+    /// eager/lazy/RoW all must preserve.
+    pub fn mp_rmw() -> LitmusTest {
+        let forbidden = vec![vec![1, 0]];
+        LitmusTest {
+            name: "mp+rmw",
+            description: "MP with an RMW flag: flag=1 must still imply data=1",
+            programs: vec![
+                vec![store(0x10, X, 1), faa(0x14, Y)],
+                vec![load(0x20, Y), load(0x24, X)],
+            ],
+            probes: vec![pl(1, 0x20), pl(1, 0x24)],
+            allowed: all_binary_except(2, &forbidden),
+            forbidden,
+        }
+    }
+
+    /// Three readers and one writer on a single line — a pure coherence
+    /// stressor rather than an ordering test.
+    ///
+    /// ```text
+    /// T0: x=1    T1: r0=x    T2: r1=x    T3: r2=x
+    /// ```
+    ///
+    /// Every combination is allowed (one location, one store, unordered
+    /// readers). The shape exists to drive the directory through its
+    /// Shared-state grant path, which no two-reader test reaches: reader 1
+    /// takes the Exclusive grant, reader 2's forward downgrades it to
+    /// `Shared`, and reader 3's GetS is then served *from* `Shared` — the
+    /// arm the planted `--inject-early-unblock` bug corrupts — while the
+    /// writer's GetX races the same line.
+    pub fn r3w1() -> LitmusTest {
+        LitmusTest {
+            name: "3r1w",
+            description: "three readers + one writer on one line (Shared-grant race)",
+            programs: vec![
+                vec![store(0x10, X, 1)],
+                vec![load(0x20, X)],
+                vec![load(0x30, X)],
+                vec![load(0x40, X)],
+            ],
+            probes: vec![pl(1, 0x20), pl(2, 0x30), pl(3, 0x40)],
+            allowed: all_binary_except(3, &[]),
+            forbidden: vec![],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_is_well_formed() {
+        let suite = LitmusTest::all();
+        assert_eq!(suite.len(), 10);
+        let mut names = std::collections::HashSet::new();
+        for t in &suite {
+            assert!(names.insert(t.name), "duplicate test name {}", t.name);
+            assert!(!t.programs.is_empty());
+            assert!(
+                (2..=4).contains(&t.cores()),
+                "{}: cores out of range",
+                t.name
+            );
+            assert!(!t.probes.is_empty());
+            assert!(!t.allowed.is_empty(), "{}: allowed set empty", t.name);
+            for o in t.allowed.iter().chain(t.forbidden.iter()) {
+                assert_eq!(o.len(), t.probes.len(), "{}: tuple width", t.name);
+            }
+            // Allowed and forbidden are disjoint.
+            for f in &t.forbidden {
+                assert!(!t.allowed.contains(f), "{}: {f:?} in both sets", t.name);
+            }
+            // Every Load probe points at a real load in the named program.
+            for p in &t.probes {
+                if let Probe::Load { core, pc } = *p {
+                    assert!(
+                        t.programs[core]
+                            .iter()
+                            .any(|i| i.pc == pc
+                                && matches!(i.op, Op::Load { .. } | Op::Atomic { .. }))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn classification() {
+        let mp = LitmusTest::mp();
+        assert_eq!(mp.classify(&[1, 0]), OutcomeClass::Forbidden);
+        assert_eq!(mp.classify(&[0, 0]), OutcomeClass::Allowed);
+        assert_eq!(mp.classify(&[7, 7]), OutcomeClass::Unlisted);
+    }
+
+    #[test]
+    fn binary_enumeration_excludes_forbidden() {
+        let all = all_binary_except(2, &[vec![1, 0]]);
+        assert_eq!(all.len(), 3);
+        assert!(!all.contains(&vec![1, 0]));
+        let iriw = LitmusTest::iriw();
+        assert_eq!(iriw.allowed.len(), 15);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        for name in LitmusTest::names() {
+            assert_eq!(LitmusTest::by_name(name).unwrap().name, name);
+        }
+        assert!(LitmusTest::by_name("nope").is_none());
+    }
+}

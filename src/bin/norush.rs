@@ -12,6 +12,9 @@
 //! norush soak [--phases N] [--policies P,Q] [--kernel K] [--seed S] [...]
 //! norush fuzz [--policy P] [--kernel K] [--budget N] [--seed S] [--jobs N]
 //!             [--inject-early-unblock] [--resume] [--replay HEX] [...]
+//! norush litmus [--test T,U] [--policies P,Q] [--samples N] [--seed S] [--jobs N]
+//! norush explore [--test T,U] [--policy P] [--depth N] [--delays N] [--jobs N]
+//!                [--require-witness] [--inject-early-unblock] [--replay HEX]
 //! norush microbench [--iters N] [--fenced]
 //! norush record <benchmark> <file> [--instr N] [--tid T] [--threads N]
 //! norush replay <file> [--policy P]
@@ -27,6 +30,7 @@ use norush::cpu::instr::InstrStream;
 use norush::sim::{
     run_microbench, ExperimentConfig, Machine, RunResult, SimError, Sweep, SweepOptions, Variant,
 };
+use norush::workloads::litmus::{LitmusTest, OutcomeClass};
 use norush::workloads::{
     Benchmark, LockServiceConfig, LockServiceStream, MicroRmw, MicroVariant, ProfileStream,
     ServiceKernel, TraceFileStream,
@@ -221,67 +225,11 @@ fn shrink_and_report(
     min
 }
 
-/// Files that mark a triage bundle from a previous failing run.
-const BUNDLE_MARKERS: &[&str] = &[
-    "soak_failure.txt",
-    "fuzz_failure.txt",
-    "chaos_repro.txt",
-    "journal_tail.txt",
-];
-
-/// Moves any existing triage bundle in `dir` aside to a numbered sibling
-/// (`<dir>.1`, `<dir>.2`, ...) so a new failure never silently overwrites
-/// an old repro. The bundle is the marker files plus any `.ckpt` files.
-/// Fails clearly when every rotation slot is taken.
-fn rotate_stale_bundle(dir: &Path) -> Result<(), Box<dyn std::error::Error>> {
-    let mut stale: Vec<PathBuf> = BUNDLE_MARKERS
-        .iter()
-        .map(|m| dir.join(m))
-        .filter(|p| p.exists())
-        .collect();
-    if stale.is_empty() {
-        return Ok(());
-    }
-    for entry in std::fs::read_dir(dir)?.flatten() {
-        let p = entry.path();
-        if p.extension().is_some_and(|e| e == "ckpt") {
-            stale.push(p);
-        }
-    }
-    // `run` defaults its bundle to the working directory, which cannot be
-    // renamed out from under us — rotate into a named sibling instead.
-    let base = if dir == Path::new(".") {
-        PathBuf::from("repro_prev")
-    } else {
-        dir.to_path_buf()
-    };
-    let slot = (1..1000)
-        .map(|n| PathBuf::from(format!("{}.{n}", base.display())))
-        .find(|p| !p.exists())
-        .ok_or_else(|| {
-            format!(
-                "{}: over 999 rotated triage bundles; clean some up",
-                base.display()
-            )
-        })?;
-    std::fs::create_dir_all(&slot)?;
-    for p in &stale {
-        let dst = slot.join(p.file_name().expect("bundle files have names"));
-        std::fs::rename(p, &dst)
-            .map_err(|e| format!("rotating {} to {}: {e}", p.display(), dst.display()))?;
-    }
-    eprintln!(
-        "note: moved previous triage bundle in {} to {}",
-        dir.display(),
-        slot.display()
-    );
-    Ok(())
-}
-
 /// Parses `--repro-dir` (where shrunk repros and triage bundles land),
-/// creating the directory and rotating any leftover bundle aside. `run`
-/// defaults to the working directory; `soak` defaults to `soak_repro`;
-/// `fuzz` defaults to `fuzz_repro`.
+/// creating the directory and rotating any leftover bundle aside (the
+/// shared [`norush::sim::triage`] plumbing). `run` defaults to the working
+/// directory; `soak` to `soak_repro`; `fuzz` to `fuzz_repro`; `litmus` and
+/// `explore` to `explore_repro`.
 fn repro_dir_from(args: &Args, default: &str) -> Result<PathBuf, Box<dyn std::error::Error>> {
     let dir = PathBuf::from(
         args.flags
@@ -289,8 +237,8 @@ fn repro_dir_from(args: &Args, default: &str) -> Result<PathBuf, Box<dyn std::er
             .map(String::as_str)
             .unwrap_or(default),
     );
-    std::fs::create_dir_all(&dir).map_err(|e| format!("--repro-dir {}: {e}", dir.display()))?;
-    rotate_stale_bundle(&dir)?;
+    norush::sim::triage::prepare_repro_dir(&dir)
+        .map_err(|e| format!("--repro-dir {}: {e}", dir.display()))?;
     Ok(dir)
 }
 
@@ -849,28 +797,14 @@ fn soak_triage(
         "repro: {}\nerror:\n{err}\n",
         spec.repro_cmd(phase, policy, &unshrunk)
     ));
-    let path = spec.repro_dir.join("soak_failure.txt");
-    if let Err(e) = std::fs::write(&path, &desc) {
-        eprintln!("cannot write {}: {e}", path.display());
-    } else {
-        eprintln!("wrote {}", path.display());
+    match norush::sim::triage::write_failure(&spec.repro_dir, "soak_failure.txt", &desc) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("cannot write soak_failure.txt: {e}"),
     }
-    if let Some(checker) = m.online_checker() {
-        let mut tail = String::new();
-        for (idx, rec) in (checker.tail_start_index()..).zip(checker.tail()) {
-            tail.push_str(&format!("{idx}: {rec:?}\n"));
-        }
-        let path = spec.repro_dir.join("journal_tail.txt");
-        if let Err(e) = std::fs::write(&path, &tail) {
-            eprintln!("cannot write {}: {e}", path.display());
-        } else {
-            eprintln!(
-                "wrote {} ({} records from journal index {})",
-                path.display(),
-                checker.tail().count(),
-                checker.tail_start_index()
-            );
-        }
+    match norush::sim::triage::write_journal_tail(&spec.repro_dir, m) {
+        Ok(Some(path)) => eprintln!("wrote {}", path.display()),
+        Ok(None) => {}
+        Err(e) => eprintln!("cannot write journal_tail.txt: {e}"),
     }
     let Some(initial) = chaos else {
         eprintln!("no chaos was active; nothing to shrink");
@@ -1129,7 +1063,7 @@ fn fuzz_opts(args: &Args) -> Result<norush::sim::FuzzOptions, Box<dyn std::error
         .to_string();
     let kernel = match args.flags.get("kernel") {
         Some(v) => ServiceKernel::parse(v).ok_or_else(|| {
-            format!("--kernel: `{v}` is not a service kernel (counter, kv, queue)")
+            format!("--kernel: `{v}` is not a service kernel (counter, mpmc-queue, mw-register)")
         })?,
         None => ServiceKernel::Counter,
     };
@@ -1286,6 +1220,417 @@ fn cmd_fuzz(args: &Args) -> CliResult {
             Ok(())
         }
     }
+}
+
+/// Builds the shared litmus/explore options from the command line.
+fn explore_opts(args: &Args) -> Result<norush::sim::ExploreOptions, Box<dyn std::error::Error>> {
+    let mut opts = norush::sim::ExploreOptions::default();
+    opts.policy = args
+        .flags
+        .get("policy")
+        .map(String::as_str)
+        .unwrap_or("eager")
+        .to_string();
+    opts.max_decisions = args.num_in(
+        "depth",
+        opts.max_decisions as u64,
+        1,
+        64,
+        "branchable decision-point horizon",
+    )? as usize;
+    opts.max_delays = args.num_in(
+        "delays",
+        opts.max_delays as u64,
+        1,
+        16,
+        "nonzero deviations per enumerated schedule",
+    )? as usize;
+    opts.max_runs = args.num_in(
+        "max-runs",
+        opts.max_runs,
+        1,
+        10_000_000,
+        "enumerated schedules per cell",
+    )?;
+    opts.cycle_limit = args.num_in(
+        "cycles",
+        opts.cycle_limit,
+        10_000,
+        1_000_000_000,
+        "per-run cycle budget; exhausting it is reported as a livelock",
+    )?;
+    opts.planted_bug = args.switches.contains("inject-early-unblock");
+    // Fail on an unknown policy here, before any cells run.
+    opts.system(2).map_err(Box::<dyn std::error::Error>::from)?;
+    Ok(opts)
+}
+
+/// Parses `--test T[,U,...]`; absent means the whole suite.
+fn litmus_tests_from(args: &Args) -> Result<Vec<LitmusTest>, Box<dyn std::error::Error>> {
+    let Some(v) = args.flags.get("test") else {
+        return Ok(LitmusTest::all());
+    };
+    v.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|name| {
+            LitmusTest::by_name(name).ok_or_else(|| {
+                format!(
+                    "--test: `{name}` is not a litmus test ({})",
+                    LitmusTest::names().join(", ")
+                )
+                .into()
+            })
+        })
+        .collect()
+}
+
+/// The copy-pasteable command that replays an explore schedule.
+fn explore_repro_cmd(
+    test: &LitmusTest,
+    opts: &norush::sim::ExploreOptions,
+    sched: &[u8],
+) -> String {
+    format!(
+        "norush explore --test {} --policy {}{} --replay {}",
+        test.name,
+        opts.policy,
+        if opts.planted_bug {
+            " --inject-early-unblock"
+        } else {
+            ""
+        },
+        norush::sim::schedule_to_hex(sched),
+    )
+}
+
+/// Writes the explore triage bundle: `explore_failure.txt` with the
+/// (minimized) schedule and repro command, plus the online-checker journal
+/// tail from replaying the minimized schedule.
+fn explore_triage(
+    test: &LitmusTest,
+    opts: &norush::sim::ExploreOptions,
+    v: &norush::sim::ExploreViolation,
+    dir: &Path,
+) {
+    use norush::sim::triage;
+    let desc = format!(
+        "explore failure\ntest: {}\npolicy: {}\nkind: {}\ndetail: {}\n\
+         schedule: {}\nminimized: {}\nminimized detail: {}\nrepro: {}\n",
+        test.name,
+        opts.policy,
+        v.kind,
+        v.detail,
+        norush::sim::schedule_to_hex(&v.schedule),
+        norush::sim::schedule_to_hex(&v.minimized),
+        v.minimized_detail,
+        explore_repro_cmd(test, opts, &v.minimized),
+    );
+    match triage::write_failure(dir, "explore_failure.txt", &desc) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("cannot write explore_failure.txt: {e}"),
+    }
+    match norush::sim::run_schedule_full(test, opts, &v.minimized) {
+        Ok((_, m)) => match triage::write_journal_tail(dir, &m) {
+            Ok(Some(path)) => eprintln!("wrote {}", path.display()),
+            Ok(None) => {}
+            Err(e) => eprintln!("cannot write journal_tail.txt: {e}"),
+        },
+        Err(e) => eprintln!("cannot replay minimized schedule for journal tail: {e}"),
+    }
+}
+
+/// Renders one litmus/explore cell as a `norush-litmus-v1` JSON object.
+fn litmus_cell_json(r: &norush::sim::ExploreReport) -> String {
+    use norush::sim::{fmt_outcome, schedule_to_hex};
+    let outcomes = r
+        .outcomes
+        .iter()
+        .map(|(o, n)| format!("\"{}\": {n}", fmt_outcome(o)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let unwitnessed = r
+        .unwitnessed
+        .iter()
+        .map(|o| format!("\"{}\"", fmt_outcome(o)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let violation = match &r.violation {
+        None => "null".to_string(),
+        Some(v) => format!(
+            "{{\"kind\": \"{}\", \"detail\": \"{}\", \"schedule\": \"{}\", \
+             \"minimized\": \"{}\", \"minimized_detail\": \"{}\"}}",
+            json_escape(&v.kind),
+            json_escape(&v.detail),
+            schedule_to_hex(&v.schedule),
+            schedule_to_hex(&v.minimized),
+            json_escape(&v.minimized_detail),
+        ),
+    };
+    format!(
+        "    {{\"test\": \"{}\", \"policy\": \"{}\", \"runs\": {}, \"states\": {}, \
+         \"dedup_hits\": {}, \"dpor_pruned\": {}, \"max_decision_points\": {}, \
+         \"truncated\": {}, \"coverage_covered\": {}, \"outcomes\": {{{outcomes}}}, \
+         \"unwitnessed\": [{unwitnessed}], \"violation\": {violation}}}",
+        json_escape(&r.test),
+        json_escape(&r.policy),
+        r.runs,
+        r.states,
+        r.dedup_hits,
+        r.dpor_pruned,
+        r.max_decision_points,
+        r.truncated,
+        r.coverage.covered(),
+    )
+}
+
+/// Renders the machine-readable litmus/explore report (`norush-litmus-v1`;
+/// documented in `results/README.md`). Deterministic for a given
+/// configuration — independent of `--jobs` — so CI can diff reports.
+fn litmus_json(mode: &str, extra: &str, cells: &[norush::sim::ExploreReport]) -> String {
+    let mut union = norush::common::coverage::CoverageMap::new();
+    for r in cells {
+        union.merge(&r.coverage);
+    }
+    let body = cells
+        .iter()
+        .map(litmus_cell_json)
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let status = if cells.iter().any(|r| r.violation.is_some()) {
+        "violation"
+    } else {
+        "ok"
+    };
+    format!(
+        "{{\n  \"schema\": \"{}\",\n  \"mode\": \"{mode}\",\n{extra}  \
+         \"status\": \"{status}\",\n  \"coverage\": {{\"covered\": {}, \"total\": {}}},\n  \
+         \"cells\": [\n{body}\n  ]\n}}\n",
+        norush::sim::LITMUS_SCHEMA,
+        union.covered(),
+        norush::common::coverage::SLOT_COUNT,
+    )
+}
+
+/// Prints the human-readable summary line for one cell.
+fn litmus_cell_line(r: &norush::sim::ExploreReport) {
+    println!(
+        "{:8} {:8} {:>6} runs {:>3} outcomes {:>2} unwitnessed  {}",
+        r.test,
+        r.policy,
+        r.runs,
+        r.outcomes.len(),
+        r.unwitnessed.len(),
+        match &r.violation {
+            Some(v) => format!("VIOLATION ({})", v.kind),
+            None if r.truncated => "truncated".to_string(),
+            None => "ok".to_string(),
+        }
+    );
+}
+
+/// `norush litmus` — runs the TSO litmus suite in sampling mode under one or
+/// more policies, recording outcome frequencies and conformance.
+fn cmd_litmus(args: &Args) -> CliResult {
+    let base = explore_opts(args)?;
+    let policies: Vec<String> = match args.flags.get("policies").or(args.flags.get("policy")) {
+        Some(v) => v
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect(),
+        None => vec!["eager".into(), "lazy".into(), "row".into()],
+    };
+    for p in &policies {
+        let mut o = base.clone();
+        o.policy = p.clone();
+        o.system(2).map_err(Box::<dyn std::error::Error>::from)?;
+    }
+    let tests = litmus_tests_from(args)?;
+    let samples = args.num_in("samples", 32, 1, 100_000, "schedules per cell")?;
+    let seed = args.num("seed", 42)?;
+    let jobs = jobs_from(args)?;
+    let out_path = PathBuf::from(
+        args.flags
+            .get("out")
+            .map(String::as_str)
+            .unwrap_or("litmus_report.json"),
+    );
+    let repro_dir = repro_dir_from(args, "explore_repro")?;
+    let cells: Vec<(LitmusTest, String)> = tests
+        .iter()
+        .flat_map(|t| policies.iter().map(move |p| (t.clone(), p.clone())))
+        .collect();
+    println!(
+        "litmus: {} tests x {} policies, {} samples/cell, seed {}, {} workers",
+        tests.len(),
+        policies.len(),
+        samples,
+        seed,
+        jobs
+    );
+    let results = norush::sim::parallel_map(&cells, jobs, |_, (test, policy)| {
+        let mut o = base.clone();
+        o.policy = policy.clone();
+        norush::sim::run_litmus(test, &o, samples, seed)
+    });
+    let mut reports = Vec::with_capacity(results.len());
+    for r in results {
+        reports.push(r.map_err(Box::<dyn std::error::Error>::from)?);
+    }
+    for r in &reports {
+        litmus_cell_line(r);
+    }
+    let extra = format!("  \"samples\": {samples},\n  \"seed\": {seed},\n");
+    let json = litmus_json("sample", &extra, &reports);
+    let tmp = out_path.with_extension("json.tmp");
+    std::fs::write(&tmp, &json)?;
+    std::fs::rename(&tmp, &out_path)?;
+    println!("report written to {}", out_path.display());
+    if let Some((idx, v)) = reports
+        .iter()
+        .enumerate()
+        .find_map(|(i, r)| r.violation.as_ref().map(|v| (i, v)))
+    {
+        let (test, policy) = &cells[idx];
+        let mut o = base.clone();
+        o.policy = policy.clone();
+        eprintln!(
+            "VIOLATION ({}) in {}/{}: {}",
+            v.kind, test.name, policy, v.detail
+        );
+        explore_triage(test, &o, v, &repro_dir);
+        eprintln!("triage bundle in {}", repro_dir.display());
+        eprintln!("repro: {}", explore_repro_cmd(test, &o, &v.minimized));
+        std::process::exit(1);
+    }
+    Ok(())
+}
+
+/// `norush explore` — bounded-exhaustive schedule exploration of litmus
+/// cells: DFS over delivery/commit decision points with partial-order
+/// reduction and state-hash dedup.
+fn cmd_explore(args: &Args) -> CliResult {
+    let opts = explore_opts(args)?;
+    // Replay mode: execute one decision vector and report.
+    if let Some(hex) = args.flags.get("replay") {
+        let name = args
+            .flags
+            .get("test")
+            .ok_or("--replay needs --test <name> (the schedule is test-relative)")?;
+        let test = LitmusTest::by_name(name)
+            .ok_or_else(|| format!("--test: `{name}` is not a litmus test"))?;
+        let forced = norush::sim::schedule_from_hex(hex)?;
+        println!(
+            "replaying {} under {}: schedule {}",
+            test.name,
+            opts.policy,
+            norush::sim::schedule_to_hex(&forced)
+        );
+        let run = norush::sim::run_schedule(&test, &opts, &forced)
+            .map_err(Box::<dyn std::error::Error>::from)?;
+        if let Some(o) = &run.outcome {
+            println!(
+                "outcome: ({}) [{:?}]",
+                norush::sim::fmt_outcome(o),
+                test.classify(o)
+            );
+        }
+        println!("decision points: {}", run.decisions.len());
+        let violated = run.error.is_some()
+            || run.timed_out
+            || run
+                .outcome
+                .as_ref()
+                .is_some_and(|o| test.classify(o) != OutcomeClass::Allowed);
+        if violated {
+            if let Some(e) = &run.error {
+                eprintln!("violation reproduced:\n{e}");
+            } else if run.timed_out {
+                eprintln!("violation reproduced: livelock (cycle budget exhausted)");
+            } else {
+                eprintln!("violation reproduced: non-allowed outcome");
+            }
+            std::process::exit(1);
+        }
+        println!("no violation");
+        return Ok(());
+    }
+    let tests = litmus_tests_from(args)?;
+    let jobs = jobs_from(args)?;
+    let require_witness = args.switches.contains("require-witness");
+    let out_path = PathBuf::from(
+        args.flags
+            .get("out")
+            .map(String::as_str)
+            .unwrap_or("explore_report.json"),
+    );
+    let repro_dir = repro_dir_from(args, "explore_repro")?;
+    println!(
+        "explore: {} tests under {}, depth {}, delay bound {}, {} workers{}",
+        tests.len(),
+        opts.policy,
+        opts.max_decisions,
+        opts.max_delays,
+        jobs,
+        if opts.planted_bug {
+            ", planted early-unblock bug ARMED"
+        } else {
+            ""
+        },
+    );
+    let results =
+        norush::sim::parallel_map(&tests, jobs, |_, test| norush::sim::explore(test, &opts));
+    let mut reports = Vec::with_capacity(results.len());
+    for r in results {
+        reports.push(r.map_err(Box::<dyn std::error::Error>::from)?);
+    }
+    for r in &reports {
+        litmus_cell_line(r);
+        for u in &r.unwitnessed {
+            eprintln!(
+                "  warning: {}/{} never witnessed allowed outcome ({})",
+                r.test,
+                r.policy,
+                norush::sim::fmt_outcome(u)
+            );
+        }
+    }
+    let extra = format!(
+        "  \"depth\": {},\n  \"delays\": {},\n",
+        opts.max_decisions, opts.max_delays
+    );
+    let json = litmus_json("explore", &extra, &reports);
+    let tmp = out_path.with_extension("json.tmp");
+    std::fs::write(&tmp, &json)?;
+    std::fs::rename(&tmp, &out_path)?;
+    println!("report written to {}", out_path.display());
+    if let Some((idx, v)) = reports
+        .iter()
+        .enumerate()
+        .find_map(|(i, r)| r.violation.as_ref().map(|v| (i, v)))
+    {
+        let test = &tests[idx];
+        eprintln!(
+            "VIOLATION ({}) in {}/{}: {}",
+            v.kind, test.name, opts.policy, v.detail
+        );
+        eprintln!(
+            "minimized schedule: {} ({} of {} decisions nonzero)",
+            norush::sim::schedule_to_hex(&v.minimized),
+            v.minimized.iter().filter(|&&a| a != 0).count(),
+            v.minimized.len(),
+        );
+        explore_triage(test, &opts, v, &repro_dir);
+        eprintln!("triage bundle in {}", repro_dir.display());
+        eprintln!("repro: {}", explore_repro_cmd(test, &opts, &v.minimized));
+        std::process::exit(1);
+    }
+    if require_witness && reports.iter().any(|r| !r.unwitnessed.is_empty()) {
+        eprintln!("--require-witness: some allowed outcomes went unwitnessed (see warnings)");
+        std::process::exit(1);
+    }
+    Ok(())
 }
 
 /// Parses `--jobs N` (worker threads for `compare`); absent means all host
@@ -1482,6 +1827,10 @@ fn usage() -> CliResult {
     println!("                                     linearizability checker and failure triage");
     println!("  fuzz [--budget N] [...]            coverage-guided protocol-schedule fuzzing");
     println!("                                     with minimization and failure triage");
+    println!("  litmus [--test T,U] [...]          TSO litmus conformance suite (sampling");
+    println!("                                     mode) across one or more policies");
+    println!("  explore [--test T,U] [...]         bounded-exhaustive schedule exploration");
+    println!("                                     of litmus cells (DPOR + state dedup)");
     println!("  microbench [--iters N] [--fenced]  Fig. 2 cycles/iteration");
     println!("  record <bench> <file> [...]        capture a trace file");
     println!("  replay <file> [--policy P]         replay a trace file");
@@ -1504,7 +1853,8 @@ fn usage() -> CliResult {
     println!("              --chaos-shrink     on failure, minimize the chaos config while");
     println!("                                 the failure persists; writes chaos_repro.txt");
     println!("              --repro-dir D      where shrunk repros / triage bundles land");
-    println!("                                 (run: cwd; soak: soak_repro)");
+    println!("                                 (run: cwd; soak: soak_repro; fuzz: fuzz_repro;");
+    println!("                                 litmus/explore: explore_repro)");
     println!("soak flags:   --phases N --policies P,Q --kernel K|rotate --cores N --seed S");
     println!("              --ops N --shards N --keys N --zipf-theta T --read-frac F");
     println!("              --mean-gap G --burst-epoch N --burst-factor B");
@@ -1518,8 +1868,95 @@ fn usage() -> CliResult {
     println!("              --inject-early-unblock   arm the planted directory bug (test bug)");
     println!("              --resume                 continue a campaign from --state");
     println!("              --replay HEX             re-execute one schedule from its genome");
+    println!("litmus flags: --test T[,U] --policies P,Q --samples N --seed S --jobs N");
+    println!("              --cycles LIMIT --out FILE --repro-dir D (default explore_repro)");
+    println!("explore flags: --test T[,U] --policy P --depth N --delays N --max-runs N");
+    println!("              --cycles LIMIT --jobs N --out FILE --repro-dir D");
+    println!("              --require-witness        also fail when an allowed outcome went");
+    println!("                                       unwitnessed within the bounds");
+    println!("              --inject-early-unblock   arm the planted directory bug (test bug)");
+    println!(
+        "              --replay HEX             re-execute one decision vector (needs --test)"
+    );
     println!("checkpointing (run): --checkpoint-every K --ckpt-dir D --resume");
     println!("policies: eager lazy row row-fwd far");
+    println!("litmus tests: {}", LitmusTest::names().join(" "));
+    println!();
+    println!("exit codes: 0 = clean; 1 = conformance violation, fuzz finding, soak/run");
+    println!("            failure, or a configuration/usage error (message on stderr)");
+    Ok(())
+}
+
+/// Focused `--help` text for one subcommand: the command line from the
+/// header plus the flag groups that apply to it. `norush <cmd> --help`.
+fn sub_help(cmd: &str) -> CliResult {
+    let text = match cmd {
+        "list" => "norush list\n  Print the calibrated benchmark models (no flags).",
+        "table1" => "norush table1\n  Print the Table I system parameters (no flags).",
+        "run" => {
+            "norush run <benchmark> [--cores N] [--instr N] [--seed S] [--policy P]\n\
+             \x20          [--check [K]] [--watchdog N] [--rewind K] [--chaos SEED]\n\
+             \x20          [--chaos-latency N] [--chaos-drop P] [--chaos-dup P]\n\
+             \x20          [--chaos-corrupt P] [--oracle] [--chaos-shrink] [--repro-dir D]\n\
+             \x20          [--checkpoint-every K] [--ckpt-dir D] [--resume]\n\
+             \x20 One simulation with stats; exits 1 on an invariant/oracle violation."
+        }
+        "compare" => {
+            "norush compare <benchmark> [--cores N] [--instr N] [--seed S] [--jobs N]\n\
+             \x20 The eager/lazy/row/row-fwd/far table for one benchmark."
+        }
+        "soak" => {
+            "norush soak [--phases N] [--policies P,Q] [--kernel K|rotate] [--cores N]\n\
+             \x20          [--seed S] [--ops N] [--shards N] [--keys N] [--zipf-theta T]\n\
+             \x20          [--read-frac F] [--mean-gap G] [--burst-epoch N] [--burst-factor B]\n\
+             \x20          [--chaos SEED] [--chaos-latency N] [--chaos-drop/-dup/-corrupt P]\n\
+             \x20          [--chaos-escalation F] [--phase-cycles N] [--wall-secs S]\n\
+             \x20          [--checkpoint-every K] [--watchdog N] [--out FILE] [--repro-dir D]\n\
+             \x20          [--inject-net-zero-faa N]\n\
+             \x20 Phased lock-service soak with the online linearizability checker;\n\
+             \x20 exits 1 on a violation (triage bundle in --repro-dir, default soak_repro)."
+        }
+        "fuzz" => {
+            "norush fuzz [--policy P] [--kernel counter|mpmc-queue|mw-register] [--cores N]\n\
+             \x20          [--ops N] [--seed S] [--budget N] [--jobs N] [--cycles LIMIT]\n\
+             \x20          [--watchdog N] [--state FILE] [--out FILE] [--repro-dir D]\n\
+             \x20          [--inject-early-unblock] [--resume] [--replay HEX]\n\
+             \x20 Coverage-guided protocol-schedule fuzzing; exits 1 on a finding\n\
+             \x20 (minimized repro + triage bundle in --repro-dir, default fuzz_repro)."
+        }
+        "litmus" => {
+            "norush litmus [--test T[,U]] [--policies P,Q] [--samples N] [--seed S]\n\
+             \x20          [--jobs N] [--cycles LIMIT] [--out FILE] [--repro-dir D]\n\
+             \x20 TSO litmus conformance in sampling mode: each (test x policy) cell runs\n\
+             \x20 the default schedule plus seeded pseudo-random delay vectors, recording\n\
+             \x20 outcome frequencies. Default: whole suite x eager,lazy,row. Writes a\n\
+             \x20 norush-litmus-v1 report (default litmus_report.json); exits 1 on any\n\
+             \x20 forbidden/unlisted outcome or structural violation."
+        }
+        "explore" => {
+            "norush explore [--test T[,U]] [--policy P] [--depth N] [--delays N]\n\
+             \x20          [--max-runs N] [--cycles LIMIT] [--jobs N] [--out FILE]\n\
+             \x20          [--repro-dir D] [--require-witness] [--inject-early-unblock]\n\
+             \x20          [--replay HEX]\n\
+             \x20 Bounded-exhaustive exploration: DFS over message-delivery and\n\
+             \x20 atomic-commit decision points (first --depth points, at most --delays\n\
+             \x20 deviations per schedule) with partial-order reduction and frontier\n\
+             \x20 state dedup. Asserts declared-forbidden outcomes unreachable; with\n\
+             \x20 --require-witness also that every allowed outcome was observed.\n\
+             \x20 Violations are minimized and written to --repro-dir with a --replay\n\
+             \x20 repro command; exits 1 on a violation."
+        }
+        "microbench" => {
+            "norush microbench [--iters N] [--fenced]\n\x20 Fig. 2 cycles/iteration table."
+        }
+        "record" => {
+            "norush record <benchmark> <file> [--instr N] [--tid T] [--threads N] [--seed S]\n\
+             \x20 Capture a trace file for later replay."
+        }
+        "replay" => "norush replay <file> [--policy P]\n\x20 Replay a recorded trace file.",
+        _ => return usage(),
+    };
+    println!("{text}");
     Ok(())
 }
 
@@ -1530,6 +1967,9 @@ fn main() -> CliResult {
     }
     let cmd = raw.remove(0);
     let args = parse_args(raw);
+    if args.switches.contains("help") || args.flags.contains_key("help") {
+        return sub_help(&cmd);
+    }
     match cmd.as_str() {
         "list" => cmd_list(),
         "table1" => cmd_table1(),
@@ -1537,6 +1977,8 @@ fn main() -> CliResult {
         "compare" => cmd_compare(&args),
         "soak" => cmd_soak(&args),
         "fuzz" => cmd_fuzz(&args),
+        "litmus" => cmd_litmus(&args),
+        "explore" => cmd_explore(&args),
         "microbench" => cmd_microbench(&args),
         "record" => cmd_record(&args),
         "replay" => cmd_replay(&args),
