@@ -1,0 +1,74 @@
+//! Scale-out sweep: every atomic policy at 64/128/256 cores.
+//!
+//! The paper evaluates 32 cores; this sweep extends the comparison to the
+//! `huge` tier (Table I per-core hierarchy on an 8×8 / 16×8 / 16×16 mesh)
+//! to show the RoW ordering survives — and how the eager/lazy gap moves —
+//! as contention scales. Writes `BENCH_fig_scale.json` (norush-figure-v1);
+//! the committed copy under `results/` is the perf-trajectory baseline.
+//!
+//! The per-thread instruction count follows `NORUSH_SCALE` (quick default
+//! keeps cells CI-sized; `huge` runs the full 20 k-instruction cells the
+//! committed baseline uses).
+
+use row_bench::{banner, run_sweep, scale, Table};
+use row_sim::{JobSpec, RowVariant, Sweep, Variant};
+use row_workloads::Benchmark;
+
+/// The swept core counts — the `huge` tier's three mesh geometries.
+const CORES: [usize; 3] = [64, 128, 256];
+
+fn main() {
+    banner("fig_scale", "policy comparison at 64/128/256 cores");
+    let base = scale();
+    let variants = [
+        Variant::eager(),
+        Variant::lazy(),
+        Variant::eager_fwd(),
+        Variant::far(),
+        Variant::row(RowVariant::RwDirUd),
+        Variant::row_fwd(RowVariant::RwDirUd),
+    ];
+    let bench = Benchmark::Pc;
+    let mut sweep = Sweep::new("fig_scale", &base);
+    for &cores in &CORES {
+        for variant in &variants {
+            let mut exp = base;
+            exp.cores = cores;
+            exp.paper_caches = true;
+            // Room for the 256-core worst case; cells are retried at 4x on
+            // a first timeout anyway.
+            exp.cycle_limit = exp.cycle_limit.max(400_000_000);
+            sweep.push(
+                format!("{}/{}@c{}", bench.name(), variant.name, cores),
+                JobSpec::Bench {
+                    bench,
+                    variant: variant.clone(),
+                    exp,
+                },
+            );
+        }
+    }
+    let r = run_sweep(&sweep);
+
+    let mut table = Table::new(&[
+        "cores",
+        "eager",
+        "lazy",
+        "eager+fwd",
+        "far",
+        "RoW",
+        "RoW+fwd",
+    ]);
+    for &cores in &CORES {
+        let cell = |v: &Variant| {
+            let cycles = r.cycles(&format!("{}/{}@c{}", bench.name(), v.name, cores));
+            let base = r.cycles(&format!("{}/eager@c{}", bench.name(), cores));
+            format!("{:.3}", cycles / base)
+        };
+        let mut row = vec![format!("{cores}")];
+        row.extend(variants.iter().map(cell));
+        table.row(row);
+    }
+    println!("cycles normalized to eager at the same core count:");
+    table.print();
+}

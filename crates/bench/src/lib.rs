@@ -12,6 +12,8 @@
 //! * `mid` — 16 cores, Table I hierarchy, 10 k instructions/thread.
 //! * `paper` — 32 cores with the Table I hierarchy, 20 k
 //!   instructions/thread; minutes per figure.
+//! * `huge` — 64 cores (base; `fig_scale` sweeps 64/128/256) with the
+//!   Table I per-core hierarchy on the scale-out mesh.
 //!
 //! Parallelism and resume are controlled per invocation:
 //!
@@ -41,6 +43,14 @@ pub const MAX_JOBS: usize = 4096;
 pub fn scale() -> ExperimentConfig {
     match std::env::var("NORUSH_SCALE").as_deref() {
         Ok("paper") => ExperimentConfig::paper(),
+        Ok("huge") => ExperimentConfig {
+            cores: 64,
+            instructions: 20_000,
+            seed: 42,
+            cycle_limit: 400_000_000,
+            paper_caches: true,
+            check: Default::default(),
+        },
         Ok("mid") => ExperimentConfig {
             cores: 16,
             instructions: 10_000,
@@ -62,7 +72,7 @@ pub fn banner(fig: &str, what: &str) {
     let exp = scale();
     println!("== {fig}: {what} ==");
     println!(
-        "   scale: {} cores, {} instructions/thread ({} caches) — set NORUSH_SCALE=quick|mid|paper\n",
+        "   scale: {} cores, {} instructions/thread ({} caches) — set NORUSH_SCALE=quick|mid|paper|huge\n",
         exp.cores,
         exp.instructions,
         if exp.paper_caches { "Table I" } else { "scaled" }

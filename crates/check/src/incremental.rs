@@ -1,0 +1,306 @@
+//! Incremental coherence checking over dirty-line sets.
+//!
+//! The full [`check_coherence`] sweep walks every private cache and every
+//! directory bank — O(total cached lines × cores) — which at paper scale
+//! (32+ cores, every-2048-cycle cadence) dominates checking cost. But between
+//! two sweeps only the lines that carried protocol traffic can have changed
+//! state, and the [`MemorySystem`] records exactly those when
+//! [`MemorySystem::track_dirty_lines`] is on. [`IncrementalSweep`] re-checks
+//! only that set, querying each dirty line's private states, lock bits, and
+//! home entry directly — O(dirty lines × cores) per sweep.
+//!
+//! The verdict contract: a state that passes the full sweep passes the
+//! incremental sweep, and a violation on a line is reported no later than
+//! the first sweep after that line carries traffic (or is corrupted via the
+//! test hooks, which mark the line dirty too). The first sweep after
+//! construction or [`IncrementalSweep::invalidate`] (post-restore) is a full
+//! sweep, so no pre-existing violation can hide in a never-dirty line.
+
+use row_common::config::CheckConfig;
+use row_common::ids::{CoreId, LineAddr};
+use row_mem::{DirState, MemorySystem, PrivState, ProtocolError};
+
+use crate::invariant::{check_coherence, default_queue_bound};
+
+/// Incremental invariant sweeper; owns the primed flag and scratch buffers.
+#[derive(Clone, Debug, Default)]
+pub struct IncrementalSweep {
+    /// Whether a full sweep has validated the complete state since
+    /// construction/restore; until then every sweep is a full sweep.
+    primed: bool,
+    /// Scratch: holders of the line under check (reused across lines).
+    holders: Vec<(CoreId, PrivState)>,
+    /// Scratch: the drained dirty lines, sorted ascending.
+    dirty: Vec<LineAddr>,
+}
+
+impl IncrementalSweep {
+    /// Creates an unprimed sweeper (first sweep will be full).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forces the next sweep to be a full sweep. Call after a checkpoint
+    /// restore: the dirty set is not persisted, so the restored state must
+    /// be validated wholesale once before line-level increments resume.
+    pub fn invalidate(&mut self) {
+        self.primed = false;
+    }
+
+    /// Checks the invariants over every line dirtied since the last sweep
+    /// (or the whole system when unprimed). Drains the memory system's
+    /// dirty-line set either way.
+    pub fn sweep(
+        &mut self,
+        mem: &mut MemorySystem,
+        cfg: &CheckConfig,
+    ) -> Result<(), ProtocolError> {
+        self.dirty = mem.take_dirty_lines();
+        if !self.primed {
+            let r = check_coherence(mem, cfg);
+            self.primed = r.is_ok();
+            return r;
+        }
+        let cores = mem.cores();
+        let bound = if cfg.blocked_queue_bound > 0 {
+            cfg.blocked_queue_bound
+        } else {
+            default_queue_bound(cores)
+        };
+        // Locked ⇒ M, checked once over every held lock (the lock sets are
+        // tiny — bounded by AQ depth) instead of per dirty line × core.
+        for i in 0..cores {
+            let core = CoreId::new(i as u16);
+            for line in mem.locked_lines_iter(core) {
+                let state = mem.priv_state(core, line);
+                if state != Some(PrivState::M) {
+                    return Err(ProtocolError::LockedLineNotModified { core, line, state });
+                }
+            }
+        }
+        let holders = &mut self.holders;
+        for &line in &self.dirty {
+            check_line(mem, line, bound, holders)?;
+        }
+        Ok(())
+    }
+}
+
+/// Checks SWMR, directory agreement, and the Blocked-queue bound for a
+/// single line — the same rules [`check_coherence`] applies globally
+/// (locked ⇒ M is enforced separately over the lock sets).
+fn check_line(
+    mem: &MemorySystem,
+    line: LineAddr,
+    bound: usize,
+    holders: &mut Vec<(CoreId, PrivState)>,
+) -> Result<(), ProtocolError> {
+    holders.clear();
+    let mut owner_count = 0usize;
+    for i in 0..mem.cores() {
+        let core = CoreId::new(i as u16);
+        if let Some(s) = mem.priv_state(core, line) {
+            if matches!(s, PrivState::M | PrivState::E) {
+                owner_count += 1;
+            }
+            holders.push((core, s));
+        }
+    }
+
+    // SWMR. `holders` is in ascending core order, so `owners` is sorted.
+    if owner_count > 1 {
+        let owners: Vec<CoreId> = holders
+            .iter()
+            .filter(|(_, s)| matches!(s, PrivState::M | PrivState::E))
+            .map(|&(c, _)| c)
+            .collect();
+        return Err(ProtocolError::MultipleOwners { line, owners });
+    }
+
+    // Directory agreement (Blocked entries are mid-transaction: skip, but
+    // still enforce the queue bound on them).
+    let dir = mem.dir_state(line);
+    if dir == DirState::Blocked {
+        if let Some((tile, depth)) = mem.dir_blocked_depth(line) {
+            if depth > bound {
+                return Err(ProtocolError::BlockedQueueOverflow {
+                    tile,
+                    line,
+                    depth,
+                    bound,
+                });
+            }
+        }
+        return Ok(());
+    }
+    for &(core, state) in holders.iter() {
+        if state == PrivState::Evicting {
+            continue; // PutM in flight; WbStale races are legal
+        }
+        let legal = match &dir {
+            DirState::Uncached => false,
+            DirState::Exclusive(o) => core == *o,
+            DirState::Shared(s) => state == PrivState::S && s.contains(&core),
+            DirState::Blocked => true,
+        };
+        if !legal {
+            return Err(ProtocolError::DirectoryMismatch {
+                line,
+                core,
+                dir: dir.clone(),
+                cache: Some(state),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use row_common::config::SystemConfig;
+    use row_common::rng::SplitMix64;
+    use row_common::Cycle;
+    use row_mem::{AccessKind, MemEvent, ReqMeta};
+    use std::collections::BTreeSet;
+
+    fn meta(id: u64, kind: AccessKind) -> ReqMeta {
+        ReqMeta {
+            req_id: id,
+            pc: None,
+            prefetch: false,
+            kind,
+        }
+    }
+
+    /// Randomized traffic: after every burst, the incremental sweep and a
+    /// fresh full sweep must agree (both clean on legal traffic), and the
+    /// dirty set must drain.
+    #[test]
+    fn incremental_agrees_with_full_on_legal_traffic() {
+        let sys = SystemConfig::small(4);
+        let mut mem = MemorySystem::new(&sys);
+        mem.track_dirty_lines(true);
+        let mut sweep = IncrementalSweep::new();
+        let mut rng = SplitMix64::new(0xdecaf);
+        let lines = [300u64, 301, 302, 400, 401, 777];
+        let mut next_id = 1u64;
+        let mut unlocks: Vec<(Cycle, CoreId, LineAddr)> = Vec::new();
+        let mut busy: BTreeSet<u16> = BTreeSet::new();
+
+        for c in 0..20_000u64 {
+            let now = Cycle::new(c);
+            if c % 89 == 0 {
+                let core = (rng.below(4)) as u16;
+                let line = LineAddr::new(lines[rng.below(lines.len() as u64) as usize]);
+                let kind = match rng.below(4) {
+                    0 => AccessKind::Read,
+                    1 => AccessKind::Write,
+                    _ => AccessKind::Rmw,
+                };
+                if kind != AccessKind::Rmw || !busy.contains(&core) {
+                    if kind == AccessKind::Rmw {
+                        busy.insert(core);
+                    }
+                    mem.access(CoreId::new(core), line, meta(next_id, kind), now);
+                    next_id += 1;
+                }
+            }
+            for ev in mem.tick(now) {
+                if let MemEvent::Fill {
+                    core,
+                    line,
+                    kind: AccessKind::Rmw,
+                    at,
+                    ..
+                } = ev
+                {
+                    unlocks.push((at + 25, core, line));
+                }
+            }
+            unlocks.retain(|&(when, core, line)| {
+                if when <= now {
+                    mem.unlock(core, line, now);
+                    busy.remove(&(core.index() as u16));
+                    false
+                } else {
+                    true
+                }
+            });
+            if c % 64 == 0 {
+                sweep
+                    .sweep(&mut mem, &sys.check)
+                    .expect("incremental sweep tripped on legal traffic");
+                check_coherence(&mem, &sys.check).expect("full sweep disagrees");
+            }
+        }
+    }
+
+    /// A corruption planted through the test hooks lands in the dirty set,
+    /// so the very next incremental sweep reports the same violation class
+    /// the full sweep does.
+    #[test]
+    fn incremental_catches_planted_corruption() {
+        let sys = SystemConfig::small(2);
+        let mut mem = MemorySystem::new(&sys);
+        mem.track_dirty_lines(true);
+        let mut sweep = IncrementalSweep::new();
+        let line = LineAddr::new(7);
+        mem.access(
+            CoreId::new(0),
+            line,
+            meta(1, AccessKind::Write),
+            Cycle::ZERO,
+        );
+        for c in 0..3000u64 {
+            let _ = mem.tick(Cycle::new(c));
+        }
+        assert_eq!(mem.priv_state(CoreId::new(0), line), Some(PrivState::M));
+        sweep.sweep(&mut mem, &sys.check).expect("clean (primes)");
+        sweep
+            .sweep(&mut mem, &sys.check)
+            .expect("clean (incremental)");
+
+        mem.corrupt_private_state_for_test(CoreId::new(1), line, Some(PrivState::M));
+        let inc = sweep.sweep(&mut mem, &sys.check).unwrap_err();
+        let full = check_coherence(&mem, &sys.check).unwrap_err();
+        assert!(
+            matches!(inc, ProtocolError::MultipleOwners { .. }),
+            "incremental: {inc}"
+        );
+        assert_eq!(format!("{inc}"), format!("{full}"), "verdicts must match");
+    }
+
+    /// After `invalidate` (the restore path), the next sweep is full: a
+    /// violation on a line that was never dirtied post-restore is still
+    /// found.
+    #[test]
+    fn invalidate_forces_full_sweep() {
+        let sys = SystemConfig::small(2);
+        let mut mem = MemorySystem::new(&sys);
+        mem.track_dirty_lines(true);
+        let mut sweep = IncrementalSweep::new();
+        let line = LineAddr::new(11);
+        mem.access(
+            CoreId::new(0),
+            line,
+            meta(1, AccessKind::Write),
+            Cycle::ZERO,
+        );
+        for c in 0..3000u64 {
+            let _ = mem.tick(Cycle::new(c));
+        }
+        sweep.sweep(&mut mem, &sys.check).expect("primes clean");
+
+        // Corrupt, then throw the dirty evidence away (as a crash between
+        // checkpoint and corruption would): only a full sweep can see it.
+        mem.corrupt_dir_state_for_test(line, DirState::Uncached);
+        let _ = mem.take_dirty_lines();
+        sweep
+            .sweep(&mut mem, &sys.check)
+            .expect("incremental sweep cannot see a never-dirty line");
+        sweep.invalidate();
+        let err = sweep.sweep(&mut mem, &sys.check).unwrap_err();
+        assert!(matches!(err, ProtocolError::DirectoryMismatch { .. }));
+    }
+}

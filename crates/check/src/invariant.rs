@@ -76,7 +76,7 @@ pub fn check_coherence(mem: &MemorySystem, cfg: &CheckConfig) -> Result<(), Prot
     // 2. Locked lines must be held in M.
     for i in 0..cores {
         let core = CoreId::new(i as u16);
-        for line in mem.locked_lines(core) {
+        for line in mem.locked_lines_iter(core) {
             let state = mem.priv_state(core, line);
             if state != Some(PrivState::M) {
                 return Err(ProtocolError::LockedLineNotModified { core, line, state });

@@ -11,6 +11,9 @@
 //!   and the cache-locking precondition (a locked line is held in M).
 //!   Violations surface as [`ProtocolError`]s, the same type the controllers
 //!   themselves raise.
+//! * [`IncrementalSweep`] — the same invariants driven by the memory
+//!   system's dirty-line set, so the periodic in-run sweep touches only
+//!   O(lines changed since the last sweep) instead of the whole system.
 //! * [`StallReport`] — a structured snapshot of *why* the machine stopped
 //!   committing: per-core ROB/SB/AQ occupancy with the head instruction,
 //!   in-flight MSHRs and held locks, every Blocked directory entry with its
@@ -26,9 +29,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod incremental;
 pub mod invariant;
 pub mod stall;
 
+pub use incremental::IncrementalSweep;
 pub use invariant::check_coherence;
 pub use stall::{BlockedDirInfo, CoreStallInfo, StallReport};
 

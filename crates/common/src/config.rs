@@ -620,6 +620,26 @@ impl SystemConfig {
         cfg
     }
 
+    /// A beyond-paper scale-out system: `cores` cores (64/128/256) with the
+    /// Table I per-core hierarchy on a wider mesh (64 → 8×8, 128 → 16×8,
+    /// 256 → 16×16). Other core counts get the nearest power-of-two-ish
+    /// column count so the mesh stays roughly square.
+    pub fn huge(cores: usize) -> Self {
+        let mut cfg = SystemConfig::alder_lake_32c();
+        cfg.cores = cores;
+        cfg.noc.mesh_cols = match cores {
+            0..=64 => 8,
+            _ => 16,
+        };
+        // Scale-out runs double as protocol stress tests, same as the test
+        // tier: keep the (incremental) invariant sweep and the watchdog
+        // armed. Figure sweeps override `check` from their own
+        // ExperimentConfig, so benchmark cells are not taxed by this.
+        cfg.check.invariant_every = Some(2048);
+        cfg.check.watchdog_window = Some(2_000_000);
+        cfg
+    }
+
     /// Sets the atomic execution policy (builder-style).
     pub fn with_policy(mut self, policy: AtomicPolicy) -> Self {
         self.core.atomic_policy = policy;

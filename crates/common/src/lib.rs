@@ -12,6 +12,8 @@
 //! * [`stats`] — counters, histograms and latency-breakdown accumulators used
 //!   to regenerate the paper's figures.
 //! * [`sched`] — a generic cycle-keyed event wheel used by the memory system.
+//! * [`fastmap`] — an open-addressed, arena-backed hash map with
+//!   deterministic iteration order for the simulation hot paths.
 //! * [`persist`] — the versioned binary snapshot codec
 //!   ([`Codec`][persist::Codec]/[`Persist`][persist::Persist]) behind
 //!   deterministic checkpoint/restore.
@@ -40,6 +42,7 @@ pub mod choice;
 pub mod clock;
 pub mod config;
 pub mod coverage;
+pub mod fastmap;
 pub mod ids;
 pub mod json;
 pub mod persist;

@@ -23,11 +23,12 @@
 //! [`MemorySystem`] through demand accesses and events; everything is
 //! deterministic.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use row_common::choice;
 use row_common::config::{AtomicPlacement, AtomicPolicy, CoreConfig, DetectorKind, FenceModel};
 use row_common::coverage::{self, CpuEvent};
+use row_common::fastmap::FastMap;
 use row_common::ids::{Addr, CoreId, LineAddr, Pc};
 use row_common::persist::{Codec, Persist, PersistError, Reader, Writer};
 use row_common::sched::EventQueue;
@@ -145,12 +146,20 @@ pub struct Core {
     next_uid: u64,
 
     rob: VecDeque<u64>,
-    entries: HashMap<u64, RobEntry>,
+    entries: FastMap<u64, RobEntry>,
     rename: [Option<u64>; NUM_REGS],
-    waiters: HashMap<u64, Vec<u64>>,
+    waiters: FastMap<u64, Vec<u64>>,
     ready: BTreeMap<u64, u64>,
     lazy_wait: BTreeMap<u64, u64>,
-    waiting_on_store: HashMap<u64, Vec<u64>>,
+    waiting_on_store: FastMap<u64, Vec<u64>>,
+    /// Recycled dependency-list allocations for `waiters`/`waiting_on_store`:
+    /// those lists churn roughly once per instruction, so removals park their
+    /// emptied `Vec` here instead of freeing it. Derived scratch — never
+    /// persisted or compared.
+    waiter_pool: Vec<Vec<u64>>,
+    /// Reusable issue-selection scratch (see [`Core::issue`]). Never
+    /// persisted.
+    scratch_pick: Vec<u64>,
     iq_used: usize,
     lq: BTreeMap<u64, u64>,
     sb: VecDeque<SbEntry>,
@@ -175,6 +184,11 @@ pub struct Core {
     /// first became commit-ready. `None` between atomics. With no controller
     /// installed the release is the ready cycle itself (no behaviour change).
     commit_release: Option<(u64, Cycle)>,
+    /// ROB-head uid known to still be incomplete (`completed_at == None`),
+    /// so `commit` can break without a map lookup on stalled cycles. Cleared
+    /// whenever that uid completes or is squashed. Derived cache — never
+    /// persisted (cleared on restore) or compared.
+    head_wait: Option<u64>,
 }
 
 impl Core {
@@ -197,12 +211,14 @@ impl Core {
             next_order: 0,
             next_uid: 1,
             rob: VecDeque::new(),
-            entries: HashMap::new(),
+            entries: FastMap::new(),
             rename: [None; NUM_REGS],
-            waiters: HashMap::new(),
+            waiters: FastMap::new(),
             ready: BTreeMap::new(),
             lazy_wait: BTreeMap::new(),
-            waiting_on_store: HashMap::new(),
+            waiting_on_store: FastMap::new(),
+            waiter_pool: Vec::new(),
+            scratch_pick: Vec::new(),
             iq_used: 0,
             lq: BTreeMap::new(),
             sb: VecDeque::new(),
@@ -221,6 +237,7 @@ impl Core {
             stats: CoreStats::default(),
             load_log: None,
             commit_release: None,
+            head_wait: None,
         }
     }
 
@@ -418,13 +435,17 @@ impl Core {
     }
 
     fn squash_loads_on_line(&mut self, line: LineAddr, now: Cycle, mem: &mut MemorySystem) {
-        let mut squash_order = None;
-        for &uid in &self.rob {
-            let e = &self.entries[&uid];
+        // Arena walk: `entries` holds exactly the ROB's live set, and taking
+        // the minimum order matches the old oldest-first ROB scan.
+        let mut squash_order: Option<u64> = None;
+        for (_, e) in self.entries.iter() {
             if let Op::Load { addr } = e.instr.op {
-                if addr.line() == line && e.completed_at.is_some() && e.forwarded_from.is_none() {
+                if addr.line() == line
+                    && e.completed_at.is_some()
+                    && e.forwarded_from.is_none()
+                    && squash_order.is_none_or(|o| e.order < o)
+                {
                     squash_order = Some(e.order);
-                    break;
                 }
             }
         }
@@ -445,6 +466,75 @@ impl Core {
         if self.finished() && self.stats.finished_at.is_none() {
             self.stats.finished_at = Some(now);
         }
+    }
+
+    /// Earliest future cycle at which this core could make progress again,
+    /// or `None` when it must run next cycle.
+    ///
+    /// `Some(w)` is a *proof obligation*: every phase of [`Core::cycle`] is a
+    /// state no-op for all cycles in `(now, w)` provided no memory event is
+    /// delivered to the core in between — the caller must re-run the core as
+    /// soon as it routes one (see `Machine::step_cycle`). The conditions
+    /// mirror the phases one-to-one:
+    ///
+    /// * completions — the event wheel's next entry is in the future;
+    /// * commit — the ROB head is memoized incomplete ([`Core::head_wait`]),
+    ///   and completion only happens via the wheel or a memory event;
+    /// * SB drain — serialized on a miss, or the front entry is not
+    ///   drainable (uncommitted, or already in flight);
+    /// * issue — nothing ready, nothing lazily waiting;
+    /// * dispatch — structurally blocked (ROB/IQ full, or the replayed front
+    ///   instruction's LQ/SB/AQ resource is full), fetch-stalled, or the
+    ///   stream is exhausted. Resources only free via commit or events;
+    /// * deadlock watchdog — woken exactly at its deadline.
+    pub fn sleep_until(&self, now: Cycle) -> Option<Cycle> {
+        if !self.ready.is_empty() || !self.lazy_wait.is_empty() {
+            return None;
+        }
+        let &head = self.rob.front()?;
+        if self.head_wait != Some(head) {
+            return None;
+        }
+        if !self.sb_miss_inflight {
+            if let Some(s) = self.sb.front() {
+                if s.committed && !s.inflight {
+                    return None;
+                }
+            }
+        }
+        let fetch_stalled = self.branch_stall.is_some() || now < self.fetch_resume_at;
+        let dispatch_inert = self.rob.len() >= self.cfg.rob_entries
+            || self.iq_used >= self.cfg.iq_entries
+            || fetch_stalled
+            || match self.replay.front() {
+                // The front instruction was unfetched on a structural
+                // hazard; dispatch stays a push-pop no-op while the
+                // blocking resource is full.
+                Some((_, i)) => match i.op {
+                    Op::Load { .. } => self.lq.len() >= self.cfg.lq_entries,
+                    Op::Store { .. } => self.sb.len() >= self.cfg.sb_entries,
+                    Op::Atomic { .. } => {
+                        self.lq.len() >= self.cfg.lq_entries
+                            || (!self.far() && self.sb.len() >= self.cfg.sb_entries)
+                            || self.aq.len() >= self.cfg.aq_entries
+                    }
+                    _ => false,
+                },
+                None => self.peeked.is_none() && self.stream_done,
+            };
+        if !dispatch_inert {
+            return None;
+        }
+        // Earliest time-driven transition: the deadlock watchdog deadline,
+        // the next wheel completion, and a pending fetch resume.
+        let mut wake = self.last_commit + (DEADLOCK_CYCLES + self.id.index() as u64 * 211);
+        if let Some(c) = self.exec_done.next_cycle() {
+            wake = wake.min(c);
+        }
+        if self.fetch_resume_at > now {
+            wake = wake.min(self.fetch_resume_at);
+        }
+        (wake > now).then_some(wake)
     }
 
     // ------------------------------------------------------------------
@@ -472,6 +562,9 @@ impl Core {
             return;
         }
         e.completed_at = Some(now);
+        if self.head_wait == Some(uid) {
+            self.head_wait = None;
+        }
         let is_branch = matches!(e.instr.op, Op::Branch { .. });
         let is_fence = matches!(e.instr.op, Op::Fence);
         let order = e.order;
@@ -482,8 +575,8 @@ impl Core {
             self.branch_stall = None;
             self.fetch_resume_at = now + self.cfg.frontend_depth;
         }
-        if let Some(ws) = self.waiters.remove(&uid) {
-            for w in ws {
+        if let Some(mut ws) = self.waiters.remove(&uid) {
+            for &w in ws.iter() {
                 if let Some(c) = self.entries.get_mut(&w) {
                     c.pending_deps -= 1;
                     if c.pending_deps == 0 {
@@ -491,6 +584,8 @@ impl Core {
                     }
                 }
             }
+            ws.clear();
+            self.waiter_pool.push(ws);
         }
     }
 
@@ -505,7 +600,10 @@ impl Core {
                     if let Some(se) = self.entries.get(&dep) {
                         let addr_unknown = self.sb.iter().any(|s| s.uid == dep && s.addr.is_none());
                         if se.order < e.order && addr_unknown {
-                            self.waiting_on_store.entry(dep).or_default().push(uid);
+                            let pool = &mut self.waiter_pool;
+                            self.waiting_on_store
+                                .get_or_insert_with(dep, || pool.pop().unwrap_or_default())
+                                .push(uid);
                             return;
                         }
                     }
@@ -519,14 +617,16 @@ impl Core {
                 }
                 self.complete(uid, now);
                 self.check_violations(uid, addr, now, mem);
-                if let Some(loads) = self.waiting_on_store.remove(&uid) {
-                    for l in loads {
+                if let Some(mut loads) = self.waiting_on_store.remove(&uid) {
+                    for &l in &loads {
                         if let Some(le) = self.entries.get(&l) {
                             if let Op::Load { addr } = le.instr.op {
                                 self.issue_load_mem(l, addr, now, mem);
                             }
                         }
                     }
+                    loads.clear();
+                    self.waiter_pool.push(loads);
                 }
             }
             Op::Atomic { addr, .. } => {
@@ -603,18 +703,17 @@ impl Core {
         let store = &self.entries[&store_uid];
         let (st_order, st_pc) = (store.order, store.instr.pc);
         let word = addr.raw() & !7;
+        // Arena walk (see `squash_loads_on_line`): min order == oldest-first.
         let mut victim: Option<(u64, Pc)> = None;
-        for &uid in &self.rob {
-            let e = &self.entries[&uid];
+        for (_, e) in self.entries.iter() {
             if e.order <= st_order {
                 continue;
             }
             if let Op::Load { addr: la } = e.instr.op {
                 if la.raw() & !7 == word && e.completed_at.is_some() {
                     let fwd_ok = e.forwarded_from.is_some_and(|(_, fo)| fo > st_order);
-                    if !fwd_ok {
+                    if !fwd_ok && victim.is_none_or(|(o, _)| e.order < o) {
                         victim = Some((e.order, e.instr.pc));
-                        break;
                     }
                 }
             }
@@ -792,8 +891,16 @@ impl Core {
     fn commit(&mut self, now: Cycle) {
         for _ in 0..self.cfg.commit_width {
             let Some(&uid) = self.rob.front() else { break };
+            // Memoized stall: the head is known incomplete and nothing has
+            // completed it since — skip the entry lookup entirely.
+            if self.head_wait == Some(uid) {
+                break;
+            }
             let e = &self.entries[&uid];
             let done = match e.instr.op {
+                // Until the RMW completes (fill arrives) it cannot commit;
+                // skip the AQ scan on the stalled-waiting-for-fill cycles.
+                Op::Atomic { .. } if e.completed_at.is_none_or(|c| c > now) => false,
                 Op::Atomic { .. } => {
                     // The previous atomic's AQ entry may linger until its STU
                     // writes, so find ours by uid rather than at the head.
@@ -838,6 +945,11 @@ impl Core {
                 _ => e.completed_at.is_some_and(|c| c <= now),
             };
             if !done {
+                // Only an incomplete head is safe to memoize: lock/release/
+                // SB conditions can change without a completion event.
+                if e.completed_at.is_none() {
+                    self.head_wait = Some(uid);
+                }
                 break;
             }
             self.rob.pop_front();
@@ -864,10 +976,12 @@ impl Core {
                 }
                 _ => {}
             }
-            // Clean rename entries that still point at this uid.
-            for r in self.rename.iter_mut() {
-                if *r == Some(uid) {
-                    *r = None;
+            // Clean the rename entry that still points at this uid (only the
+            // instruction's own dst register can — rename is written at
+            // dispatch and squash-rebuild exclusively from `instr.dst`).
+            if let Some(d) = e.instr.dst {
+                if self.rename[d as usize] == Some(uid) {
+                    self.rename[d as usize] = None;
                 }
             }
         }
@@ -1012,6 +1126,10 @@ impl Core {
     // ------------------------------------------------------------------
 
     fn issue(&mut self, now: Cycle, mem: &mut MemorySystem) {
+        // Stalled-core fast path: nothing waiting, nothing ready.
+        if self.lazy_wait.is_empty() && self.ready.is_empty() {
+            return;
+        }
         // Lazy atomics / fences: only the oldest can be eligible.
         while let Some((&order, &uid)) = self.lazy_wait.iter().next() {
             if !self.lazy_eligible(order) {
@@ -1042,7 +1160,7 @@ impl Core {
 
         let barrier = self.barriers.iter().next().copied();
         let mut issued = 0;
-        let mut pick: Vec<u64> = Vec::new();
+        let mut pick = std::mem::take(&mut self.scratch_pick);
         for (&order, &uid) in self.ready.iter() {
             if issued >= self.cfg.issue_width {
                 break;
@@ -1056,7 +1174,7 @@ impl Core {
             pick.push(uid);
             issued += 1;
         }
-        for uid in pick {
+        for &uid in &pick {
             let e = self.entries.get_mut(&uid).expect("ready entry");
             let order = e.order;
             e.issued_at = Some(now);
@@ -1115,6 +1233,8 @@ impl Core {
                 }
             }
         }
+        pick.clear();
+        self.scratch_pick = pick;
     }
 
     // ------------------------------------------------------------------
@@ -1179,7 +1299,10 @@ impl Core {
                         .is_some_and(|pe| pe.completed_at.is_none())
                     {
                         deps += 1;
-                        self.waiters.entry(p).or_default().push(uid);
+                        let pool = &mut self.waiter_pool;
+                        self.waiters
+                            .get_or_insert_with(p, || pool.pop().unwrap_or_default())
+                            .push(uid);
                     }
                 }
             }
@@ -1330,7 +1453,10 @@ impl Core {
             self.ready.remove(&e.order);
             self.lazy_wait.remove(&e.order);
             self.barriers.remove(&e.order);
-            self.waiters.remove(&uid);
+            if let Some(mut ws) = self.waiters.remove(&uid) {
+                ws.clear();
+                self.waiter_pool.push(ws);
+            }
             if let Some(pos) = self.sb.iter().position(|s| s.uid == uid) {
                 debug_assert!(!self.sb[pos].committed, "cannot squash committed store");
                 self.sb.remove(pos);
@@ -1356,12 +1482,15 @@ impl Core {
         let mut waiting_dead: Vec<u64> = Vec::new();
         for (st, ls) in self.waiting_on_store.iter_mut() {
             ls.retain(|l| self.entries.contains_key(l));
-            if !self.entries.contains_key(st) || ls.is_empty() {
-                waiting_dead.push(*st);
+            if !self.entries.contains_key(&st) || ls.is_empty() {
+                waiting_dead.push(st);
             }
         }
         for st in waiting_dead {
-            self.waiting_on_store.remove(&st);
+            if let Some(mut ls) = self.waiting_on_store.remove(&st) {
+                ls.clear();
+                self.waiter_pool.push(ls);
+            }
         }
         self.rename = [None; NUM_REGS];
         for &uid in &self.rob {
@@ -1393,6 +1522,7 @@ impl Core {
             self.stats.deadlock_breaks += 1;
             coverage::record(coverage::cpu_slot(CpuEvent::DeadlockBreak));
             self.force_lazy.insert(order);
+            self.head_wait = None;
             self.squash_from(order, now, mem);
         }
         self.last_commit = now; // rearm either way
@@ -1597,12 +1727,12 @@ impl Persist for Core {
         self.next_order = r.get_u64()?;
         self.next_uid = r.get_u64()?;
         self.rob = VecDeque::<u64>::decode(r)?;
-        self.entries = HashMap::<u64, RobEntry>::decode(r)?;
+        self.entries = FastMap::<u64, RobEntry>::decode(r)?;
         self.rename = <[Option<u64>; NUM_REGS]>::decode(r)?;
-        self.waiters = HashMap::<u64, Vec<u64>>::decode(r)?;
+        self.waiters = FastMap::<u64, Vec<u64>>::decode(r)?;
         self.ready = BTreeMap::<u64, u64>::decode(r)?;
         self.lazy_wait = BTreeMap::<u64, u64>::decode(r)?;
-        self.waiting_on_store = HashMap::<u64, Vec<u64>>::decode(r)?;
+        self.waiting_on_store = FastMap::<u64, Vec<u64>>::decode(r)?;
         self.iq_used = usize::decode(r)?;
         self.lq = BTreeMap::<u64, u64>::decode(r)?;
         self.sb = VecDeque::<SbEntry>::decode(r)?;
@@ -1624,6 +1754,8 @@ impl Persist for Core {
         self.stats = CoreStats::decode(r)?;
         self.load_log = Option::<Vec<LoadObservation>>::decode(r)?;
         self.commit_release = Option::<(u64, Cycle)>::decode(r)?;
+        // Derived caches restart cold.
+        self.head_wait = None;
         Ok(())
     }
 }

@@ -40,10 +40,11 @@
 //! a workload beyond the private-cache footprint would light those
 //! legitimately.
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeSet, VecDeque};
 
 use row_common::config::CacheConfig;
 use row_common::coverage;
+use row_common::fastmap::FastMap;
 use row_common::ids::{CoreId, LineAddr};
 use row_common::persist::{Codec, Persist, PersistError, Reader, Writer};
 use row_common::rmw::RmwKind;
@@ -159,7 +160,7 @@ pub struct DirBank {
     l3: CacheArray,
     l3_lat: u64,
     mem_lat: u64,
-    entries: HashMap<LineAddr, Entry>,
+    entries: FastMap<LineAddr, Entry>,
     stats: DirStats,
     /// Armed test-only planted bug: serve GetS-on-Shared *without* blocking
     /// (the seed-era race PR 6 fixed). See
@@ -175,7 +176,7 @@ impl DirBank {
             l3: CacheArray::new(l3_cfg),
             l3_lat: l3_cfg.hit_latency,
             mem_lat,
-            entries: HashMap::new(),
+            entries: FastMap::new(),
             stats: DirStats::default(),
             early_unblock_bug: false,
         }
@@ -215,35 +216,49 @@ impl DirBank {
     }
 
     /// Every line this bank tracks, with its externally visible state
-    /// (iteration order is unspecified).
+    /// (iteration order is insertion-stable, not sorted).
     pub fn lines(&self) -> impl Iterator<Item = (LineAddr, DirState)> + '_ {
-        self.entries.keys().map(|&l| (l, self.state(l)))
+        self.entries.keys().map(|l| (l, self.state(l)))
+    }
+
+    /// Queue depth of `line`'s entry when it is Blocked, `None` otherwise
+    /// (the incremental invariant sweep's per-line queue-bound probe).
+    pub fn blocked_depth(&self, line: LineAddr) -> Option<usize> {
+        match self.entries.get(&line) {
+            Some(Entry::Blocked(b)) => Some(b.queue.len()),
+            _ => None,
+        }
     }
 
     /// Snapshots of every Blocked entry at this bank (diagnostics).
     pub fn blocked_entries(&self) -> Vec<BlockedEntrySnapshot> {
-        let mut out: Vec<BlockedEntrySnapshot> = self
-            .entries
-            .iter()
-            .filter_map(|(&line, e)| {
-                let Entry::Blocked(b) = e else { return None };
-                let phase = match &b.phase {
-                    Phase::AwaitUnblock => BlockedPhase::AwaitUnblock,
-                    Phase::CollectingAcks { req, pending, far } => BlockedPhase::CollectingAcks {
-                        req: *req,
-                        pending: *pending,
-                        far: far.is_some(),
-                    },
-                };
-                Some(BlockedEntrySnapshot {
-                    line,
-                    phase,
-                    queued: b.queue.iter().copied().collect(),
-                })
-            })
-            .collect();
-        out.sort_by_key(|s| s.line.raw());
+        let mut out = Vec::new();
+        self.blocked_entries_into(&mut out);
         out
+    }
+
+    /// Appends a snapshot of every Blocked entry at this bank to `out`
+    /// (sorted by line), reusing the caller's buffer — the allocation-free
+    /// form diagnostics paths call repeatedly.
+    pub fn blocked_entries_into(&self, out: &mut Vec<BlockedEntrySnapshot>) {
+        let start = out.len();
+        out.extend(self.entries.iter().filter_map(|(line, e)| {
+            let Entry::Blocked(b) = e else { return None };
+            let phase = match &b.phase {
+                Phase::AwaitUnblock => BlockedPhase::AwaitUnblock,
+                Phase::CollectingAcks { req, pending, far } => BlockedPhase::CollectingAcks {
+                    req: *req,
+                    pending: *pending,
+                    far: far.is_some(),
+                },
+            };
+            Some(BlockedEntrySnapshot {
+                line,
+                phase,
+                queued: b.queue.iter().copied().collect(),
+            })
+        }));
+        out[start..].sort_by_key(|s| s.line.raw());
     }
 
     /// Overwrites the entry for `line` with a stable state, bypassing the
@@ -375,7 +390,9 @@ impl DirBank {
         actions: &mut Vec<CacheAction>,
     ) -> Result<(), ProtocolError> {
         self.stats.gets += 1;
-        match self.entries.get(&line).cloned() {
+        // Take the entry out instead of cloning it: every arm installs a
+        // fresh entry, and the sharer sets inside can be arbitrarily large.
+        match self.entries.remove(&line) {
             None => {
                 // Uncached: grant Exclusive (MESI E) straight away.
                 let at = self.data_ready(line, now);
@@ -452,7 +469,8 @@ impl DirBank {
                     })),
                 );
             }
-            Some(Entry::Blocked(_)) => {
+            Some(e @ Entry::Blocked(_)) => {
+                self.entries.insert(line, e);
                 debug_assert!(false, "blocked entries are queued by handle_msg");
                 return Err(ProtocolError::BlockedEntryReentered {
                     tile: self.tile,
@@ -471,7 +489,7 @@ impl DirBank {
         actions: &mut Vec<CacheAction>,
     ) -> Result<(), ProtocolError> {
         self.stats.getx += 1;
-        match self.entries.get(&line).cloned() {
+        match self.entries.remove(&line) {
             None => {
                 let at = self.data_ready(line, now);
                 actions.push(CacheAction::Send {
@@ -494,8 +512,10 @@ impl DirBank {
                 );
             }
             Some(Entry::Shared(s)) => {
-                let others: Vec<CoreId> = s.iter().copied().filter(|c| *c != req).collect();
-                if others.is_empty() {
+                // No scratch Vec: count, then walk the set again for the
+                // invalidation sends.
+                let others = s.iter().filter(|c| **c != req).count();
+                if others == 0 {
                     let at = self.data_ready(line, now);
                     actions.push(CacheAction::Send {
                         to: Endpoint::Core(req),
@@ -516,7 +536,7 @@ impl DirBank {
                         })),
                     );
                 } else {
-                    for other in &others {
+                    for other in s.iter().filter(|c| **c != req) {
                         self.stats.invalidations += 1;
                         actions.push(CacheAction::Send {
                             to: Endpoint::Core(*other),
@@ -530,7 +550,7 @@ impl DirBank {
                             next: Entry2::Exclusive(req),
                             phase: Phase::CollectingAcks {
                                 req,
-                                pending: others.len(),
+                                pending: others,
                                 far: None,
                             },
                             queue: VecDeque::new(),
@@ -554,7 +574,8 @@ impl DirBank {
                     })),
                 );
             }
-            Some(Entry::Blocked(_)) => {
+            Some(e @ Entry::Blocked(_)) => {
+                self.entries.insert(line, e);
                 debug_assert!(false, "blocked entries are queued by handle_msg");
                 return Err(ProtocolError::BlockedEntryReentered {
                     tile: self.tile,
@@ -660,7 +681,7 @@ impl DirBank {
         actions: &mut Vec<CacheAction>,
     ) -> Result<(), ProtocolError> {
         self.stats.far_atomics += 1;
-        match self.entries.get(&line).cloned() {
+        match self.entries.remove(&line) {
             None => {
                 let at = self.data_ready(line, now);
                 actions.push(CacheAction::ApplyRmw {
@@ -713,7 +734,8 @@ impl DirBank {
                     })),
                 );
             }
-            Some(Entry::Blocked(_)) => {
+            Some(e @ Entry::Blocked(_)) => {
+                self.entries.insert(line, e);
                 debug_assert!(false, "blocked entries are queued by handle_msg");
                 return Err(ProtocolError::BlockedEntryReentered {
                     tile: self.tile,
@@ -919,7 +941,7 @@ impl Persist for DirBank {
     }
     fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), PersistError> {
         self.l3.restore(r)?;
-        self.entries = HashMap::decode(r)?;
+        self.entries = FastMap::decode(r)?;
         self.stats = DirStats::decode(r)?;
         Ok(())
     }

@@ -14,10 +14,11 @@
 //!
 //! [`MemorySystem`]: crate::system::MemorySystem
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use row_common::config::MemoryConfig;
 use row_common::coverage;
+use row_common::fastmap::FastMap;
 use row_common::ids::{CoreId, LineAddr};
 use row_common::persist::{Codec, Persist, PersistError, Reader, Writer};
 use row_common::Cycle;
@@ -128,12 +129,12 @@ pub struct PrivateCache {
     l2: CacheArray,
     l1_lat: u64,
     l2_lat: u64,
-    coh: HashMap<LineAddr, PrivState>,
-    mshrs: HashMap<LineAddr, Mshr>,
+    coh: FastMap<LineAddr, PrivState>,
+    mshrs: FastMap<LineAddr, Mshr>,
     mshr_limit: usize,
     pending: VecDeque<ReqMetaLine>,
-    locked: HashMap<LineAddr, u32>,
-    stalled_ext: HashMap<LineAddr, VecDeque<Msg>>,
+    locked: FastMap<LineAddr, u32>,
+    stalled_ext: FastMap<LineAddr, VecDeque<Msg>>,
     prefetcher: Option<IpStridePrefetcher>,
     stats: PrivStats,
 }
@@ -161,12 +162,12 @@ impl PrivateCache {
             l2: CacheArray::new(cfg.l2),
             l1_lat: cfg.l1d.hit_latency,
             l2_lat: cfg.l2.hit_latency,
-            coh: HashMap::new(),
-            mshrs: HashMap::new(),
+            coh: FastMap::new(),
+            mshrs: FastMap::new(),
             mshr_limit: cfg.mshr_entries,
             pending: VecDeque::new(),
-            locked: HashMap::new(),
-            stalled_ext: HashMap::new(),
+            locked: FastMap::new(),
+            stalled_ext: FastMap::new(),
             prefetcher: cfg
                 .prefetcher
                 .then(|| IpStridePrefetcher::new(64, cfg.prefetch_degree)),
@@ -208,17 +209,17 @@ impl PrivateCache {
     /// Every line with a coherence state in this private domain (iteration
     /// order is unspecified).
     pub fn lines(&self) -> impl Iterator<Item = (LineAddr, PrivState)> + '_ {
-        self.coh.iter().map(|(&l, &s)| (l, s))
+        self.coh.iter().map(|(l, &s)| (l, s))
     }
 
     /// Lines with an in-flight miss (an allocated MSHR).
     pub fn mshr_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
-        self.mshrs.keys().copied()
+        self.mshrs.keys()
     }
 
     /// Lines currently held locked by the core's AQ.
     pub fn locked_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
-        self.locked.iter().filter(|(_, c)| **c > 0).map(|(&l, _)| l)
+        self.locked.iter().filter(|(_, c)| **c > 0).map(|(l, _)| l)
     }
 
     /// Overwrites the coherence state of `line`, bypassing the protocol.
@@ -315,8 +316,10 @@ impl PrivateCache {
             self.stats.l2_hits += 1;
             // Refill L1 from L2 (drop silently from L1's victim: L2 is
             // inclusive, so no writeback is needed).
-            let locked = self.locked_snapshot();
-            let _ = self.l1.insert(line, |l| !locked.contains(&l));
+            let locked = &self.locked;
+            let _ = self
+                .l1
+                .insert(line, |l| !matches!(locked.get(&l), Some(c) if *c > 0));
             (self.l1_lat + self.l2_lat, FillSource::L2)
         } else {
             // Resident only via the lock table (all ways were pinned when the
@@ -324,14 +327,6 @@ impl PrivateCache {
             self.stats.l1_hits += 1;
             (self.l1_lat, FillSource::L1)
         }
-    }
-
-    fn locked_snapshot(&self) -> Vec<LineAddr> {
-        self.locked
-            .iter()
-            .filter(|(_, c)| **c > 0)
-            .map(|(l, _)| *l)
-            .collect()
     }
 
     fn maybe_prefetch(&mut self, line: LineAddr, now: Cycle, actions: &mut Vec<CacheAction>) {
@@ -466,7 +461,7 @@ impl PrivateCache {
     /// [`PrivateCache::unlock`] when the `store_unlock` writes. This method
     /// exists for additional nesting and for tests.
     pub fn lock(&mut self, line: LineAddr) {
-        *self.locked.entry(line).or_insert(0) += 1;
+        *self.locked.get_or_insert_with(line, || 0) += 1;
         debug_assert!(
             matches!(self.coh.get(&line), Some(PrivState::M)),
             "locking a line not in M: {:?}",
@@ -521,7 +516,9 @@ impl PrivateCache {
                 }));
                 if stalled {
                     self.stats.ext_stalled += 1;
-                    self.stalled_ext.entry(line).or_default().push_back(msg);
+                    self.stalled_ext
+                        .get_or_insert_with(line, VecDeque::new)
+                        .push_back(msg);
                 } else {
                     self.apply_external(msg, now, actions)?;
                 }
@@ -723,9 +720,13 @@ impl PrivateCache {
     }
 
     fn install(&mut self, line: LineAddr, now: Cycle, actions: &mut Vec<CacheAction>) {
-        let locked = self.locked_snapshot();
-        // L2 first (inclusive).
-        match self.l2.insert(line, |l| !locked.contains(&l)) {
+        // L2 first (inclusive). The pin closure queries the lock table
+        // directly instead of materializing a locked-lines Vec per install.
+        let locked = &self.locked;
+        match self
+            .l2
+            .insert(line, |l| !matches!(locked.get(&l), Some(c) if *c > 0))
+        {
             Insert::Evicted(victim) => {
                 self.l1.invalidate(victim);
                 self.writeback_victim(victim, now, actions);
@@ -737,7 +738,10 @@ impl PrivateCache {
             _ => {}
         }
         // L1: victims need no writeback (L2 inclusive holds them).
-        let _ = self.l1.insert(line, |l| !locked.contains(&l));
+        let locked = &self.locked;
+        let _ = self
+            .l1
+            .insert(line, |l| !matches!(locked.get(&l), Some(c) if *c > 0));
     }
 
     fn writeback_victim(&mut self, victim: LineAddr, now: Cycle, actions: &mut Vec<CacheAction>) {
@@ -868,11 +872,11 @@ impl Persist for PrivateCache {
     fn restore(&mut self, r: &mut Reader<'_>) -> Result<(), PersistError> {
         self.l1.restore(r)?;
         self.l2.restore(r)?;
-        self.coh = HashMap::decode(r)?;
-        self.mshrs = HashMap::decode(r)?;
+        self.coh = FastMap::decode(r)?;
+        self.mshrs = FastMap::decode(r)?;
         self.pending = VecDeque::decode(r)?;
-        self.locked = HashMap::decode(r)?;
-        self.stalled_ext = HashMap::decode(r)?;
+        self.locked = FastMap::decode(r)?;
+        self.stalled_ext = FastMap::decode(r)?;
         let has_prefetcher = r.get_bool()?;
         match (&mut self.prefetcher, has_prefetcher) {
             (Some(p), true) => p.restore(r)?,

@@ -23,6 +23,7 @@ use std::collections::HashMap;
 
 use row_common::choice;
 use row_common::config::{PerturbConfig, SystemConfig};
+use row_common::fastmap::FastMap;
 use row_common::ids::{Addr, CoreId, LineAddr};
 use row_common::persist::{Codec, Persist, PersistError, Reader, Writer};
 use row_common::rmw::RmwKind;
@@ -65,7 +66,7 @@ pub struct MemorySystem {
     net: EventQueue<Frame>,
     out: Vec<MemEvent>,
     words: HashMap<u64, u64>,
-    starts: HashMap<(CoreId, u64), Cycle>,
+    starts: FastMap<(CoreId, u64), Cycle>,
     stats: MemStats,
     /// Chaos-mode fault injection plus, when lossy faults are enabled, the
     /// recoverable transport (sequencing, ACK/NACK, retransmission).
@@ -85,6 +86,20 @@ pub struct MemorySystem {
     /// First protocol error observed; sticky so the simulation loop can
     /// surface it even though core-facing entry points stay infallible.
     err: Option<ProtocolError>,
+    /// Lines whose coherence-relevant state may have changed since the last
+    /// [`MemorySystem::take_dirty_lines`] drain. `Some` only while a checker
+    /// has opted in via [`MemorySystem::track_dirty_lines`] — the hot path
+    /// pays nothing otherwise. Every state change flows through a marked
+    /// choke point: a core-side call (`access`/`lock`/`unlock`), a delivered
+    /// protocol message, or an *outgoing* message (which covers eviction
+    /// side-effects: installing line X evicts Y by sending a PutM on Y).
+    /// Not persisted: the sweeper re-primes with a full sweep after restore.
+    dirty: Option<FastMap<LineAddr, ()>>,
+    /// Reusable `CacheAction` buffer threaded through `access`/`unlock`/
+    /// `dispatch`/`tick` so the per-call `Vec` lives once instead of being
+    /// reallocated millions of times per run. Always empty between calls;
+    /// never persisted or compared.
+    scratch_actions: Vec<CacheAction>,
 }
 
 /// State of the injected net-zero lost+duplicated-FAA bug: count down to the
@@ -118,7 +133,7 @@ impl MemorySystem {
             net: EventQueue::new(),
             out: Vec::new(),
             words: HashMap::new(),
-            starts: HashMap::new(),
+            starts: FastMap::new(),
             stats: MemStats {
                 miss_latency: vec![RunningMean::new(); tiles],
                 ..MemStats::default()
@@ -141,13 +156,44 @@ impl MemorySystem {
             journal: (cfg.check.oracle || cfg.check.oracle_online).then(Vec::new),
             bug: None,
             err: None,
+            dirty: None,
+            scratch_actions: Vec::new(),
+        }
+    }
+
+    /// Turns dirty-line tracking on or off. While on, every line whose
+    /// coherence state may have changed is recorded until the next
+    /// [`MemorySystem::take_dirty_lines`]; the incremental invariant sweep
+    /// then touches only those lines. Turning tracking on clears any stale
+    /// set.
+    pub fn track_dirty_lines(&mut self, on: bool) {
+        self.dirty = on.then(FastMap::new);
+    }
+
+    /// Drains and returns the dirty lines accumulated since the last drain,
+    /// sorted ascending (empty when tracking is off).
+    pub fn take_dirty_lines(&mut self) -> Vec<LineAddr> {
+        let Some(d) = self.dirty.as_mut() else {
+            return Vec::new();
+        };
+        let mut v: Vec<LineAddr> = d.keys().collect();
+        d.clear();
+        v.sort_unstable();
+        v
+    }
+
+    #[inline]
+    fn mark_dirty(&mut self, line: LineAddr) {
+        if let Some(d) = self.dirty.as_mut() {
+            d.insert(line, ());
         }
     }
 
     /// Issues a core-side access. The completion arrives as a
     /// [`MemEvent::Fill`] from a subsequent [`MemorySystem::tick`].
     pub fn access(&mut self, core: CoreId, line: LineAddr, meta: ReqMeta, now: Cycle) {
-        let mut actions = Vec::new();
+        self.mark_dirty(line);
+        let mut actions = std::mem::take(&mut self.scratch_actions);
         let outcome = self.caches[core.index()].access(meta, line, now, &mut actions);
         match outcome {
             AccessOutcome::Hit {
@@ -172,7 +218,8 @@ impl MemorySystem {
                 }
             }
         }
-        self.run_actions(Endpoint::Core(core), actions);
+        self.run_actions(Endpoint::Core(core), &mut actions);
+        self.scratch_actions = actions;
     }
 
     /// Issues a *far* atomic (Section VII's alternative placement): the RMW
@@ -193,15 +240,16 @@ impl MemorySystem {
             req_id,
         };
         let to = Endpoint::Dir(home_of(line, self.tiles));
-        self.run_actions(
-            Endpoint::Core(core),
-            vec![CacheAction::Send { to, msg, at: now }],
-        );
+        let mut actions = std::mem::take(&mut self.scratch_actions);
+        actions.push(CacheAction::Send { to, msg, at: now });
+        self.run_actions(Endpoint::Core(core), &mut actions);
+        self.scratch_actions = actions;
     }
 
     /// Locks `line` in `core`'s AQ (must hold it in M — i.e. right after an
     /// `Rmw` fill).
     pub fn lock(&mut self, core: CoreId, line: LineAddr) {
+        self.mark_dirty(line);
         self.caches[core.index()].lock(line);
     }
 
@@ -210,10 +258,12 @@ impl MemorySystem {
     /// An unlock of an unlocked line records a [`ProtocolError`] (see
     /// [`MemorySystem::protocol_error`]) instead of panicking.
     pub fn unlock(&mut self, core: CoreId, line: LineAddr, now: Cycle) {
-        let mut actions = Vec::new();
+        self.mark_dirty(line);
+        let mut actions = std::mem::take(&mut self.scratch_actions);
         let r = self.caches[core.index()].unlock(line, now, &mut actions);
         self.absorb(r);
-        self.run_actions(Endpoint::Core(core), actions);
+        self.run_actions(Endpoint::Core(core), &mut actions);
+        self.scratch_actions = actions;
     }
 
     /// Whether `core` currently holds `line` locked.
@@ -234,6 +284,13 @@ impl MemorySystem {
     /// Directory state of `line` at its home bank.
     pub fn dir_state(&self, line: LineAddr) -> DirState {
         self.dirs[home_of(line, self.tiles)].state(line)
+    }
+
+    /// `(home tile, queued-request depth)` when `line`'s home entry is
+    /// Blocked, `None` otherwise (the incremental sweep's queue-bound probe).
+    pub fn dir_blocked_depth(&self, line: LineAddr) -> Option<(usize, usize)> {
+        let tile = home_of(line, self.tiles);
+        self.dirs[tile].blocked_depth(line).map(|d| (tile, d))
     }
 
     /// Advances the message network to `now` and returns all events produced
@@ -310,23 +367,28 @@ impl MemorySystem {
                 }
             }
         }
+        let mut actions = std::mem::take(&mut self.scratch_actions);
         for i in 0..self.caches.len() {
-            let mut actions = Vec::new();
             self.caches[i].promote_pending(now, &mut actions);
-            self.run_actions(Endpoint::Core(CoreId::new(i as u16)), actions);
+            if !actions.is_empty() {
+                self.run_actions(Endpoint::Core(CoreId::new(i as u16)), &mut actions);
+            }
         }
+        self.scratch_actions = actions;
         std::mem::take(&mut self.out)
     }
 
     /// Hands one protocol message to its endpoint's controller.
     fn dispatch(&mut self, to: Endpoint, msg: Msg, now: Cycle) {
-        let mut actions = Vec::new();
+        self.mark_dirty(msg.line());
+        let mut actions = std::mem::take(&mut self.scratch_actions);
         let r = match to {
             Endpoint::Core(c) => self.caches[c.index()].handle_msg(msg, now, &mut actions),
             Endpoint::Dir(t) => self.dirs[t].handle_msg(msg, now, &mut actions),
         };
         self.absorb(r);
-        self.run_actions(to, actions);
+        self.run_actions(to, &mut actions);
+        self.scratch_actions = actions;
     }
 
     /// The first protocol error observed, if any. Once set it stays set: the
@@ -357,6 +419,9 @@ impl MemorySystem {
     /// either the bare-frame fast path (reliable network, optionally delay-
     /// jittered) or the sequenced lossy transport.
     fn send_msg(&mut self, from: Endpoint, to: Endpoint, msg: Msg, at: Cycle) {
+        // Sends mark too: an eviction changes the victim line's private
+        // state at install time, visible here as the outgoing PutM.
+        self.mark_dirty(msg.line());
         let src = node_of(from);
         let dst = node_of(to);
         let class = if msg.carries_data() {
@@ -394,8 +459,9 @@ impl MemorySystem {
         }
     }
 
-    fn run_actions(&mut self, from: Endpoint, actions: Vec<CacheAction>) {
-        for a in actions {
+    /// Executes and drains `actions`, leaving the buffer empty for reuse.
+    fn run_actions(&mut self, from: Endpoint, actions: &mut Vec<CacheAction>) {
+        for a in actions.drain(..) {
             match a {
                 CacheAction::Send { to, msg, at } => self.send_msg(from, to, msg, at),
                 CacheAction::ApplyRmw {
@@ -612,6 +678,13 @@ impl MemorySystem {
         self.caches[core.index()].locked_lines().collect()
     }
 
+    /// Borrowing form of [`locked_lines`](Self::locked_lines) for hot paths
+    /// (the incremental invariant sweep walks every core's lock set each
+    /// sweep; a per-call `Vec` there is pure churn).
+    pub fn locked_lines_iter(&self, core: CoreId) -> impl Iterator<Item = LineAddr> + '_ {
+        self.caches[core.index()].locked_lines()
+    }
+
     /// Every line tracked by any directory bank, with its externally
     /// visible state (order unspecified).
     pub fn dir_lines(&self) -> Vec<(LineAddr, DirState)> {
@@ -643,12 +716,14 @@ impl MemorySystem {
         line: LineAddr,
         state: Option<PrivState>,
     ) {
+        self.mark_dirty(line);
         self.caches[core.index()].corrupt_state_for_test(line, state);
     }
 
     /// Corrupts the home-directory entry of `line`, bypassing the protocol.
     /// **Robustness-testing instrumentation only.**
     pub fn corrupt_dir_state_for_test(&mut self, line: LineAddr, state: DirState) {
+        self.mark_dirty(line);
         self.dirs[home_of(line, self.tiles)].corrupt_entry_for_test(line, state);
     }
 
@@ -714,7 +789,7 @@ impl Persist for MemorySystem {
         self.net = EventQueue::decode(r)?;
         self.out = Vec::decode(r)?;
         self.words = HashMap::decode(r)?;
-        self.starts = HashMap::decode(r)?;
+        self.starts = FastMap::decode(r)?;
         self.stats = MemStats::decode(r)?;
         let transport = Option::<Transport>::decode(r)?;
         if transport.is_some() != self.transport.is_some() {

@@ -67,9 +67,13 @@ impl ExperimentConfig {
         }
     }
 
-    /// The system configuration this scale implies.
+    /// The system configuration this scale implies. Paper caches with more
+    /// than 32 cores select the scale-out tier ([`SystemConfig::huge`]),
+    /// which widens the mesh to keep it roughly square.
     pub fn system(&self) -> SystemConfig {
-        let mut cfg = if self.paper_caches {
+        let mut cfg = if self.paper_caches && self.cores > 32 {
+            SystemConfig::huge(self.cores)
+        } else if self.paper_caches {
             SystemConfig::alder_lake_32c()
         } else {
             SystemConfig::small(self.cores)

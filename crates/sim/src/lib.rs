@@ -69,7 +69,7 @@ pub use fuzz::{
     fuzz, minimize, report_json, write_triage, Finding, FuzzOptions, FuzzOutcome, FuzzState,
     ScheduleGenome, FUZZ_SCHEMA, GEN_CANDIDATES,
 };
-pub use machine::{Machine, RewindReport, RunResult, SimError, SimTimeout};
+pub use machine::{Machine, ProfileReport, RewindReport, RunResult, SimError, SimTimeout};
 pub use shrink::shrink_chaos;
 pub use sweep::{
     available_workers, parallel_map, FigureResults, Job, JobRecord, JobSpec, Sweep,

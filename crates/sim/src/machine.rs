@@ -3,8 +3,9 @@
 
 use std::collections::VecDeque;
 use std::path::Path;
+use std::time::{Duration, Instant};
 
-use row_check::{check_coherence, StallReport};
+use row_check::{check_coherence, IncrementalSweep, StallReport};
 use row_common::config::CheckConfig;
 use row_common::ids::CoreId;
 use row_common::persist::{fnv1a, Codec, Persist, PersistError, Reader, Writer};
@@ -172,6 +173,55 @@ impl RunResult {
     }
 }
 
+/// Wall-clock breakdown of one profiled run ([`Machine::run_profiled`]):
+/// where a simulation's host time actually goes, per component, so hot-path
+/// work is measured instead of guessed.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProfileReport {
+    /// Host cycles simulated during the profiled slice.
+    pub cycles: u64,
+    /// Total wall-clock time of the profiled slice, in seconds.
+    pub wall_s: f64,
+    /// Time inside `MemorySystem::tick` plus event routing to cores.
+    pub mem_tick_s: f64,
+    /// Time stepping unfinished cores (`Core::cycle`).
+    pub core_step_s: f64,
+    /// Time in the coherence invariant sweep.
+    pub check_s: f64,
+    /// Memory events delivered to cores.
+    pub events: u64,
+    /// `Core::cycle` invocations (active core-steps).
+    pub core_steps: u64,
+}
+
+impl ProfileReport {
+    /// Simulated cycles per wall-clock second — the headline throughput
+    /// number the perf-smoke CI job gates on.
+    pub fn cycles_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.cycles as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Wall time not attributed to a named component (stats, checkpoint
+    /// refresh, loop overhead).
+    pub fn other_s(&self) -> f64 {
+        (self.wall_s - self.mem_tick_s - self.core_step_s - self.check_s).max(0.0)
+    }
+}
+
+#[derive(Default)]
+struct ProfileAccum {
+    mem_tick: Duration,
+    core_step: Duration,
+    check: Duration,
+    events: u64,
+    core_steps: u64,
+    cycles: u64,
+}
+
 /// A simulated multicore machine.
 pub struct Machine {
     mem: MemorySystem,
@@ -194,6 +244,23 @@ pub struct Machine {
     /// Reused drain buffer for the online checker (avoids a per-cycle
     /// allocation on the hot path).
     online_buf: Vec<OpRecord>,
+    /// Incremental invariant sweeper driving the periodic in-run check off
+    /// the memory system's dirty-line set (full sweeps remain at drain, on
+    /// demand, and during rewind replay).
+    sweeper: IncrementalSweep,
+    /// Indices of cores that have not yet finished, ascending. Core order
+    /// is preserved so per-cycle stepping visits cores exactly as the full
+    /// scan did (message sequencing, and with it determinism, depends on
+    /// it). Derived state: rebuilt on restore, never persisted.
+    active: Vec<u32>,
+    /// Per-core wake cycle: a core whose entry is `> now` proved (via
+    /// [`Core::sleep_until`]) that stepping it is a state no-op until then.
+    /// Delivering any memory event to a core resets its entry to zero, so a
+    /// sleeping core is re-stepped the moment something can change its
+    /// state. Derived state: rebuilt on restore, never persisted.
+    wake: Vec<Cycle>,
+    /// Wall-clock accumulators, present only during [`Machine::run_profiled`].
+    prof: Option<Box<ProfileAccum>>,
 }
 
 impl Machine {
@@ -208,12 +275,17 @@ impl Machine {
             cfg.cores,
             "one instruction stream per core required"
         );
-        let mem = MemorySystem::new(cfg);
-        let cores = streams
+        let mut mem = MemorySystem::new(cfg);
+        // The periodic sweep is incremental: have the memory system record
+        // which lines change so each sweep touches only those.
+        mem.track_dirty_lines(cfg.check.invariant_every.is_some());
+        let cores: Vec<Core> = streams
             .into_iter()
             .enumerate()
             .map(|(i, s)| Core::new(CoreId::new(i as u16), cfg.core, cfg.mem.l1d.hit_latency, s))
             .collect();
+        let active = (0..cores.len() as u32).collect();
+        let wake = vec![Cycle::ZERO; cores.len()];
         Machine {
             mem,
             cores,
@@ -226,7 +298,37 @@ impl Machine {
                 .oracle_online
                 .then(|| OnlineChecker::new(cfg.cores)),
             online_buf: Vec::new(),
+            sweeper: IncrementalSweep::new(),
+            active,
+            wake,
+            prof: None,
         }
+    }
+
+    /// Like [`Machine::run`], but with per-component wall-clock accounting:
+    /// returns the run result together with a [`ProfileReport`] breaking the
+    /// host time into memory-system ticks, core stepping, and invariant
+    /// checking. The simulation itself is unchanged — timing is observation
+    /// only, so a profiled run commits the same cycles as an unprofiled one.
+    ///
+    /// # Errors
+    /// Same failure modes as [`Machine::run`].
+    pub fn run_profiled(&mut self, limit: u64) -> Result<(RunResult, ProfileReport), SimError> {
+        self.prof = Some(Box::new(ProfileAccum::default()));
+        let t0 = Instant::now();
+        let out = self.run(limit);
+        let wall_s = t0.elapsed().as_secs_f64();
+        let acc = self.prof.take().expect("installed above");
+        let report = ProfileReport {
+            cycles: acc.cycles,
+            wall_s,
+            mem_tick_s: acc.mem_tick.as_secs_f64(),
+            core_step_s: acc.core_step.as_secs_f64(),
+            check_s: acc.check.as_secs_f64(),
+            events: acc.events,
+            core_steps: acc.core_steps,
+        };
+        out.map(|r| (r, report))
     }
 
     /// The online linearizability checker, when `CheckConfig::oracle_online`
@@ -379,7 +481,10 @@ impl Machine {
     /// unfinished core. When `trace` is given, delivered events are recorded
     /// into it (bounded to [`REWIND_TRACE_LIMIT`] entries).
     fn step_cycle(&mut self, now: Cycle, mut trace: Option<&mut VecDeque<String>>) {
+        let t0 = self.prof.as_ref().map(|_| Instant::now());
+        let mut events = 0u64;
         for ev in self.mem.tick(now) {
+            events += 1;
             if let Some(t) = trace.as_deref_mut() {
                 if t.len() >= REWIND_TRACE_LIMIT {
                     t.pop_front();
@@ -391,12 +496,41 @@ impl Machine {
                 row_mem::MemEvent::FarDone { core, .. } => core,
                 row_mem::MemEvent::ExternalObserved { core, .. } => core,
             };
+            // An event can change the core's state, voiding any sleep proof.
+            self.wake[target.index()] = Cycle::ZERO;
             self.cores[target.index()].handle_mem_event(&ev, now, &mut self.mem);
         }
-        for c in self.cores.iter_mut() {
-            if !c.finished() {
-                c.cycle(now, &mut self.mem);
+        let t1 = t0.map(|_| Instant::now());
+        // Step only the unfinished cores (ascending index — the same visit
+        // order the full scan had, which message sequencing depends on).
+        // `Core::finished()` is monotonic, so a core leaves the active set
+        // exactly once and quiesced cores cost nothing per cycle. Within the
+        // active set, a core that proved itself inert (`Core::sleep_until`)
+        // is skipped until its wake cycle or its next delivered event —
+        // skipping a proven no-op call cannot change the schedule.
+        let mut core_steps = 0u64;
+        let mut any_finished = false;
+        for slot in 0..self.active.len() {
+            let i = self.active[slot] as usize;
+            if self.wake[i] > now {
+                continue;
             }
+            let c = &mut self.cores[i];
+            c.cycle(now, &mut self.mem);
+            core_steps += 1;
+            any_finished |= c.finished();
+            self.wake[i] = c.sleep_until(now).unwrap_or(now + 1);
+        }
+        if any_finished {
+            let cores = &self.cores;
+            self.active.retain(|&i| !cores[i as usize].finished());
+        }
+        if let (Some(acc), Some(t0), Some(t1)) = (self.prof.as_deref_mut(), t0, t1) {
+            acc.mem_tick += t1 - t0;
+            acc.core_step += t1.elapsed();
+            acc.events += events;
+            acc.core_steps += core_steps;
+            acc.cycles += 1;
         }
     }
 
@@ -406,7 +540,7 @@ impl Machine {
         let every = self.check.invariant_every;
         let window = self.check.watchdog_window;
         while self.now.raw() < target {
-            if self.cores.iter().all(|c| c.finished()) {
+            if self.active.is_empty() {
                 return Ok(true);
             }
             let now = self.now;
@@ -418,7 +552,12 @@ impl Machine {
             self.pump_online()?;
             if let Some(k) = every {
                 if now.raw().is_multiple_of(k) {
-                    if let Err(e) = check_coherence(&self.mem, &self.check) {
+                    let t0 = self.prof.as_ref().map(|_| Instant::now());
+                    let sweep = self.sweeper.sweep(&mut self.mem, &self.check);
+                    if let (Some(acc), Some(t0)) = (self.prof.as_deref_mut(), t0) {
+                        acc.check += t0.elapsed();
+                    }
+                    if let Err(e) = sweep {
                         return Err(self.maybe_rewind(SimError::Protocol(e), now));
                     }
                 }
@@ -426,10 +565,9 @@ impl Machine {
             if let Some(w) = window {
                 if now.raw() >= w {
                     let latest = self
-                        .cores
+                        .active
                         .iter()
-                        .filter(|c| !c.finished())
-                        .map(|c| c.last_commit())
+                        .map(|&i| self.cores[i as usize].last_commit())
                         .max();
                     if latest.is_some_and(|t| now.saturating_since(t) >= w) {
                         let stall = SimError::Stall(Box::new(StallReport::capture(
@@ -453,7 +591,7 @@ impl Machine {
             }
             self.now += 1;
         }
-        Ok(self.cores.iter().all(|c| c.finished()))
+        Ok(self.active.is_empty())
     }
 
     /// Drains the memory system's journal into the online checker,
@@ -659,6 +797,16 @@ impl Machine {
         self.online = online;
         self.now = now;
         self.rewind_ckpt = None;
+        // Derived state: the active set is a pure function of core state,
+        // and the incremental sweeper must re-validate the whole restored
+        // system once before trusting line-level increments again.
+        self.active = (0..self.cores.len() as u32)
+            .filter(|&i| !self.cores[i as usize].finished())
+            .collect();
+        self.wake = vec![Cycle::ZERO; self.cores.len()];
+        self.sweeper.invalidate();
+        self.mem
+            .track_dirty_lines(self.check.invariant_every.is_some());
         Ok(())
     }
 }

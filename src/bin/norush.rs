@@ -467,6 +467,82 @@ fn cmd_run(args: &Args) -> CliResult {
     Ok(())
 }
 
+/// `norush profile`: one simulation with a wall-clock breakdown by hot-loop
+/// component (memory tick, core stepping, invariant sweep) so hot-path work
+/// is measured before and after, not guessed.
+fn cmd_profile(args: &Args) -> CliResult {
+    let bench = bench_by_name(
+        args.positional
+            .first()
+            .ok_or("usage: profile <benchmark>")?,
+    )?;
+    let exp = exp_from(args)?;
+    let policy = args
+        .flags
+        .get("policy")
+        .map(String::as_str)
+        .unwrap_or("eager");
+    let sys = system_for(policy, &exp)?;
+    let profile = bench.profile().with_instructions(exp.instructions);
+    let streams: Vec<Box<dyn InstrStream>> = (0..exp.cores)
+        .map(|t| Box::new(ProfileStream::new(profile, t, exp.cores, exp.seed)) as _)
+        .collect();
+    let (r, p) = Machine::new(&sys, streams)
+        .run_profiled(exp.cycle_limit)
+        .unwrap_or_else(|e| {
+            eprintln!("simulation failed:\n{e}");
+            std::process::exit(1);
+        });
+    let pct = |s: f64| {
+        if p.wall_s > 0.0 {
+            100.0 * s / p.wall_s
+        } else {
+            0.0
+        }
+    };
+    println!(
+        "{bench} on {} cores, policy {policy}, {} instr/core, seed {}:",
+        exp.cores, exp.instructions, exp.seed
+    );
+    println!("  cycles            {}", r.cycles);
+    println!("  IPC               {:.2}", r.ipc());
+    println!("  wall clock        {:.3} s", p.wall_s);
+    println!("  cycles/sec        {:.0}", p.cycles_per_sec());
+    println!(
+        "  mem tick          {:.3} s ({:.1}%)  [{} events, {:.2}/cycle]",
+        p.mem_tick_s,
+        pct(p.mem_tick_s),
+        p.events,
+        if p.cycles > 0 {
+            p.events as f64 / p.cycles as f64
+        } else {
+            0.0
+        }
+    );
+    println!(
+        "  core step         {:.3} s ({:.1}%)  [{} steps, {:.2}/cycle]",
+        p.core_step_s,
+        pct(p.core_step_s),
+        p.core_steps,
+        if p.cycles > 0 {
+            p.core_steps as f64 / p.cycles as f64
+        } else {
+            0.0
+        }
+    );
+    println!(
+        "  invariant sweep   {:.3} s ({:.1}%)",
+        p.check_s,
+        pct(p.check_s)
+    );
+    println!(
+        "  other             {:.3} s ({:.1}%)",
+        p.other_s(),
+        pct(p.other_s())
+    );
+    Ok(())
+}
+
 /// Everything one `norush soak` run needs, parsed and range-checked up
 /// front so a bad flag fails before any phase starts.
 struct SoakSpec {
@@ -1822,6 +1898,8 @@ fn usage() -> CliResult {
     println!("  list                               calibrated benchmark models");
     println!("  table1                             Table I system parameters");
     println!("  run <bench> [--policy P] [...]     one simulation with stats");
+    println!("  profile <bench> [--policy P] [...] one simulation with a cycles/sec +");
+    println!("                                     per-component wall-clock breakdown");
     println!("  compare <bench> [--jobs N] [...]   eager/lazy/row/row-fwd/far table");
     println!("  soak [--phases N] [...]            phased lock-service soak with the online");
     println!("                                     linearizability checker and failure triage");
@@ -1901,6 +1979,12 @@ fn sub_help(cmd: &str) -> CliResult {
              \x20          [--checkpoint-every K] [--ckpt-dir D] [--resume]\n\
              \x20 One simulation with stats; exits 1 on an invariant/oracle violation."
         }
+        "profile" => {
+            "norush profile <benchmark> [--cores N] [--instr N] [--seed S] [--policy P]\n\
+             \x20          [--check [K]] [--chaos SEED] [...]\n\
+             \x20 One simulation timed by hot-loop component: cycles/sec plus the\n\
+             \x20 memory-tick / core-step / invariant-sweep wall-clock split."
+        }
         "compare" => {
             "norush compare <benchmark> [--cores N] [--instr N] [--seed S] [--jobs N]\n\
              \x20 The eager/lazy/row/row-fwd/far table for one benchmark."
@@ -1974,6 +2058,7 @@ fn main() -> CliResult {
         "list" => cmd_list(),
         "table1" => cmd_table1(),
         "run" => cmd_run(&args),
+        "profile" => cmd_profile(&args),
         "compare" => cmd_compare(&args),
         "soak" => cmd_soak(&args),
         "fuzz" => cmd_fuzz(&args),

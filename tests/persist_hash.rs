@@ -89,3 +89,29 @@ fn checkpoint_restore_round_trip_preserves_the_hash() {
         "restored machine diverged from the original"
     );
 }
+
+/// The hot loop keeps derived per-core caches (sleep/wake cycles, ROB
+/// head-wait memos, recycled scratch buffers) that a restored machine
+/// rebuilds from zero. None of that may leak into the image: a machine
+/// that ran straight through and one that detoured through a mid-run
+/// checkpoint/restore must produce bit-identical images at the same cycle.
+#[test]
+fn derived_hot_loop_state_never_reaches_the_image() {
+    let test = LitmusTest::sb();
+    // Straight run to cycle 140.
+    let mut straight = litmus_machine(&test);
+    straight.run_for(140).expect("straight run clean");
+    // Detour: checkpoint at 60, restore into a fresh machine (cold wake
+    // cycles, empty scratch pools), continue to 140.
+    let mut first = litmus_machine(&test);
+    first.run_for(60).expect("prefix clean");
+    let mid = first.checkpoint().expect("mid checkpoint");
+    let mut detour = litmus_machine(&test);
+    detour.restore(&mid).expect("restore");
+    detour.run_for(80).expect("suffix clean");
+    assert_eq!(
+        fnv1a(&straight.checkpoint().unwrap()),
+        fnv1a(&detour.checkpoint().unwrap()),
+        "a restore detour changed the image: derived state leaked"
+    );
+}
